@@ -1,0 +1,53 @@
+// Ablation A3: encoder family comparison (RBF random-Fourier vs. bipolar
+// sign-projection vs. record-based ID/level) on every dataset, static
+// encoding at a common dimensionality.
+//
+// The paper picks an RBF-inspired encoder for cybersecurity data because
+// of "the non-linear relationship between features"; this bench quantifies
+// that choice.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace cyberhd;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::size_t total = quick ? 3000 : 8000;
+  constexpr std::size_t kDims = 2048;
+
+  std::printf("== Ablation A3: encoder family (static, D = %zu) ==\n\n",
+              kDims);
+  bench::print_row({"dataset", "rbf %", "sign-proj %", "id-level %"});
+  bench::print_rule(4);
+  std::vector<core::CsvRow> csv_rows;
+  for (nids::DatasetId id : nids::kAllDatasets) {
+    const bench::PreparedData data = bench::prepare(id, total, /*seed=*/7);
+    const std::size_t k = data.train.num_classes;
+    std::vector<std::string> cells = {data.name};
+    core::CsvRow csv = {data.name};
+    for (hdc::EncoderKind kind :
+         {hdc::EncoderKind::kRbf, hdc::EncoderKind::kSignProjection,
+          hdc::EncoderKind::kIdLevel}) {
+      hdc::CyberHdConfig cfg = hdc::baseline_hd_config(kDims);
+      cfg.encoder = kind;
+      hdc::CyberHdClassifier model(cfg);
+      model.fit(data.train.x, data.train.y, k);
+      const double acc = model.evaluate(data.test.x, data.test.y);
+      cells.push_back(bench::fmt(acc * 100));
+      csv.push_back(bench::fmt(acc, 4));
+    }
+    bench::print_row(cells);
+    csv_rows.push_back(csv);
+  }
+  std::printf(
+      "\nexpected shape: RBF and ID-level lead sign-projection; ID-level is "
+      "strongest on\ncategorical-heavy schemas (NSL-KDD, UNSW-NB15), RBF on "
+      "the all-numeric CIC flows —\nthe paper's step (A) 'choose the "
+      "encoding by data type' in action\n");
+  bench::emit_csv("ablation_encoder.csv",
+                  {"dataset", "rbf", "sign_projection", "id_level"},
+                  csv_rows);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation A4: the similarity-weighted (1 - delta) update of the paper vs.
+// a plain perceptron-style constant step, plus the centered-initialization
+// choice, at the paper's CyberHD configuration.
+//
+// The (1 - delta) weighting is the paper's "reduce model saturation"
+// mechanism; centering the bundled initialization is this implementation's
+// fix for the plateau the raw bundle causes (documented in DESIGN.md).
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace cyberhd;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::size_t total = quick ? 3000 : 8000;
+
+  std::printf("== Ablation A4: update rule and initialization ==\n\n");
+  bench::print_row(
+      {"dataset", "adaptive %", "perceptron %", "no-center %"});
+  bench::print_rule(4);
+  std::vector<core::CsvRow> csv_rows;
+  for (nids::DatasetId id : nids::kAllDatasets) {
+    const bench::PreparedData data = bench::prepare(id, total, /*seed=*/7);
+    const std::size_t k = data.train.num_classes;
+
+    const auto run = [&](bool weighted) {
+      hdc::CyberHdConfig cfg = bench::paper_cyberhd_config();
+      cfg.similarity_weighted_update = weighted;
+      hdc::CyberHdClassifier model(cfg);
+      model.fit(data.train.x, data.train.y, k);
+      return model.evaluate(data.test.x, data.test.y);
+    };
+    const double adaptive = run(true);
+    const double perceptron = run(false);
+
+    // "no-center" = raw bundled initialization, exercised through the
+    // trainer's public switch by a static model (the effect is about the
+    // initialization, not regeneration).
+    double no_center;
+    {
+      hdc::CyberHdConfig cfg = bench::paper_cyberhd_config();
+      hdc::CyberHdClassifier model(cfg);
+      // The facade always centers; emulate no-centering by comparing to a
+      // static model trained from the raw bundle via the Trainer API.
+      core::Rng rng(3);
+      core::Rng enc_rng = rng.fork(1);
+      float ls = cfg.lengthscale_factor *
+                 hdc::median_heuristic_lengthscale(data.train.x, enc_rng);
+      core::Rng enc_rng2 = rng.fork(2);
+      hdc::RbfEncoder enc(data.train.x.cols(), cfg.dims, enc_rng2, ls);
+      core::Matrix encoded;
+      enc.encode_batch(data.train.x, encoded,
+                       &core::ThreadPool::global());
+      hdc::HdcModel hd(k, cfg.dims);
+      hdc::Trainer trainer(hdc::TrainerConfig{
+          .learning_rate = cfg.learning_rate,
+          .center_initialization = false});
+      trainer.initialize(hd, encoded, data.train.y);
+      core::Rng train_rng = rng.fork(3);
+      trainer.train(hd, encoded, data.train.y, 30, train_rng);
+      core::Matrix encoded_test;
+      enc.encode_batch(data.test.x, encoded_test,
+                       &core::ThreadPool::global());
+      no_center =
+          hdc::Trainer::evaluate(hd, encoded_test, data.test.y);
+    }
+
+    bench::print_row({data.name, bench::fmt(adaptive * 100),
+                      bench::fmt(perceptron * 100),
+                      bench::fmt(no_center * 100)});
+    csv_rows.push_back({data.name, bench::fmt(adaptive, 4),
+                        bench::fmt(perceptron, 4),
+                        bench::fmt(no_center, 4)});
+  }
+  std::printf("\nexpected shape: adaptive >= perceptron; centered "
+              "initialization avoids the raw-bundle plateau\n");
+  bench::emit_csv("ablation_update_rule.csv",
+                  {"dataset", "adaptive", "perceptron", "uncentered_static"},
+                  csv_rows);
+  return 0;
+}

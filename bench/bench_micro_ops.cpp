@@ -1,0 +1,128 @@
+// M1: google-benchmark micro-kernels — the primitives whose throughput
+// determines every macro result: RBF encoding, cosine similarity, packed
+// popcount similarity, quantization, and the adaptive-update step.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/bitpack.hpp"
+#include "core/matrix.hpp"
+#include "core/quantize.hpp"
+#include "core/rng.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/model.hpp"
+
+using namespace cyberhd;
+
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<float> v(n);
+  core::fill_gaussian(rng, v.data(), n, 0.0f, 1.0f);
+  return v;
+}
+
+void BM_Dot(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n, 1);
+  const auto b = random_vec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::dot(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Dot)->Arg(512)->Arg(4096);
+
+void BM_Cosine(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n, 3);
+  const auto b = random_vec(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cosine(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Cosine)->Arg(512)->Arg(4096);
+
+void BM_PopcountCosine(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const core::PackedBits a = core::pack_signs(random_vec(n, 5));
+  const core::PackedBits b = core::pack_signs(random_vec(n, 6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cosine_bipolar(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PopcountCosine)->Arg(512)->Arg(4096);
+
+void BM_RbfEncode(benchmark::State& state) {
+  const std::size_t dims = static_cast<std::size_t>(state.range(0));
+  const std::size_t features = 118;  // NSL-KDD encoded width
+  core::Rng rng(7);
+  hdc::RbfEncoder enc(features, dims, rng);
+  const auto x = random_vec(features, 8);
+  std::vector<float> h(dims);
+  for (auto _ : state) {
+    enc.encode(x, h);
+    benchmark::DoNotOptimize(h.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dims * features));
+}
+BENCHMARK(BM_RbfEncode)->Arg(512)->Arg(4096);
+
+void BM_RbfEncodeBatchParallel(benchmark::State& state) {
+  const std::size_t dims = static_cast<std::size_t>(state.range(0));
+  const std::size_t features = 118;
+  core::Rng rng(9);
+  hdc::RbfEncoder enc(features, dims, rng);
+  core::Matrix x(256, features);
+  core::fill_gaussian(rng, x.data(), x.size(), 0.0f, 1.0f);
+  core::Matrix h;
+  for (auto _ : state) {
+    enc.encode_batch(x, h, &core::ThreadPool::global());
+    benchmark::DoNotOptimize(h.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(256 * dims * features));
+}
+BENCHMARK(BM_RbfEncodeBatchParallel)->Arg(512)->Arg(4096);
+
+void BM_Quantize(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const auto v = random_vec(4096, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::quantize(v, bits));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_Quantize)->Arg(1)->Arg(8);
+
+void BM_ModelSimilarities(benchmark::State& state) {
+  const std::size_t dims = static_cast<std::size_t>(state.range(0));
+  hdc::HdcModel model(10, dims);
+  core::Rng rng(11);
+  for (std::size_t c = 0; c < 10; ++c) {
+    std::vector<float> h(dims);
+    core::fill_gaussian(rng, h.data(), dims, 0.0f, 1.0f);
+    model.bundle(c, h);
+  }
+  const auto query = random_vec(dims, 12);
+  std::vector<float> scores(10);
+  for (auto _ : state) {
+    model.similarities(query, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(10 * dims));
+}
+BENCHMARK(BM_ModelSimilarities)->Arg(512)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Shared plumbing of the benchmark harnesses: dataset preparation, model
+// zoo construction, fixed-width table printing, and CSV emission. Every
+// bench fixes its seeds so tables are reproducible run-to-run.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/mlp.hpp"
+#include "baselines/static_hd.hpp"
+#include "baselines/svm.hpp"
+#include "core/csv.hpp"
+#include "core/timer.hpp"
+#include "hdc/cyberhd.hpp"
+#include "nids/datasets.hpp"
+#include "nids/preprocess.hpp"
+
+namespace cyberhd::bench {
+
+/// One dataset, synthesized and preprocessed, ready for any Classifier.
+struct PreparedData {
+  std::string name;
+  nids::ProcessedDataset train;
+  nids::ProcessedDataset test;
+};
+
+/// Synthesize `total` flows of a dataset and run the standard pipeline
+/// (one-hot + log1p + min-max, 70/30 stratified split).
+inline PreparedData prepare(nids::DatasetId id, std::size_t total,
+                            std::uint64_t seed) {
+  const nids::FlowSynthesizer synth = nids::make_synthesizer(id, seed);
+  const nids::Dataset raw = synth.generate(total, /*stream=*/0);
+  nids::TrainTestSplit split = nids::preprocess(raw, 0.30, seed ^ 0x5eedULL);
+  return PreparedData{nids::to_string(id), std::move(split.train),
+                      std::move(split.test)};
+}
+
+/// All four paper datasets.
+inline std::vector<PreparedData> prepare_all(std::size_t total,
+                                             std::uint64_t seed) {
+  std::vector<PreparedData> out;
+  for (nids::DatasetId id : nids::kAllDatasets) {
+    out.push_back(prepare(id, total, seed));
+  }
+  return out;
+}
+
+/// The paper's CyberHD configuration: D = 0.5k, RBF encoder, R = 25%
+/// annealed over 57 steps so D* lands near the paper's 4k (8x physical D).
+inline hdc::CyberHdConfig paper_cyberhd_config(std::uint64_t seed = 3) {
+  hdc::CyberHdConfig cfg;  // library defaults ARE the paper configuration
+  cfg.dims = 512;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// The paper's MLP baseline, sized for flow-feature corpora.
+inline baselines::MlpConfig paper_mlp_config(std::uint64_t seed = 17) {
+  baselines::MlpConfig cfg;
+  cfg.hidden = {96, 96};
+  cfg.epochs = 20;
+  cfg.batch_size = 64;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Row printer: first column left-aligned and wide, the rest right-aligned.
+inline void print_row(const std::vector<std::string>& cells,
+                      int first_width = 24, int width = 14) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i == 0) {
+      std::printf("%-*s", first_width, cells[i].c_str());
+    } else {
+      std::printf("%*s", width, cells[i].c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+/// Horizontal rule sized to a table.
+inline void print_rule(std::size_t columns, int first_width = 24,
+                       int width = 14) {
+  const std::size_t total =
+      static_cast<std::size_t>(first_width) +
+      (columns > 0 ? (columns - 1) * static_cast<std::size_t>(width) : 0);
+  std::printf("%s\n", std::string(total, '-').c_str());
+}
+
+/// Format a double with fixed precision.
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// Format in scientific-ish engineering style for latency columns.
+inline std::string fmt_time(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  }
+  return buf;
+}
+
+/// Write a bench table as CSV next to the binary (best effort; prints a
+/// note on failure instead of aborting the bench).
+inline void emit_csv(const std::string& path, const core::CsvRow& header,
+                     const std::vector<core::CsvRow>& rows) {
+  if (!core::write_csv(path, header, rows)) {
+    std::printf("note: could not write %s\n", path.c_str());
+  } else {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+/// True when argv contains "--quick" (smaller workloads for smoke runs).
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") return true;
+  }
+  return false;
+}
+
+}  // namespace cyberhd::bench

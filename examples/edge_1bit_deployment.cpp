@@ -1,0 +1,64 @@
+// Edge deployment: quantize a trained CyberHD model down to 1-bit packed
+// hypervectors, compare memory footprint and accuracy across bitwidths,
+// and demonstrate the fault robustness that makes the 1-bit model the
+// right artifact for unreliable edge memory (paper Table I + Fig. 5).
+//
+//   ./examples/edge_1bit_deployment
+#include <cstdio>
+
+#include "fault/bitflip.hpp"
+#include "hdc/cyberhd.hpp"
+#include "hdc/quantized.hpp"
+#include "nids/datasets.hpp"
+#include "nids/preprocess.hpp"
+
+using namespace cyberhd;
+
+int main() {
+  const nids::FlowSynthesizer synth =
+      nids::make_synthesizer(nids::DatasetId::kUnswNb15, /*seed=*/5);
+  const nids::Dataset raw = synth.generate(6000);
+  const nids::TrainTestSplit data = nids::preprocess(raw, 0.3, 5);
+  const std::size_t k = data.train.num_classes;
+
+  hdc::CyberHdConfig config;
+  config.dims = 512;
+  hdc::CyberHdClassifier trained(config);
+  trained.fit(data.train.x, data.train.y, k);
+  const double float_acc = trained.evaluate(data.test.x, data.test.y);
+  const std::size_t float_bytes = k * config.dims * sizeof(float);
+  std::printf("float32 model: %.2f%% accuracy, %zu bytes of class memory\n\n",
+              float_acc * 100, float_bytes);
+
+  std::printf("%-8s%-14s%-16s%-18s\n", "bits", "accuracy", "model bytes",
+              "vs float32");
+  for (int bits : {8, 4, 2, 1}) {
+    const hdc::QuantizedCyberHd q(trained, bits);
+    const double acc = q.evaluate(data.test.x, data.test.y);
+    const std::size_t bytes = q.model().storage_bits() / 8;
+    std::printf("%-8d%-14s%-16zu%.1fx smaller, %+.2f%% accuracy\n", bits,
+                (std::to_string(acc * 100).substr(0, 5) + "%").c_str(),
+                bytes, static_cast<double>(float_bytes) / bytes,
+                (acc - float_acc) * 100);
+  }
+
+  // Fault robustness of the 1-bit artifact: flip an increasing fraction of
+  // the packed model bits and watch accuracy.
+  std::printf("\n1-bit model under memory bit flips (mean of 5 seeds):\n");
+  std::printf("%-12s%-12s\n", "flip rate", "accuracy");
+  for (double rate : {0.0, 0.01, 0.05, 0.10, 0.20}) {
+    double mean_acc = 0;
+    const int trials = 5;
+    for (int t = 0; t < trials; ++t) {
+      hdc::QuantizedCyberHd q(trained, 1);
+      core::Rng rng(100 + t);
+      fault::inject_hdc(q.model(), rate, rng);
+      mean_acc += q.evaluate(data.test.x, data.test.y);
+    }
+    std::printf("%-12.0f%-12.2f\n", rate * 100, mean_acc / trials * 100);
+  }
+  std::printf("\nthe holographic representation degrades gracefully: even "
+              "with 10%% of all\nmodel bits flipped the detector stays "
+              "useful — the paper's Fig. 5 property.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Real-dataset drop-in: run the pipeline on an actual NSL-KDD CSV when one
+// is available, falling back to the synthetic generator otherwise.
+//
+//   ./examples/real_data_import [path/to/KDDTrain+.txt]
+//
+// The loader handles NSL-KDD's symbolic categorical columns (protocol,
+// service, flag), maps the 30+ raw attack names onto the five standard
+// categories, and ignores the trailing difficulty column — so the
+// unmodified distribution file works as-is. Every downstream step (one-hot
+// expansion, log1p, min-max scaling, CyberHD training) is byte-for-byte
+// the code path the synthetic experiments exercise.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "hdc/cyberhd.hpp"
+#include "nids/datasets.hpp"
+#include "nids/preprocess.hpp"
+
+using namespace cyberhd;
+
+int main(int argc, char** argv) {
+  const nids::DatasetSchema schema =
+      nids::make_schema(nids::DatasetId::kNslKdd);
+
+  nids::Dataset raw;
+  if (argc > 1) {
+    const std::string path = argv[1];
+    std::printf("loading real dataset from %s ...\n", path.c_str());
+    try {
+      raw = nids::load_csv(schema, path, /*header=*/false);
+    } catch (const std::runtime_error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    if (raw.size() == 0) {
+      std::fprintf(stderr,
+                   "error: no usable rows (wrong file format?)\n");
+      return 1;
+    }
+    std::printf("loaded %zu flows\n", raw.size());
+  } else {
+    std::printf("no CSV given; using the synthetic NSL-KDD stand-in\n"
+                "(usage: %s path/to/KDDTrain+.txt)\n",
+                argv[0]);
+    raw = nids::make_synthesizer(nids::DatasetId::kNslKdd, 7).generate(6000);
+  }
+
+  // Identical pipeline for both sources from here on.
+  const nids::TrainTestSplit data = nids::preprocess(raw, 0.3, 42);
+  std::printf("train %zu / test %zu, %zu expanded features, %zu classes\n",
+              data.train.size(), data.test.size(),
+              data.train.num_features(), data.train.num_classes);
+  const auto hist =
+      nids::class_histogram(data.train.y, data.train.num_classes);
+  for (std::size_t c = 0; c < hist.size(); ++c) {
+    std::printf("  %-8s %zu flows\n", data.train.class_names[c].c_str(),
+                hist[c]);
+  }
+
+  hdc::CyberHdClassifier model{hdc::CyberHdConfig{}};
+  model.fit(data.train.x, data.train.y, data.train.num_classes);
+  std::printf("\n%s accuracy: %.2f%% (D* = %zu)\n", model.name().c_str(),
+              model.evaluate(data.test.x, data.test.y) * 100,
+              model.effective_dims());
+  return 0;
+}

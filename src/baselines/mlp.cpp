@@ -1,0 +1,225 @@
+#include "baselines/mlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cyberhd::baselines {
+
+void softmax(std::span<const float> logits, std::span<float> out) noexcept {
+  assert(logits.size() == out.size());
+  float max_logit = logits.empty() ? 0.0f : logits[0];
+  for (float v : logits) max_logit = std::max(max_logit, v);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - max_logit);
+    sum += out[i];
+  }
+  const float inv = 1.0f / sum;
+  for (float& v : out) v *= inv;
+}
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
+  if (config_.batch_size == 0) {
+    throw std::invalid_argument("batch_size must be positive");
+  }
+}
+
+void Mlp::fit(const core::Matrix& x, std::span<const int> y,
+              std::size_t num_classes) {
+  assert(x.rows() == y.size());
+  if (x.rows() == 0) throw std::invalid_argument("empty training set");
+  input_dim_ = x.cols();
+  num_classes_ = num_classes;
+  losses_.clear();
+
+  core::Rng rng(config_.seed);
+
+  // Build layer stack: input -> hidden... -> num_classes.
+  std::vector<std::size_t> widths;
+  widths.push_back(input_dim_);
+  for (std::size_t h : config_.hidden) widths.push_back(h);
+  widths.push_back(num_classes);
+  layers_.clear();
+  layers_.resize(widths.size() - 1);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Layer& layer = layers_[l];
+    const std::size_t fan_in = widths[l];
+    const std::size_t fan_out = widths[l + 1];
+    layer.w.resize(fan_out, fan_in);
+    layer.b.assign(fan_out, 0.0f);
+    // He initialization for the ReLU stack.
+    const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+    core::fill_gaussian(rng, layer.w.data(), layer.w.size(), 0.0f, stddev);
+    layer.mw.resize(fan_out, fan_in);
+    layer.vw.resize(fan_out, fan_in);
+    layer.mb.assign(fan_out, 0.0f);
+    layer.vb.assign(fan_out, 0.0f);
+  }
+
+  const std::size_t n = x.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  // Reusable gradient buffers.
+  std::vector<core::Matrix> grad_w(layers_.size());
+  std::vector<std::vector<float>> grad_b(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    grad_w[l].resize(layers_[l].w.rows(), layers_[l].w.cols());
+    grad_b[l].assign(layers_[l].b.size(), 0.0f);
+  }
+
+  std::vector<std::vector<float>> acts;    // forward activations
+  std::vector<std::vector<float>> deltas;  // backward errors per layer
+  deltas.resize(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    deltas[l].assign(layers_[l].b.size(), 0.0f);
+  }
+  std::vector<float> probs(num_classes);
+
+  std::size_t adam_t = 0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t end = std::min(n, start + config_.batch_size);
+      const float inv_batch = 1.0f / static_cast<float>(end - start);
+      for (auto& g : grad_w) g.fill(0.0f);
+      for (auto& g : grad_b) std::fill(g.begin(), g.end(), 0.0f);
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t idx = order[bi];
+        forward(x.row(idx), acts);
+        const auto& logits = acts.back();
+        softmax(logits, probs);
+        const auto truth = static_cast<std::size_t>(y[idx]);
+        epoch_loss += -std::log(std::max(probs[truth], 1e-12f));
+
+        // Output delta: softmax-CE gradient.
+        auto& out_delta = deltas.back();
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          out_delta[c] = probs[c] - (c == truth ? 1.0f : 0.0f);
+        }
+        // Backward through layers.
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+          const auto& input =
+              l == 0 ? std::span<const float>(x.row(idx))
+                     : std::span<const float>(acts[l - 1]);
+          auto& delta = deltas[l];
+          // Accumulate gradients.
+          for (std::size_t o = 0; o < layers_[l].w.rows(); ++o) {
+            const float d = delta[o];
+            if (d == 0.0f) continue;
+            core::axpy(d, input, grad_w[l].row(o));
+            grad_b[l][o] += d;
+          }
+          if (l == 0) break;
+          // Propagate to previous layer through W^T, gated by ReLU.
+          auto& prev_delta = deltas[l - 1];
+          core::gemv_transposed(layers_[l].w, delta, prev_delta);
+          const auto& prev_act = acts[l - 1];
+          for (std::size_t i = 0; i < prev_delta.size(); ++i) {
+            if (prev_act[i] <= 0.0f) prev_delta[i] = 0.0f;
+          }
+        }
+      }
+
+      // Mean gradients + Adam update.
+      ++adam_t;
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        core::scale({grad_w[l].data(), grad_w[l].size()}, inv_batch);
+        core::scale(grad_b[l], inv_batch);
+        if (config_.weight_decay > 0.0f) {
+          core::axpy(config_.weight_decay,
+                     {layers_[l].w.data(), layers_[l].w.size()},
+                     {grad_w[l].data(), grad_w[l].size()});
+        }
+        adam_step(layers_[l], grad_w[l], grad_b[l], adam_t);
+      }
+    }
+    losses_.push_back(epoch_loss / static_cast<double>(n));
+  }
+}
+
+void Mlp::forward(std::span<const float> x,
+                  std::vector<std::vector<float>>& acts) const {
+  acts.resize(layers_.size());
+  std::span<const float> input = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    auto& out = acts[l];
+    out.assign(layers_[l].b.size(), 0.0f);
+    core::gemv(layers_[l].w, input, out);
+    for (std::size_t o = 0; o < out.size(); ++o) out[o] += layers_[l].b[o];
+    if (l + 1 < layers_.size()) {
+      for (float& v : out) v = std::max(v, 0.0f);  // ReLU
+    }
+    input = out;
+  }
+}
+
+void Mlp::adam_step(Layer& layer, const core::Matrix& gw,
+                    std::span<const float> gb, std::size_t t) {
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float correction1 =
+      1.0f - std::pow(b1, static_cast<float>(t));
+  const float correction2 =
+      1.0f - std::pow(b2, static_cast<float>(t));
+  const float lr = config_.learning_rate;
+
+  float* w = layer.w.data();
+  float* mw = layer.mw.data();
+  float* vw = layer.vw.data();
+  const float* g = gw.data();
+  for (std::size_t i = 0; i < layer.w.size(); ++i) {
+    mw[i] = b1 * mw[i] + (1.0f - b1) * g[i];
+    vw[i] = b2 * vw[i] + (1.0f - b2) * g[i] * g[i];
+    const float mhat = mw[i] / correction1;
+    const float vhat = vw[i] / correction2;
+    w[i] -= lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+  }
+  for (std::size_t i = 0; i < layer.b.size(); ++i) {
+    layer.mb[i] = b1 * layer.mb[i] + (1.0f - b1) * gb[i];
+    layer.vb[i] = b2 * layer.vb[i] + (1.0f - b2) * gb[i] * gb[i];
+    const float mhat = layer.mb[i] / correction1;
+    const float vhat = layer.vb[i] / correction2;
+    layer.b[i] -= lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+  }
+}
+
+int Mlp::predict(std::span<const float> x) const {
+  assert(!layers_.empty() && "predict() before fit()");
+  std::vector<std::vector<float>> acts;
+  forward(x, acts);
+  const auto& logits = acts.back();
+  return static_cast<int>(core::argmax(logits));
+}
+
+void Mlp::predict_proba(std::span<const float> x,
+                        std::span<float> out) const {
+  assert(out.size() == num_classes_);
+  std::vector<std::vector<float>> acts;
+  forward(x, acts);
+  softmax(acts.back(), out);
+}
+
+std::string Mlp::name() const {
+  std::string arch;
+  for (std::size_t h : config_.hidden) {
+    arch += std::to_string(h) + "-";
+  }
+  if (!arch.empty()) arch.pop_back();
+  return "MLP(" + arch + ")";
+}
+
+std::size_t Mlp::num_parameters() const noexcept {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    n += layer.w.size() + layer.b.size();
+  }
+  return n;
+}
+
+}  // namespace cyberhd::baselines

@@ -1,0 +1,88 @@
+// Multilayer perceptron baseline — the paper's "SOTA DNN" [8].
+//
+// A from-scratch fully-connected network: ReLU hidden layers, softmax
+// cross-entropy output, He initialization, Adam optimizer, minibatch SGD.
+// Deliberately the standard recipe NIDS papers use, so Fig. 3/4/5
+// comparisons are against the model family the paper cites.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+
+namespace cyberhd::baselines {
+
+/// MLP hyper-parameters.
+struct MlpConfig {
+  /// Hidden layer widths, e.g. {256, 256}.
+  std::vector<std::size_t> hidden = {256, 256};
+  std::size_t epochs = 30;
+  std::size_t batch_size = 64;
+  float learning_rate = 1e-3f;
+  /// Adam moment decay rates and epsilon.
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  /// L2 weight decay (0 disables).
+  float weight_decay = 0.0f;
+  std::uint64_t seed = 17;
+};
+
+/// Fully-connected ReLU network with a softmax cross-entropy head.
+class Mlp final : public core::Classifier {
+ public:
+  explicit Mlp(MlpConfig config = {});
+
+  void fit(const core::Matrix& x, std::span<const int> y,
+           std::size_t num_classes) override;
+  int predict(std::span<const float> x) const override;
+  std::string name() const override;
+
+  /// Class probabilities for one sample (softmax output).
+  void predict_proba(std::span<const float> x, std::span<float> out) const;
+
+  /// Mean cross-entropy loss recorded at the end of each epoch.
+  std::span<const double> loss_history() const noexcept { return losses_; }
+
+  /// Total trainable parameter count (valid after fit()).
+  std::size_t num_parameters() const noexcept;
+
+  // -- weight access for the fault-injection study (Fig. 5) -----------------
+  /// Number of layers (hidden + output).
+  std::size_t num_layers() const noexcept { return layers_.size(); }
+  /// Mutable weight matrix of layer `i` (out x in).
+  core::Matrix& layer_weights(std::size_t i) { return layers_[i].w; }
+  /// Mutable bias vector of layer `i`.
+  std::vector<float>& layer_biases(std::size_t i) { return layers_[i].b; }
+
+ private:
+  struct Layer {
+    core::Matrix w;        // out x in
+    std::vector<float> b;  // out
+    // Adam state.
+    core::Matrix mw, vw;
+    std::vector<float> mb, vb;
+  };
+
+  /// Forward pass; fills per-layer activations (post-ReLU, final = logits).
+  void forward(std::span<const float> x,
+               std::vector<std::vector<float>>& acts) const;
+  void adam_step(Layer& layer, const core::Matrix& gw,
+                 std::span<const float> gb, std::size_t t);
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+  std::size_t input_dim_ = 0;
+  std::size_t num_classes_ = 0;
+  std::vector<double> losses_;
+};
+
+/// Numerically-stable softmax of `logits` into `out` (may alias).
+void softmax(std::span<const float> logits, std::span<float> out) noexcept;
+
+}  // namespace cyberhd::baselines

@@ -1,0 +1,22 @@
+// Static-encoder HDC baseline — the paper's "BaselineHD".
+//
+// Identical machinery to CyberHD with regeneration disabled: the encoder
+// sampled at construction is never revisited, so accuracy is whatever the
+// initial random bases afford. The paper evaluates it at the physical
+// dimensionality of CyberHD (D = 0.5k) and at CyberHD's *effective*
+// dimensionality (D* = 4k).
+#pragma once
+
+#include "hdc/cyberhd.hpp"
+
+namespace cyberhd::baselines {
+
+/// Static-encoder HDC at dimensionality `dims`: a CyberHdClassifier with
+/// regeneration off and the same total training-epoch budget, so any
+/// accuracy gap against CyberHD isolates the effect of regeneration.
+inline hdc::CyberHdClassifier make_baseline_hd(std::size_t dims,
+                                               std::uint64_t seed = 1) {
+  return hdc::CyberHdClassifier(hdc::baseline_hd_config(dims, seed));
+}
+
+}  // namespace cyberhd::baselines

@@ -1,0 +1,180 @@
+#include "baselines/svm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "hdc/encoder.hpp"
+
+namespace cyberhd::baselines {
+
+// ---- LinearSvm ---------------------------------------------------------------
+
+LinearSvm::LinearSvm(LinearSvmConfig config) : config_(config) {
+  if (config_.lambda <= 0.0f) {
+    throw std::invalid_argument("lambda must be positive");
+  }
+}
+
+void LinearSvm::fit(const core::Matrix& x, std::span<const int> y,
+                    std::size_t num_classes) {
+  assert(x.rows() == y.size());
+  if (x.rows() == 0) throw std::invalid_argument("empty training set");
+  weights_.resize(num_classes, x.cols());
+  biases_.assign(num_classes, 0.0f);
+
+  core::Rng rng(config_.seed);
+  const std::size_t n = x.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  // Pegasos with one shared step counter per class; the 1/(lambda t)
+  // learning rate gives the method its convergence guarantee.
+  std::vector<std::size_t> steps(num_classes, 0);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t idx : order) {
+      const auto xi = x.row(idx);
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        const float target =
+            y[idx] == static_cast<int>(c) ? 1.0f : -1.0f;
+        const std::size_t t = ++steps[c];
+        const float eta =
+            1.0f / (config_.lambda * static_cast<float>(t));
+        auto w = weights_.row(c);
+        const float margin = core::dot(w, xi) + biases_[c];
+        // Shrink (the subgradient of the L2 term), then, on hinge
+        // violation, step toward the sample. The bias is treated as an
+        // augmented always-1 feature so it shares the regularization —
+        // without shrinkage its huge early 1/(lambda t) steps never decay.
+        const float shrink = 1.0f - eta * config_.lambda;
+        core::scale(w, shrink);
+        biases_[c] *= shrink;
+        if (target * margin < 1.0f) {
+          core::axpy(eta * target, xi, w);
+          biases_[c] += eta * target;
+        }
+      }
+    }
+  }
+}
+
+void LinearSvm::decision_function(std::span<const float> x,
+                                  std::span<float> out) const {
+  assert(out.size() == weights_.rows());
+  for (std::size_t c = 0; c < weights_.rows(); ++c) {
+    out[c] = core::dot(weights_.row(c), x) + biases_[c];
+  }
+}
+
+int LinearSvm::predict(std::span<const float> x) const {
+  assert(weights_.rows() > 0 && "predict() before fit()");
+  std::vector<float> margins(weights_.rows());
+  decision_function(x, margins);
+  return static_cast<int>(core::argmax(margins));
+}
+
+std::string LinearSvm::name() const { return "LinearSVM"; }
+
+// ---- KernelSvm ---------------------------------------------------------------
+
+KernelSvm::KernelSvm(KernelSvmConfig config) : config_(config) {
+  if (config_.lambda <= 0.0f) {
+    throw std::invalid_argument("lambda must be positive");
+  }
+}
+
+float KernelSvm::kernel(std::span<const float> a,
+                        std::span<const float> b) const {
+  assert(a.size() == b.size());
+  float dist_sq = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    dist_sq += d * d;
+  }
+  return std::exp(-config_.gamma * dist_sq);
+}
+
+float KernelSvm::margin(const ClassModel& m, std::span<const float> x) const {
+  if (m.steps == 0 || m.vectors.empty()) return 0.0f;
+  float sum = 0.0f;
+  for (std::size_t j = 0; j < m.vectors.size(); ++j) {
+    sum += m.alpha[j] * kernel(m.vectors[j], x);
+  }
+  return sum / (config_.lambda * static_cast<float>(m.steps));
+}
+
+void KernelSvm::fit(const core::Matrix& x, std::span<const int> y,
+                    std::size_t num_classes) {
+  assert(x.rows() == y.size());
+  if (x.rows() == 0) throw std::invalid_argument("empty training set");
+  dims_ = x.cols();
+  models_.assign(num_classes, {});
+
+  core::Rng rng(config_.seed);
+  if (config_.gamma <= 0.0f) {
+    core::Rng median_rng = rng.fork(11);
+    const float ls = hdc::median_heuristic_lengthscale(x, median_rng);
+    config_.gamma = 1.0f / (2.0f * ls * ls);
+  }
+  const std::size_t n = x.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t idx : order) {
+      const auto xi = x.row(idx);
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        ClassModel& m = models_[c];
+        ++m.steps;
+        const float target =
+            y[idx] == static_cast<int>(c) ? 1.0f : -1.0f;
+        if (target * margin(m, xi) < 1.0f) {
+          m.vectors.emplace_back(xi.begin(), xi.end());
+          m.alpha.push_back(target);
+          if (config_.sv_budget > 0 &&
+              m.vectors.size() > config_.sv_budget) {
+            // Evict the least influential support vector.
+            std::size_t victim = 0;
+            for (std::size_t j = 1; j < m.alpha.size(); ++j) {
+              if (std::abs(m.alpha[j]) < std::abs(m.alpha[victim])) {
+                victim = j;
+              }
+            }
+            m.vectors.erase(m.vectors.begin() +
+                            static_cast<std::ptrdiff_t>(victim));
+            m.alpha.erase(m.alpha.begin() +
+                          static_cast<std::ptrdiff_t>(victim));
+          }
+        }
+      }
+    }
+  }
+}
+
+int KernelSvm::predict(std::span<const float> x) const {
+  assert(!models_.empty() && "predict() before fit()");
+  std::vector<float> margins(models_.size());
+  for (std::size_t c = 0; c < models_.size(); ++c) {
+    margins[c] = margin(models_[c], x);
+  }
+  return static_cast<int>(core::argmax(margins));
+}
+
+std::string KernelSvm::name() const { return "KernelSVM(rbf)"; }
+
+std::size_t KernelSvm::num_support_vectors(std::size_t cls) const {
+  assert(cls < models_.size());
+  return models_[cls].vectors.size();
+}
+
+std::size_t KernelSvm::total_support_vectors() const {
+  std::size_t total = 0;
+  for (const auto& m : models_) total += m.vectors.size();
+  return total;
+}
+
+}  // namespace cyberhd::baselines

@@ -1,0 +1,40 @@
+// The common classifier interface every model in the repository implements
+// (CyberHD, static-encoder HDC, the MLP and SVM baselines), so benchmarks
+// and examples can sweep over heterogeneous models uniformly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "core/matrix.hpp"
+
+namespace cyberhd::core {
+
+/// Multi-class classifier over dense float features.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on rows of `x` with integer labels in [0, num_classes).
+  virtual void fit(const Matrix& x, std::span<const int> y,
+                   std::size_t num_classes) = 0;
+
+  /// Predict the label of one sample.
+  virtual int predict(std::span<const float> x) const = 0;
+
+  /// Short human-readable model name for reports.
+  virtual std::string name() const = 0;
+
+  /// Accuracy over a labeled set (fraction of correct predictions).
+  double evaluate(const Matrix& x, std::span<const int> y) const {
+    if (x.rows() == 0) return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      if (predict(x.row(i)) == y[i]) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(x.rows());
+  }
+};
+
+}  // namespace cyberhd::core

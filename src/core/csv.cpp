@@ -1,0 +1,92 @@
+#include "core/csv.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+namespace cyberhd::core {
+
+CsvRow parse_csv_line(std::string_view line) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      field.push_back(c);
+    }
+  }
+  row.push_back(std::move(field));
+  return row;
+}
+
+std::optional<CsvRow> CsvReader::next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    // Re-join physical lines while a quote is open.
+    while (std::count(line.begin(), line.end(), '"') % 2 != 0) {
+      std::string cont;
+      if (!std::getline(in_, cont)) break;
+      line.push_back('\n');
+      line += cont;
+    }
+    if (line.empty() || line == "\r") continue;
+    ++rows_read_;
+    return parse_csv_line(line);
+  }
+  return std::nullopt;
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string to_csv_line(const CsvRow& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out.push_back(',');
+    out += csv_escape(row[i]);
+  }
+  return out;
+}
+
+bool write_csv(const std::string& path, const CsvRow& header,
+               const std::vector<CsvRow>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  if (!header.empty()) out << to_csv_line(header) << '\n';
+  for (const auto& row : rows) out << to_csv_line(row) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace cyberhd::core

@@ -1,0 +1,55 @@
+// CSV parsing and writing.
+//
+// Two consumers: (1) the nids loader, so users can drop in the real NSL-KDD
+// / UNSW-NB15 / CIC-IDS files and run the identical pipeline the synthetic
+// generators exercise, and (2) benchmark harnesses, which emit their tables
+// as CSV next to the printed report. Handles RFC-4180 quoting (embedded
+// commas, quotes, and newlines inside quoted fields).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cyberhd::core {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Parse a single CSV record from `line` (no embedded newlines).
+/// Quoted fields may contain commas and doubled quotes.
+CsvRow parse_csv_line(std::string_view line);
+
+/// Streaming CSV reader over an istream; handles quoted fields that span
+/// physical lines.
+class CsvReader {
+ public:
+  /// The stream must outlive the reader.
+  explicit CsvReader(std::istream& in) : in_(in) {}
+
+  /// Read the next record, or nullopt at end of stream. Blank lines are
+  /// skipped.
+  std::optional<CsvRow> next();
+
+  /// Number of records returned so far.
+  std::size_t rows_read() const noexcept { return rows_read_; }
+
+ private:
+  std::istream& in_;
+  std::size_t rows_read_ = 0;
+};
+
+/// Quote a field if it needs quoting, per RFC 4180.
+std::string csv_escape(std::string_view field);
+
+/// Serialize one row (adds no trailing newline).
+std::string to_csv_line(const CsvRow& row);
+
+/// Write rows (with header first if non-empty) to a file. Returns false on
+/// I/O failure.
+bool write_csv(const std::string& path, const CsvRow& header,
+               const std::vector<CsvRow>& rows);
+
+}  // namespace cyberhd::core

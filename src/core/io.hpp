@@ -1,0 +1,71 @@
+// Minimal binary (de)serialization helpers for model persistence.
+//
+// Fixed little-endian-style encoding via raw memcpy of fixed-width types;
+// all numeric fields go through the u64/f32 helpers so the format is
+// identical across builds. Readers throw std::runtime_error on truncated
+// or malformed input.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cyberhd::core::io {
+
+inline void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("truncated stream (u64)");
+  return v;
+}
+
+inline void write_f32(std::ostream& out, float v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline float read_f32(std::istream& in) {
+  float v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("truncated stream (f32)");
+  return v;
+}
+
+inline void write_f32_array(std::ostream& out, std::span<const float> v) {
+  write_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+inline std::vector<float> read_f32_array(std::istream& in) {
+  const std::uint64_t n = read_u64(in);
+  if (n > (1ULL << 32)) throw std::runtime_error("implausible array size");
+  std::vector<float> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!in) throw std::runtime_error("truncated stream (f32 array)");
+  return v;
+}
+
+/// Write a 4-byte tag and verify it on read (format sanity checks).
+inline void write_tag(std::ostream& out, const char (&tag)[5]) {
+  out.write(tag, 4);
+}
+
+inline void expect_tag(std::istream& in, const char (&tag)[5]) {
+  char buf[4];
+  in.read(buf, 4);
+  if (!in || std::memcmp(buf, tag, 4) != 0) {
+    throw std::runtime_error(std::string("bad tag, expected ") + tag);
+  }
+}
+
+}  // namespace cyberhd::core::io

@@ -1,0 +1,119 @@
+#include "core/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace cyberhd::core {
+
+void Matrix::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  // Four accumulators to break the dependency chain; gcc vectorizes this.
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+float norm2(std::span<const float> a) noexcept {
+  return std::sqrt(dot(a, a));
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) noexcept {
+  for (float& v : x) v *= alpha;
+}
+
+float normalize_l2(std::span<float> x) noexcept {
+  const float n = norm2(x);
+  if (n > 0.0f) scale(x, 1.0f / n);
+  return n;
+}
+
+float cosine(std::span<const float> a, std::span<const float> b) noexcept {
+  const float na = norm2(a);
+  const float nb = norm2(b);
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return dot(a, b) / (na * nb);
+}
+
+void gemv(const Matrix& a, std::span<const float> x,
+          std::span<float> y) noexcept {
+  assert(x.size() == a.cols());
+  assert(y.size() == a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    y[r] = dot(a.row(r), x);
+  }
+}
+
+void gemv_transposed(const Matrix& a, std::span<const float> x,
+                     std::span<float> y) noexcept {
+  assert(x.size() == a.rows());
+  assert(y.size() == a.cols());
+  std::fill(y.begin(), y.end(), 0.0f);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    axpy(x[r], a.row(r), y);
+  }
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  assert(a.cols() == b.rows());
+  c.resize(a.rows(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // ikj order: streams through B and C rows, auto-vectorizes the inner loop.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* ci = c.data() + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = a(i, p);
+      if (aip == 0.0f) continue;
+      const float* bp = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+std::size_t argmax(std::span<const float> x) noexcept {
+  if (x.empty()) return 0;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return best;
+}
+
+std::string shape_string(const Matrix& m) {
+  return "(" + std::to_string(m.rows()) + " x " + std::to_string(m.cols()) +
+         ")";
+}
+
+}  // namespace cyberhd::core

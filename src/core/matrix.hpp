@@ -1,0 +1,113 @@
+// Minimal dense linear algebra for CyberHD.
+//
+// The library deliberately avoids external BLAS: hypervector work is
+// embarrassingly data-parallel and dominated by a handful of kernels
+// (gemv, axpy, dot, cosine), all implemented here with cache-blocked loops
+// the compiler auto-vectorizes. Matrices are row-major, value-semantic, and
+// expose raw spans for the hot paths.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cyberhd::core {
+
+/// Row-major dense float matrix with value semantics.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, float fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable view of row `r`.
+  std::span<float> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  /// Read-only view of row `r`.
+  std::span<const float> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+
+  /// Set every element to `v`.
+  void fill(float v);
+  /// Resize to rows x cols, discarding contents (zero-filled).
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Returns the transpose (new matrix).
+  Matrix transposed() const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// ---- vector kernels (the hot path) ----------------------------------------
+
+/// Dot product of two equal-length spans.
+float dot(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Euclidean norm.
+float norm2(std::span<const float> a) noexcept;
+
+/// y += alpha * x (in place).
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept;
+
+/// x *= alpha (in place).
+void scale(std::span<float> x, float alpha) noexcept;
+
+/// L2-normalize in place; zero vectors are left untouched. Returns the
+/// pre-normalization norm.
+float normalize_l2(std::span<float> x) noexcept;
+
+/// Cosine similarity; returns 0 when either vector has zero norm.
+float cosine(std::span<const float> a, std::span<const float> b) noexcept;
+
+// ---- matrix kernels --------------------------------------------------------
+
+/// y = A x  (A: m x n, x: n, y: m).
+void gemv(const Matrix& a, std::span<const float> x,
+          std::span<float> y) noexcept;
+
+/// y = A^T x  (A: m x n, x: m, y: n).
+void gemv_transposed(const Matrix& a, std::span<const float> x,
+                     std::span<float> y) noexcept;
+
+/// C = A B  (A: m x k, B: k x n, C: m x n). Cache-blocked ikj loop.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// argmax over a span; returns 0 for empty input.
+std::size_t argmax(std::span<const float> x) noexcept;
+
+/// Human-readable (rows x cols) description for error messages.
+std::string shape_string(const Matrix& m);
+
+}  // namespace cyberhd::core

@@ -1,0 +1,103 @@
+// Deterministic pseudo-random number generation for CyberHD.
+//
+// Everything stochastic in the library (encoder bases, dataset synthesis,
+// fault injection, train/test splits) draws from these generators so that a
+// single 64-bit seed reproduces an entire experiment bit-for-bit.
+//
+// The core generator is xoshiro256** (Blackman & Vigna), seeded through
+// SplitMix64 as its authors recommend. Both are tiny, allocation-free, and
+// much faster than std::mt19937_64 while passing BigCrush.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cyberhd::core {
+
+/// SplitMix64: a 64-bit mixer used for seeding and for cheap stateless
+/// hashing of (seed, index) pairs. Passes through every 64-bit value exactly
+/// once over its period of 2^64.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the library-wide PRNG. Satisfies the essentials of
+/// UniformRandomBitGenerator so it can also feed <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a 64-bit seed. Two generators with different seeds
+  /// produce statistically independent streams (seeded via SplitMix64).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Raw 64 random bits.
+  result_type operator()() noexcept { return next_u64(); }
+  result_type next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+  /// Uniform float in [0, 1).
+  float next_float() noexcept;
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Standard normal via Box-Muller (cached second value).
+  double gaussian() noexcept;
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept;
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+  /// Exponential with the given rate lambda (> 0).
+  double exponential(double lambda) noexcept;
+  /// Sample an index in [0, weights.size()) proportional to weights.
+  /// Weights must be non-negative and not all zero.
+  std::size_t categorical(const std::vector<double>& weights) noexcept;
+
+  /// Fisher-Yates shuffle of an index-addressable container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+  /// Derive an independent child generator; stream `k` from the same parent
+  /// seed is reproducible regardless of draw order elsewhere.
+  Rng fork(std::uint64_t stream) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// Fill `out` with i.i.d. N(mean, stddev) floats.
+void fill_gaussian(Rng& rng, float* out, std::size_t n, float mean,
+                   float stddev);
+
+/// Fill `out` with i.i.d. U[lo, hi) floats.
+void fill_uniform(Rng& rng, float* out, std::size_t n, float lo, float hi);
+
+}  // namespace cyberhd::core

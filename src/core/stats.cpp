@@ -1,0 +1,199 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace cyberhd::core {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance_population() const noexcept {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::variance_sample() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept {
+  return std::sqrt(variance_population());
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void column_variances(const float* data, std::size_t rows, std::size_t cols,
+                      std::span<float> out) noexcept {
+  assert(out.size() == cols);
+  std::fill(out.begin(), out.end(), 0.0f);
+  if (rows == 0) return;
+  // Two passes: means then squared deviations. rows (= #classes) is small,
+  // cols (= dimensionality) is large, so both passes stream row-major.
+  std::vector<double> mean(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = data + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) mean[c] += row[c];
+  }
+  const double inv = 1.0 / static_cast<double>(rows);
+  for (std::size_t c = 0; c < cols; ++c) mean[c] *= inv;
+  std::vector<double> acc(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = data + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double d = row[c] - mean[c];
+      acc[c] += d * d;
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    out[c] = static_cast<float>(acc[c] * inv);
+  }
+}
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : k_(num_classes), cells_(num_classes * num_classes, 0) {
+  assert(num_classes > 0);
+}
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t predicted) {
+  assert(truth < k_ && predicted < k_);
+  ++cells_[truth * k_ + predicted];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::at(std::size_t truth,
+                                std::size_t predicted) const {
+  assert(truth < k_ && predicted < k_);
+  return cells_[truth * k_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < k_; ++c) correct += cells_[c * k_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const noexcept {
+  std::size_t predicted = 0;
+  for (std::size_t t = 0; t < k_; ++t) predicted += cells_[t * k_ + cls];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(cells_[cls * k_ + cls]) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const noexcept {
+  std::size_t actual = 0;
+  for (std::size_t p = 0; p < k_; ++p) actual += cells_[cls * k_ + p];
+  if (actual == 0) return 0.0;
+  return static_cast<double>(cells_[cls * k_ + cls]) /
+         static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::size_t cls) const noexcept {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const noexcept {
+  double sum = 0.0;
+  std::size_t present = 0;
+  for (std::size_t c = 0; c < k_; ++c) {
+    std::size_t actual = 0;
+    for (std::size_t p = 0; p < k_; ++p) actual += cells_[c * k_ + p];
+    if (actual == 0) continue;
+    sum += f1(c);
+    ++present;
+  }
+  return present ? sum / static_cast<double>(present) : 0.0;
+}
+
+double ConfusionMatrix::detection_rate(std::size_t benign_class) const noexcept {
+  double sum = 0.0;
+  std::size_t present = 0;
+  for (std::size_t c = 0; c < k_; ++c) {
+    if (c == benign_class) continue;
+    std::size_t actual = 0;
+    for (std::size_t p = 0; p < k_; ++p) actual += cells_[c * k_ + p];
+    if (actual == 0) continue;
+    sum += recall(c);
+    ++present;
+  }
+  return present ? sum / static_cast<double>(present) : 0.0;
+}
+
+double ConfusionMatrix::false_positive_rate(
+    std::size_t benign_class) const noexcept {
+  std::size_t benign_total = 0;
+  for (std::size_t p = 0; p < k_; ++p) {
+    benign_total += cells_[benign_class * k_ + p];
+  }
+  if (benign_total == 0) return 0.0;
+  const std::size_t flagged =
+      benign_total - cells_[benign_class * k_ + benign_class];
+  return static_cast<double>(flagged) / static_cast<double>(benign_total);
+}
+
+std::string ConfusionMatrix::to_string(
+    const std::vector<std::string>& class_names) const {
+  std::ostringstream os;
+  os << "truth \\ pred";
+  for (std::size_t c = 0; c < k_; ++c) {
+    os << '\t' << (c < class_names.size() ? class_names[c] : std::to_string(c));
+  }
+  os << '\n';
+  for (std::size_t t = 0; t < k_; ++t) {
+    os << (t < class_names.size() ? class_names[t] : std::to_string(t));
+    for (std::size_t p = 0; p < k_; ++p) os << '\t' << at(t, p);
+    os << '\n';
+  }
+  return os.str();
+}
+
+double mean_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geometric_mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) {
+    assert(x > 0.0);
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace cyberhd::core

@@ -1,0 +1,95 @@
+// Streaming statistics and classification metrics.
+//
+// Used by the regeneration controller (per-dimension cross-class variance),
+// dataset synthesis validation, and every benchmark's reporting layer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cyberhd::core {
+
+/// Welford online mean/variance accumulator. Numerically stable for the
+/// long, skewed feature streams NIDS data produces.
+class RunningStats {
+ public:
+  /// Observe one value.
+  void add(double x) noexcept;
+  /// Number of observations so far.
+  std::size_t count() const noexcept { return n_; }
+  /// Sample mean (0 when empty).
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (denominator n; 0 when fewer than 1 sample).
+  double variance_population() const noexcept;
+  /// Sample variance (denominator n-1; 0 when fewer than 2 samples).
+  double variance_sample() const noexcept;
+  /// Population standard deviation.
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Merge another accumulator (Chan's parallel combination).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Population variance of each column of a row-major buffer:
+/// out[c] = Var over rows of data[r*cols + c]. This is the exact statistic
+/// CyberHD ranks dimensions by (variance of each dimension across the
+/// normalized class hypervectors).
+void column_variances(const float* data, std::size_t rows, std::size_t cols,
+                      std::span<float> out) noexcept;
+
+/// Confusion matrix plus derived multi-class metrics.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  /// Record one (truth, prediction) pair.
+  void add(std::size_t truth, std::size_t predicted);
+  /// Count at (truth, predicted).
+  std::size_t at(std::size_t truth, std::size_t predicted) const;
+  std::size_t num_classes() const noexcept { return k_; }
+  std::size_t total() const noexcept { return total_; }
+
+  /// Overall accuracy in [0, 1].
+  double accuracy() const noexcept;
+  /// Precision of one class (0 when the class was never predicted).
+  double precision(std::size_t cls) const noexcept;
+  /// Recall of one class (0 when the class never occurs).
+  double recall(std::size_t cls) const noexcept;
+  /// F1 of one class.
+  double f1(std::size_t cls) const noexcept;
+  /// Unweighted mean of per-class F1 (classes absent from the data are
+  /// skipped, matching common NIDS reporting).
+  double macro_f1() const noexcept;
+  /// Detection rate for binary-style reporting: recall averaged over all
+  /// classes except `benign_class`.
+  double detection_rate(std::size_t benign_class) const noexcept;
+  /// False-positive rate for `benign_class`: fraction of benign samples
+  /// flagged as any attack.
+  double false_positive_rate(std::size_t benign_class) const noexcept;
+
+  /// Fixed-width printable table with class names.
+  std::string to_string(const std::vector<std::string>& class_names) const;
+
+ private:
+  std::size_t k_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // k x k row-major, row = truth
+};
+
+/// Mean of a span (0 when empty).
+double mean_of(std::span<const double> xs) noexcept;
+
+/// Geometric mean of strictly positive values (0 when empty).
+double geometric_mean(std::span<const double> xs) noexcept;
+
+}  // namespace cyberhd::core

@@ -1,0 +1,61 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// The encoding stage is the library's hot loop: every training epoch encodes
+// the whole dataset (a D x F gemv + cos per sample). parallel_for splits the
+// sample range into contiguous chunks, which is the parallelization the
+// paper describes ("leverages matrix operations to train the encoded data in
+// a highly-parallel way").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cyberhd::core {
+
+/// Fixed-size worker pool. Tasks are std::function<void()>; exceptions in
+/// tasks terminate (tasks in this library are noexcept by construction).
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers (0 = hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const noexcept { return workers_.size(); }
+
+  /// Enqueue one task.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(begin, end) over [0, n) split into roughly equal contiguous
+  /// chunks, one per worker, and wait for completion. Falls back to a direct
+  /// call for tiny ranges (n < grain) to avoid dispatch overhead.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 256);
+
+  /// Process-wide default pool (lazily constructed, hardware_concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace cyberhd::core

@@ -1,0 +1,122 @@
+#include "fault/bitflip.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "core/quantize.hpp"
+
+namespace cyberhd::fault {
+
+namespace {
+
+/// Flip each of the low `bits` bits of `pattern` independently with
+/// probability `rate`; updates the report.
+std::uint32_t flip_pattern(std::uint32_t pattern, int bits, double rate,
+                           core::Rng& rng, FlipReport& report) {
+  for (int b = 0; b < bits; ++b) {
+    ++report.bits_considered;
+    if (rng.bernoulli(rate)) {
+      pattern ^= 1u << b;
+      ++report.bits_flipped;
+    }
+  }
+  return pattern;
+}
+
+/// Quantize -> flip -> dequantize one float tensor at b-bit fixed point.
+void inject_fixed_point(std::span<float> values, int bits, double rate,
+                        core::Rng& rng, FlipReport& report) {
+  core::QuantizedVector q = core::quantize(values, bits);
+  for (auto& level : q.levels) {
+    const std::uint32_t pattern = core::level_to_bits(level, bits);
+    const std::uint32_t flipped =
+        flip_pattern(pattern, bits, rate, rng, report);
+    if (flipped != pattern) {
+      level = core::bits_to_level(flipped, bits);
+    }
+  }
+  core::dequantize(q, values);
+}
+
+}  // namespace
+
+FlipReport inject_hdc(hdc::QuantizedHdcModel& model, double rate,
+                      core::Rng& rng) {
+  assert(rate >= 0.0 && rate <= 1.0);
+  FlipReport report;
+  if (rate == 0.0) {
+    report.bits_considered = model.storage_bits();
+    return report;
+  }
+  if (model.bits() == 1) {
+    for (auto& packed : model.packed_classes()) {
+      for (std::size_t i = 0; i < packed.dims(); ++i) {
+        ++report.bits_considered;
+        if (rng.bernoulli(rate)) {
+          packed.flip(i);
+          ++report.bits_flipped;
+        }
+      }
+    }
+    return report;
+  }
+  const int bits = model.bits();
+  for (auto& qv : model.level_classes()) {
+    for (auto& level : qv.levels) {
+      const std::uint32_t pattern = core::level_to_bits(level, bits);
+      const std::uint32_t flipped =
+          flip_pattern(pattern, bits, rate, rng, report);
+      if (flipped != pattern) {
+        level = core::bits_to_level(flipped, bits);
+      }
+    }
+  }
+  return report;
+}
+
+FlipReport inject_mlp_quantized(baselines::Mlp& model, int bits, double rate,
+                                core::Rng& rng) {
+  assert(rate >= 0.0 && rate <= 1.0);
+  FlipReport report;
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    auto& w = model.layer_weights(l);
+    inject_fixed_point({w.data(), w.size()}, bits, rate, rng, report);
+    inject_fixed_point(model.layer_biases(l), bits, rate, rng, report);
+  }
+  return report;
+}
+
+FlipReport inject_floats(std::span<float> values, double rate,
+                         core::Rng& rng) {
+  assert(rate >= 0.0 && rate <= 1.0);
+  FlipReport report;
+  for (float& v : values) {
+    auto bits = std::bit_cast<std::uint32_t>(v);
+    bool changed = false;
+    for (int b = 0; b < 32; ++b) {
+      ++report.bits_considered;
+      if (rate > 0.0 && rng.bernoulli(rate)) {
+        bits ^= 1u << b;
+        changed = true;
+        ++report.bits_flipped;
+      }
+    }
+    if (changed) v = std::bit_cast<float>(bits);
+  }
+  return report;
+}
+
+FlipReport inject_mlp(baselines::Mlp& model, double rate, core::Rng& rng) {
+  FlipReport report;
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    auto& w = model.layer_weights(l);
+    const FlipReport rw = inject_floats({w.data(), w.size()}, rate, rng);
+    auto& b = model.layer_biases(l);
+    const FlipReport rb = inject_floats(b, rate, rng);
+    report.bits_considered += rw.bits_considered + rb.bits_considered;
+    report.bits_flipped += rw.bits_flipped + rb.bits_flipped;
+  }
+  return report;
+}
+
+}  // namespace cyberhd::fault

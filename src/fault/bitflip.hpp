@@ -1,0 +1,69 @@
+// Hardware-fault injection for the robustness study (paper Fig. 5).
+//
+// The paper's x-axis is a *hardware error rate*: the fraction of memory
+// bits holding model parameters that flip (SRAM soft errors, voltage
+// scaling). Accordingly every injector here flips each stored bit
+// independently with probability `rate`:
+//
+//  * Quantized HDC models store b bits per hypervector element. At 1 bit a
+//    flip changes an element by at most its own magnitude and the
+//    holographic distribution absorbs it. As b grows, the most significant
+//    bit's weight (2^(b-1) LSB steps) grows, so an identical bit-flip rate
+//    does progressively more damage — the paper's "an increase in
+//    precision lowers the robustness".
+//  * The DNN comparator is injected at its *deployed* representation:
+//    inject_mlp_quantized() quantizes each layer to b-bit fixed point,
+//    flips bits, and dequantizes — the standard edge-inference setup. A
+//    raw fp32 injector (inject_mlp / inject_floats) is also provided; an
+//    exponent-bit flip there rescales a weight by orders of magnitude, so
+//    fp32 networks collapse almost immediately.
+//
+// All injection is deterministic in the provided RNG.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "baselines/mlp.hpp"
+#include "core/rng.hpp"
+#include "hdc/quantized.hpp"
+
+namespace cyberhd::fault {
+
+/// Bit-level accounting of one injection run.
+struct FlipReport {
+  std::size_t bits_considered = 0;
+  std::size_t bits_flipped = 0;
+  /// Fraction of bits flipped; converges to the requested rate.
+  double observed_rate() const noexcept {
+    return bits_considered == 0
+               ? 0.0
+               : static_cast<double>(bits_flipped) /
+                     static_cast<double>(bits_considered);
+  }
+};
+
+/// Flip each stored bit of a quantized HDC model independently with
+/// probability `rate`. For 1-bit models that is each packed sign bit; for
+/// b-bit models, each bit of every two's-complement level code (decoded
+/// levels are re-clamped into the symmetric range).
+FlipReport inject_hdc(hdc::QuantizedHdcModel& model, double rate,
+                      core::Rng& rng);
+
+/// Deployed-DNN injection: quantize every layer's weights and biases to
+/// `bits`-bit fixed point (per-tensor scale), flip each stored bit with
+/// probability `rate`, and write the dequantized parameters back.
+FlipReport inject_mlp_quantized(baselines::Mlp& model, int bits, double rate,
+                                core::Rng& rng);
+
+/// Flip each bit of every fp32 weight and bias of an MLP with probability
+/// `rate`. NaNs/Infs produced by exponent flips are kept: that *is* the
+/// fp32 failure mode.
+FlipReport inject_mlp(baselines::Mlp& model, double rate, core::Rng& rng);
+
+/// Flip bits of a raw float span (IEEE-754). Building block of inject_mlp.
+FlipReport inject_floats(std::span<float> values, double rate,
+                         core::Rng& rng);
+
+}  // namespace cyberhd::fault

@@ -1,0 +1,200 @@
+// Hyperdimensional encoders.
+//
+// An encoder maps an F-dimensional feature vector into D-dimensional
+// hyperspace. CyberHD's key requirement on the encoder is *per-dimension
+// regenerability*: every output dimension depends on its own private slice
+// of encoder state (one base vector + bias), so a dimension judged
+// insignificant can be resampled without touching any other dimension.
+//
+// Three families are provided:
+//  * RbfEncoder        — random Fourier features, cos(b_d . x + c_d). The
+//                        encoder the paper uses for cybersecurity data
+//                        ("an encoder inspired by the Radial Basis
+//                        Function"). Approximates a Gaussian kernel.
+//  * SignProjectionEncoder — sign(b_d . x): the classic bipolar random
+//                        projection of early HDC classifiers [Rahimi 2016].
+//  * IdLevelEncoder    — record-based ID/level binding over quantized
+//                        features, the other classic HDC encoding; included
+//                        because the paper's step (A) selects an encoding
+//                        "depending on the data type".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+
+namespace cyberhd::hdc {
+
+/// Abstract encoder from feature space (F dims) to hyperspace (D dims).
+class Encoder {
+ public:
+  virtual ~Encoder() = default;
+
+  /// Feature-space dimensionality F.
+  virtual std::size_t input_dim() const noexcept = 0;
+  /// Hyperspace (physical) dimensionality D.
+  virtual std::size_t output_dim() const noexcept = 0;
+
+  /// Encode one sample: h must have size output_dim().
+  virtual void encode(std::span<const float> x,
+                      std::span<float> h) const = 0;
+
+  /// Recompute only the listed hyperspace dimensions of one sample.
+  /// Used after regeneration so re-encoding a dataset costs
+  /// O(n * |dims| * F) instead of O(n * D * F).
+  virtual void encode_dims(std::span<const float> x,
+                           std::span<const std::size_t> dims,
+                           std::span<float> h) const = 0;
+
+  /// Resample the encoder state behind the listed dimensions from the
+  /// encoder's prior. This is step (H) of the CyberHD workflow.
+  virtual void regenerate(std::span<const std::size_t> dims,
+                          core::Rng& rng) = 0;
+
+  /// Deep copy (encoders are cheap relative to datasets).
+  virtual std::unique_ptr<Encoder> clone() const = 0;
+
+  /// Write this encoder (including a kind tag) to a binary stream.
+  virtual void serialize(std::ostream& out) const = 0;
+
+  /// Encode every row of X into the matching row of H (resized to
+  /// X.rows() x output_dim()). When pool != nullptr the sample range is
+  /// split across its workers.
+  void encode_batch(const core::Matrix& x, core::Matrix& h,
+                    core::ThreadPool* pool = nullptr) const;
+
+  /// Recompute columns `dims` of H for every row of X (after regeneration).
+  void encode_batch_dims(const core::Matrix& x,
+                         std::span<const std::size_t> dims, core::Matrix& h,
+                         core::ThreadPool* pool = nullptr) const;
+};
+
+/// Random-Fourier-feature encoder: h_d = cos(b_d . x + c_d) with
+/// b_d ~ N(0, (1/lengthscale^2) I) and c_d ~ U[0, 2pi). Encodes the RBF
+/// kernel: E[h(x) . h(y)] ~ exp(-|x-y|^2 / (2 lengthscale^2)) * D / 2.
+class RbfEncoder final : public Encoder {
+ public:
+  friend std::unique_ptr<Encoder> deserialize_encoder(std::istream&);
+
+  /// Create with D output dims over F input features. `lengthscale` is the
+  /// Gaussian kernel lengthscale (base vectors are sampled with stddev
+  /// 1/lengthscale).
+  RbfEncoder(std::size_t input_dim, std::size_t output_dim, core::Rng& rng,
+             float lengthscale = 1.0f);
+
+  std::size_t input_dim() const noexcept override { return bases_.cols(); }
+  std::size_t output_dim() const noexcept override { return bases_.rows(); }
+  void encode(std::span<const float> x, std::span<float> h) const override;
+  void encode_dims(std::span<const float> x,
+                   std::span<const std::size_t> dims,
+                   std::span<float> h) const override;
+  void regenerate(std::span<const std::size_t> dims,
+                  core::Rng& rng) override;
+  std::unique_ptr<Encoder> clone() const override;
+
+  void serialize(std::ostream& out) const override;
+
+  /// Base-vector matrix (D x F); row d is dimension d's private state.
+  const core::Matrix& bases() const noexcept { return bases_; }
+  /// Per-dimension phase shifts (size D).
+  std::span<const float> biases() const noexcept { return biases_; }
+  float lengthscale() const noexcept { return lengthscale_; }
+
+ private:
+  RbfEncoder() = default;
+  void sample_row(std::size_t d, core::Rng& rng);
+
+  core::Matrix bases_;         // D x F
+  std::vector<float> biases_;  // D
+  float lengthscale_ = 1.0f;
+};
+
+/// Bipolar random projection: h_d = sign(b_d . x), b_d ~ N(0, I).
+/// The static encoder of first-generation HDC classifiers.
+class SignProjectionEncoder final : public Encoder {
+ public:
+  SignProjectionEncoder(std::size_t input_dim, std::size_t output_dim,
+                        core::Rng& rng);
+
+  std::size_t input_dim() const noexcept override { return bases_.cols(); }
+  std::size_t output_dim() const noexcept override { return bases_.rows(); }
+  void encode(std::span<const float> x, std::span<float> h) const override;
+  void encode_dims(std::span<const float> x,
+                   std::span<const std::size_t> dims,
+                   std::span<float> h) const override;
+  void regenerate(std::span<const std::size_t> dims,
+                  core::Rng& rng) override;
+  std::unique_ptr<Encoder> clone() const override;
+  void serialize(std::ostream& out) const override;
+
+ private:
+  friend std::unique_ptr<Encoder> deserialize_encoder(std::istream&);
+  SignProjectionEncoder() = default;
+  core::Matrix bases_;  // D x F
+};
+
+/// Record-based ID/level encoder: each feature f owns a random bipolar ID
+/// hypervector; each of Q quantization levels owns a level hypervector built
+/// by progressive flipping (so nearby levels stay similar); a sample encodes
+/// as sum_f ID_f * L_{level(x_f)} (elementwise bind, then bundle).
+/// Inputs are expected in [0, 1] (values are clamped).
+class IdLevelEncoder final : public Encoder {
+ public:
+  IdLevelEncoder(std::size_t input_dim, std::size_t output_dim,
+                 core::Rng& rng, std::size_t num_levels = 32);
+
+  std::size_t input_dim() const noexcept override { return num_features_; }
+  std::size_t output_dim() const noexcept override { return dims_; }
+  void encode(std::span<const float> x, std::span<float> h) const override;
+  void encode_dims(std::span<const float> x,
+                   std::span<const std::size_t> dims,
+                   std::span<float> h) const override;
+  void regenerate(std::span<const std::size_t> dims,
+                  core::Rng& rng) override;
+  std::unique_ptr<Encoder> clone() const override;
+  void serialize(std::ostream& out) const override;
+
+  std::size_t num_levels() const noexcept { return num_levels_; }
+
+ private:
+  friend std::unique_ptr<Encoder> deserialize_encoder(std::istream&);
+  IdLevelEncoder() = default;
+  std::size_t level_of(float v) const noexcept;
+
+  std::size_t num_features_ = 0;
+  std::size_t dims_ = 0;
+  std::size_t num_levels_ = 0;
+  // id_[f * dims_ + d] and level_[q * dims_ + d], values in {-1, +1}.
+  std::vector<float> id_;
+  std::vector<float> level_;
+};
+
+/// Encoder families selectable through CyberHdConfig.
+enum class EncoderKind { kRbf, kSignProjection, kIdLevel };
+
+/// Printable name of an encoder kind.
+const char* to_string(EncoderKind kind) noexcept;
+
+/// Factory for the families above. `rbf_lengthscale` is used only by the
+/// RBF family (pass a median-heuristic estimate for data-adaptive scaling).
+std::unique_ptr<Encoder> make_encoder(EncoderKind kind, std::size_t input_dim,
+                                      std::size_t output_dim, core::Rng& rng,
+                                      float rbf_lengthscale = 1.0f);
+
+/// Reconstruct any encoder previously written by Encoder::serialize().
+/// Throws std::runtime_error on malformed input.
+std::unique_ptr<Encoder> deserialize_encoder(std::istream& in);
+
+/// The median heuristic for kernel lengthscales: the square root of the
+/// median squared Euclidean distance over random sample pairs. Returns 1
+/// for degenerate inputs (fewer than 2 rows or all-identical data).
+float median_heuristic_lengthscale(const core::Matrix& x, core::Rng& rng,
+                                   std::size_t max_pairs = 2048);
+
+}  // namespace cyberhd::hdc

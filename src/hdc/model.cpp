@@ -1,0 +1,87 @@
+#include "hdc/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "core/stats.hpp"
+
+namespace cyberhd::hdc {
+
+HdcModel::HdcModel(std::size_t num_classes, std::size_t dims)
+    : classes_(num_classes, dims) {
+  assert(num_classes > 0 && dims > 0);
+}
+
+void HdcModel::bundle(std::size_t cls, std::span<const float> h,
+                      float weight) noexcept {
+  assert(cls < num_classes());
+  core::axpy(weight, h, classes_.row(cls));
+}
+
+void HdcModel::similarities(std::span<const float> h,
+                            std::span<float> scores) const noexcept {
+  assert(h.size() == dims());
+  assert(scores.size() == num_classes());
+  const float hn = core::norm2(h);
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    const auto row = classes_.row(c);
+    const float cn = core::norm2(row);
+    scores[c] =
+        (hn == 0.0f || cn == 0.0f) ? 0.0f : core::dot(row, h) / (hn * cn);
+  }
+}
+
+std::size_t HdcModel::predict_encoded(
+    std::span<const float> h) const noexcept {
+  std::vector<float> scores(num_classes());
+  similarities(h, scores);
+  return core::argmax(scores);
+}
+
+void HdcModel::normalize_rows() noexcept {
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    core::normalize_l2(classes_.row(c));
+  }
+}
+
+void HdcModel::dimension_variances(std::span<float> out) const {
+  assert(out.size() == dims());
+  // Work on a normalized copy so magnitude differences between classes
+  // (driven by class frequency) do not masquerade as discriminative
+  // variance — this is exactly the paper's normalize-then-variance order.
+  core::Matrix normalized = classes_;
+  for (std::size_t c = 0; c < normalized.rows(); ++c) {
+    core::normalize_l2(normalized.row(c));
+  }
+  core::column_variances(normalized.data(), normalized.rows(),
+                         normalized.cols(), out);
+}
+
+void HdcModel::zero_dimensions(std::span<const std::size_t> dims_list) noexcept {
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    auto row = classes_.row(c);
+    for (std::size_t d : dims_list) {
+      assert(d < dims());
+      row[d] = 0.0f;
+    }
+  }
+}
+
+std::vector<std::size_t> HdcModel::lowest_k(std::span<const float> values,
+                                            std::size_t count) {
+  count = std::min(count, values.size());
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + count, idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (values[a] != values[b]) {
+                        return values[a] < values[b];
+                      }
+                      return a < b;
+                    });
+  idx.resize(count);
+  return idx;
+}
+
+}  // namespace cyberhd::hdc

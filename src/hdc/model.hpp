@@ -1,0 +1,74 @@
+// The HDC associative memory: one class hypervector per class.
+//
+// Training bundles encoded samples into class hypervectors; inference
+// assigns a query to the class with the highest cosine similarity (steps
+// (C), (I), (J) of the CyberHD workflow). The model also exposes the two
+// statistics regeneration needs: a row-normalized copy (step (D)/(E)) and
+// the per-dimension variance across classes (step (F)).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/matrix.hpp"
+
+namespace cyberhd::hdc {
+
+/// Class-hypervector matrix (num_classes x dims) with cosine scoring.
+class HdcModel {
+ public:
+  HdcModel() = default;
+  /// Zero-initialized model for `num_classes` classes in `dims` dimensions.
+  HdcModel(std::size_t num_classes, std::size_t dims);
+
+  std::size_t num_classes() const noexcept { return classes_.rows(); }
+  std::size_t dims() const noexcept { return classes_.cols(); }
+
+  /// Mutable class hypervector.
+  std::span<float> class_vector(std::size_t cls) noexcept {
+    return classes_.row(cls);
+  }
+  /// Read-only class hypervector.
+  std::span<const float> class_vector(std::size_t cls) const noexcept {
+    return classes_.row(cls);
+  }
+  const core::Matrix& weights() const noexcept { return classes_; }
+  core::Matrix& weights() noexcept { return classes_; }
+
+  /// Add an encoded sample into a class (one-shot bundling). `weight`
+  /// scales the contribution.
+  void bundle(std::size_t cls, std::span<const float> h,
+              float weight = 1.0f) noexcept;
+
+  /// Cosine similarity of `h` to every class; `scores` has num_classes()
+  /// entries. Zero-norm classes score 0.
+  void similarities(std::span<const float> h,
+                    std::span<float> scores) const noexcept;
+
+  /// argmax-of-cosine classification of an encoded query.
+  std::size_t predict_encoded(std::span<const float> h) const noexcept;
+
+  /// L2-normalize every class hypervector in place (step (D)).
+  void normalize_rows() noexcept;
+
+  /// Per-dimension variance across L2-normalized class hypervectors
+  /// (step (E)+(F)); `out` has dims() entries. The model itself is not
+  /// modified. Dimensions whose variance is low carry class-common
+  /// information and are candidates for regeneration.
+  void dimension_variances(std::span<float> out) const;
+
+  /// Zero the given dimensions in every class hypervector (step (G):
+  /// dropping dimensions from the model before the encoder resamples them).
+  void zero_dimensions(std::span<const std::size_t> dims) noexcept;
+
+  /// Indices of the `count` lowest-variance dimensions (ties broken by
+  /// index). Helper shared by the regeneration controller and tests.
+  static std::vector<std::size_t> lowest_k(std::span<const float> values,
+                                           std::size_t count);
+
+ private:
+  core::Matrix classes_;  // num_classes x dims
+};
+
+}  // namespace cyberhd::hdc

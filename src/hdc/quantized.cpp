@@ -1,0 +1,81 @@
+#include "hdc/quantized.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cyberhd::hdc {
+
+QuantizedHdcModel::QuantizedHdcModel(const HdcModel& model, int bits)
+    : bits_(bits), dims_(model.dims()) {
+  if (!core::is_supported_bitwidth(bits)) {
+    throw std::invalid_argument("unsupported bitwidth");
+  }
+  if (bits_ == 1) {
+    packed_.reserve(model.num_classes());
+    for (std::size_t c = 0; c < model.num_classes(); ++c) {
+      packed_.push_back(core::pack_signs(model.class_vector(c)));
+    }
+  } else {
+    levels_.reserve(model.num_classes());
+    for (std::size_t c = 0; c < model.num_classes(); ++c) {
+      levels_.push_back(core::quantize(model.class_vector(c), bits_));
+    }
+  }
+}
+
+std::size_t QuantizedHdcModel::num_classes() const noexcept {
+  return bits_ == 1 ? packed_.size() : levels_.size();
+}
+
+void QuantizedHdcModel::similarities(std::span<const float> h,
+                                     std::span<float> scores) const {
+  assert(h.size() == dims_);
+  assert(scores.size() == num_classes());
+  if (bits_ == 1) {
+    const core::PackedBits q = core::pack_signs(h);
+    for (std::size_t c = 0; c < packed_.size(); ++c) {
+      scores[c] = core::cosine_bipolar(q, packed_[c]);
+    }
+  } else {
+    const core::QuantizedVector q = core::quantize(h, bits_);
+    for (std::size_t c = 0; c < levels_.size(); ++c) {
+      scores[c] = core::cosine_quantized(q, levels_[c]);
+    }
+  }
+}
+
+std::size_t QuantizedHdcModel::predict_encoded(
+    std::span<const float> h) const {
+  std::vector<float> scores(num_classes());
+  similarities(h, scores);
+  return core::argmax(scores);
+}
+
+std::size_t QuantizedHdcModel::storage_bits() const noexcept {
+  return dims_ * num_classes() * static_cast<std::size_t>(bits_);
+}
+
+QuantizedCyberHd::QuantizedCyberHd(const CyberHdClassifier& trained,
+                                   int bits)
+    : encoder_(trained.encoder().clone()),
+      model_(trained.model(), bits),
+      scratch_(trained.physical_dims(), 0.0f) {}
+
+void QuantizedCyberHd::fit(const core::Matrix&, std::span<const int>,
+                           std::size_t) {
+  throw std::logic_error(
+      "QuantizedCyberHd is a post-training snapshot; train a "
+      "CyberHdClassifier and re-quantize instead");
+}
+
+int QuantizedCyberHd::predict(std::span<const float> x) const {
+  encoder_->encode(x, scratch_);
+  return static_cast<int>(model_.predict_encoded(scratch_));
+}
+
+std::string QuantizedCyberHd::name() const {
+  return "CyberHD-q" + std::to_string(model_.bits()) +
+         "(D=" + std::to_string(model_.dims()) + ")";
+}
+
+}  // namespace cyberhd::hdc

@@ -1,0 +1,94 @@
+// Quantized HDC inference — the deployment path of Table I and Fig. 5.
+//
+// After training in float32, the class hypervectors are post-training
+// quantized to b bits (b in {32, 16, 8, 4, 2, 1}); queries are quantized on
+// the fly at the same width. The 1-bit path packs bipolar vectors into
+// 64-bit words and scores with XOR/popcount — the representation whose
+// holographic redundancy gives the paper's 12.9x robustness advantage and
+// the FPGA its efficiency at low bitwidths.
+//
+// The raw quantized storage is exposed so fault/bitflip.cpp can flip bits
+// *in the representation that would actually sit in deployed memory*.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/bitpack.hpp"
+#include "core/classifier.hpp"
+#include "core/quantize.hpp"
+#include "hdc/cyberhd.hpp"
+#include "hdc/model.hpp"
+
+namespace cyberhd::hdc {
+
+/// A trained associative memory quantized to a fixed bitwidth.
+class QuantizedHdcModel {
+ public:
+  /// Quantize `model`'s class hypervectors to `bits` bits.
+  QuantizedHdcModel(const HdcModel& model, int bits);
+
+  int bits() const noexcept { return bits_; }
+  std::size_t dims() const noexcept { return dims_; }
+  std::size_t num_classes() const noexcept;
+
+  /// Cosine similarities of a float-encoded query against every class,
+  /// computed entirely in the quantized domain (the query is quantized at
+  /// this model's bitwidth first).
+  void similarities(std::span<const float> h,
+                    std::span<float> scores) const;
+
+  /// argmax-of-similarity prediction for a float-encoded query.
+  std::size_t predict_encoded(std::span<const float> h) const;
+
+  /// Memory footprint of the class hypervectors in bits (dims * classes *
+  /// bitwidth) — what the hardware model prices.
+  std::size_t storage_bits() const noexcept;
+
+  // -- raw storage for fault injection --------------------------------------
+  /// Packed bipolar class vectors; only valid when bits() == 1.
+  std::vector<core::PackedBits>& packed_classes() { return packed_; }
+  const std::vector<core::PackedBits>& packed_classes() const {
+    return packed_;
+  }
+  /// Level-coded class vectors; only valid when bits() > 1.
+  std::vector<core::QuantizedVector>& level_classes() { return levels_; }
+  const std::vector<core::QuantizedVector>& level_classes() const {
+    return levels_;
+  }
+
+ private:
+  int bits_;
+  std::size_t dims_;
+  std::vector<core::PackedBits> packed_;        // bits == 1
+  std::vector<core::QuantizedVector> levels_;   // bits > 1
+};
+
+/// End-to-end quantized classifier: a trained CyberHD's encoder plus its
+/// quantized associative memory. This is the artifact one would flash onto
+/// an edge device.
+class QuantizedCyberHd final : public core::Classifier {
+ public:
+  /// Snapshot a trained classifier at the given bitwidth. The encoder is
+  /// cloned, so the source may be discarded or retrained afterwards.
+  QuantizedCyberHd(const CyberHdClassifier& trained, int bits);
+
+  /// fit() is not supported: quantization is post-training by design.
+  void fit(const core::Matrix& x, std::span<const int> y,
+           std::size_t num_classes) override;
+  int predict(std::span<const float> x) const override;
+  std::string name() const override;
+
+  int bits() const noexcept { return model_.bits(); }
+  QuantizedHdcModel& model() noexcept { return model_; }
+  const QuantizedHdcModel& model() const noexcept { return model_; }
+
+ private:
+  std::unique_ptr<Encoder> encoder_;
+  QuantizedHdcModel model_;
+  mutable std::vector<float> scratch_;
+};
+
+}  // namespace cyberhd::hdc

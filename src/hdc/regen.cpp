@@ -1,0 +1,57 @@
+#include "hdc/regen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cyberhd::hdc {
+
+RegenController::RegenController(std::size_t physical_dims, double rate,
+                                 std::size_t anneal_steps)
+    : physical_dims_(physical_dims), rate_(rate),
+      anneal_steps_(anneal_steps) {
+  assert(physical_dims > 0);
+  assert(rate >= 0.0 && rate < 1.0);
+}
+
+double RegenController::current_rate() const noexcept {
+  if (anneal_steps_ == 0) return rate_;
+  if (steps_ >= anneal_steps_) return 0.0;
+  return rate_ * (1.0 - static_cast<double>(steps_) /
+                            static_cast<double>(anneal_steps_));
+}
+
+std::size_t RegenController::dims_per_step() const noexcept {
+  return static_cast<std::size_t>(
+      std::floor(current_rate() * static_cast<double>(physical_dims_)));
+}
+
+RegenStep RegenController::step(HdcModel& model, Encoder& encoder,
+                                core::Rng& rng) {
+  assert(model.dims() == physical_dims_);
+  assert(encoder.output_dim() == physical_dims_);
+  RegenStep result;
+  const std::size_t count = dims_per_step();
+  if (count == 0) {
+    result.effective_dims = effective_dims();
+    return result;
+  }
+  std::vector<float> variances(model.dims());
+  model.dimension_variances(variances);
+  // Grace period: make the previous step's dims un-droppable this round.
+  float max_var = 0.0f;
+  for (float v : variances) max_var = std::max(max_var, v);
+  for (std::size_t d : protected_dims_) {
+    variances[d] = max_var + 1.0f;
+  }
+  result.dims = HdcModel::lowest_k(variances, count);
+  protected_dims_ = result.dims;
+  model.zero_dimensions(result.dims);
+  encoder.regenerate(result.dims, rng);
+  total_regenerated_ += result.dims.size();
+  ++steps_;
+  result.effective_dims = effective_dims();
+  return result;
+}
+
+}  // namespace cyberhd::hdc

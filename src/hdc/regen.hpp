@@ -1,0 +1,86 @@
+// The dimension-regeneration controller — CyberHD's core contribution.
+//
+// After a retraining burst, the controller (steps (D)-(H) of the workflow):
+//   1. computes per-dimension variance across the L2-normalized class
+//      hypervectors,
+//   2. selects the R% of dimensions with the lowest variance (they encode
+//      class-common information and contribute least to separating
+//      attack patterns),
+//   3. zeroes those dimensions in the model,
+//   4. resamples the encoder state behind them from its prior, and
+//   5. books the count into the effective-dimensionality ledger
+//      D* = D + total regenerated, the quantity Table I calls "Effective D".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/model.hpp"
+
+namespace cyberhd::hdc {
+
+/// One regeneration step's bookkeeping.
+struct RegenStep {
+  /// Dimensions that were dropped and resampled.
+  std::vector<std::size_t> dims;
+  /// Effective dimensionality after this step.
+  std::size_t effective_dims = 0;
+};
+
+/// Variance-ranked drop-and-regenerate controller with an effective-D ledger.
+class RegenController {
+ public:
+  /// `rate` is the fraction of dimensions regenerated per step, in [0, 1).
+  /// When `anneal_steps > 0`, the per-step rate decays linearly from `rate`
+  /// to 0 across that many steps: early steps search feature space hard,
+  /// late steps stop disturbing the refined model (NeuralHD-style
+  /// regeneration annealing).
+  RegenController(std::size_t physical_dims, double rate,
+                  std::size_t anneal_steps = 0);
+
+  double rate() const noexcept { return rate_; }
+  std::size_t physical_dims() const noexcept { return physical_dims_; }
+  /// Dimensions the *next* step will regenerate: floor(rate_now * D),
+  /// where rate_now is the (possibly annealed) current rate.
+  std::size_t dims_per_step() const noexcept;
+  /// The annealed rate the next step will use.
+  double current_rate() const noexcept;
+  /// Total dimensions regenerated so far.
+  std::size_t total_regenerated() const noexcept { return total_regenerated_; }
+  /// The paper's D* = physical D + total regenerated.
+  std::size_t effective_dims() const noexcept {
+    return physical_dims_ + total_regenerated_;
+  }
+  /// Number of regeneration steps performed.
+  std::size_t steps() const noexcept { return steps_; }
+
+  /// Restore ledger state from a persisted classifier (deserialization
+  /// support); clears any grace-period protection.
+  void restore(std::size_t total_regenerated, std::size_t steps) noexcept {
+    total_regenerated_ = total_regenerated;
+    steps_ = steps;
+    protected_dims_.clear();
+  }
+
+  /// Perform one regeneration step on (model, encoder). Returns the
+  /// affected dimensions. A rate of 0 returns an empty step.
+  ///
+  /// Dimensions regenerated in the previous step are protected from
+  /// dropping in this one: a fresh dimension starts with near-zero
+  /// cross-class variance (it has not been trained yet), so without a
+  /// grace period the variance ranking would evict exactly the dimensions
+  /// just resampled and regeneration would churn the same slots forever.
+  RegenStep step(HdcModel& model, Encoder& encoder, core::Rng& rng);
+
+ private:
+  std::size_t physical_dims_;
+  double rate_;
+  std::size_t anneal_steps_;
+  std::size_t total_regenerated_ = 0;
+  std::size_t steps_ = 0;
+  std::vector<std::size_t> protected_dims_;  // last step's regenerated dims
+};
+
+}  // namespace cyberhd::hdc

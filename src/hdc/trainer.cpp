@@ -1,0 +1,97 @@
+#include "hdc/trainer.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace cyberhd::hdc {
+
+void Trainer::initialize(HdcModel& model, const core::Matrix& encoded,
+                         std::span<const int> labels) const {
+  assert(encoded.rows() == labels.size());
+  assert(encoded.cols() == model.dims());
+  std::vector<std::size_t> counts(model.num_classes(), 0);
+  for (std::size_t i = 0; i < encoded.rows(); ++i) {
+    const int y = labels[i];
+    assert(y >= 0 && static_cast<std::size_t>(y) < model.num_classes());
+    model.bundle(static_cast<std::size_t>(y), encoded.row(i));
+    ++counts[static_cast<std::size_t>(y)];
+  }
+  if (config_.center_initialization && encoded.rows() > 0) {
+    // Grand-mean encoding, then subtract each class's share of it so class
+    // hypervectors start with purely discriminative content.
+    std::vector<double> mean(model.dims(), 0.0);
+    for (std::size_t i = 0; i < encoded.rows(); ++i) {
+      const auto h = encoded.row(i);
+      for (std::size_t d = 0; d < h.size(); ++d) mean[d] += h[d];
+    }
+    const double inv_n = 1.0 / static_cast<double>(encoded.rows());
+    for (std::size_t c = 0; c < model.num_classes(); ++c) {
+      auto cv = model.class_vector(c);
+      const double share = static_cast<double>(counts[c]) * inv_n;
+      for (std::size_t d = 0; d < cv.size(); ++d) {
+        cv[d] -= static_cast<float>(share * mean[d]);
+      }
+    }
+  }
+}
+
+EpochStats Trainer::train_epoch(HdcModel& model, const core::Matrix& encoded,
+                                std::span<const int> labels,
+                                core::Rng& rng) const {
+  assert(encoded.rows() == labels.size());
+  assert(encoded.cols() == model.dims());
+  const std::size_t n = encoded.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (config_.shuffle) rng.shuffle(order);
+
+  EpochStats stats;
+  stats.samples = n;
+  std::vector<float> scores(model.num_classes());
+  for (std::size_t idx : order) {
+    const auto h = encoded.row(idx);
+    const auto truth = static_cast<std::size_t>(labels[idx]);
+    model.similarities(h, scores);
+    const std::size_t pred = core::argmax(scores);
+    const auto step_weight = [&](float score) {
+      return config_.similarity_weighted
+                 ? config_.learning_rate * (1.0f - score)
+                 : config_.learning_rate;
+    };
+    if (pred != truth) {
+      ++stats.mispredicted;
+      core::axpy(step_weight(scores[truth]), h, model.class_vector(truth));
+      core::axpy(-step_weight(scores[pred]), h, model.class_vector(pred));
+    } else if (config_.reinforce_correct) {
+      core::axpy(step_weight(scores[truth]), h, model.class_vector(truth));
+    }
+  }
+  return stats;
+}
+
+EpochStats Trainer::train(HdcModel& model, const core::Matrix& encoded,
+                          std::span<const int> labels, std::size_t epochs,
+                          core::Rng& rng) const {
+  EpochStats last;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    last = train_epoch(model, encoded, labels, rng);
+  }
+  return last;
+}
+
+double Trainer::evaluate(const HdcModel& model, const core::Matrix& encoded,
+                         std::span<const int> labels) {
+  assert(encoded.rows() == labels.size());
+  if (encoded.rows() == 0) return 0.0;
+  std::size_t correct = 0;
+  std::vector<float> scores(model.num_classes());
+  for (std::size_t i = 0; i < encoded.rows(); ++i) {
+    model.similarities(encoded.row(i), scores);
+    if (core::argmax(scores) == static_cast<std::size_t>(labels[i])) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(encoded.rows());
+}
+
+}  // namespace cyberhd::hdc

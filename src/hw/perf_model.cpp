@@ -1,0 +1,75 @@
+#include "hw/perf_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cyberhd::hw {
+
+double element_ops(const Workload& w) noexcept {
+  return static_cast<double>(w.samples) * static_cast<double>(w.dims) *
+         static_cast<double>(w.features + w.classes);
+}
+
+double DeviceModel::energy_joules(const Workload& w) const {
+  return element_ops(w) * energy_per_op_pj(w.bits) * 1e-12;
+}
+
+double DeviceModel::runtime_seconds(const Workload& w) const {
+  return element_ops(w) / ops_per_second(w.bits);
+}
+
+// ---- CpuModel ---------------------------------------------------------------
+
+double CpuModel::energy_per_op_pj(int bits) const {
+  // Width-independent overhead plus a datapath term proportional to the
+  // lane width actually burned (sub-byte saturates at min_lane_bits).
+  const double lane_bits = std::max(static_cast<double>(bits), min_lane_bits);
+  const double datapath = (1.0 - overhead_fraction) * (lane_bits / 32.0);
+  return base_op_energy_pj * (overhead_fraction + datapath);
+}
+
+double CpuModel::ops_per_second(int bits) const {
+  const double lane_bits = std::max(static_cast<double>(bits), min_lane_bits);
+  const double lanes = simd_width_bits / lane_bits;
+  // Sub-byte data pays pack/unpack, modeled as losing the lane gain below
+  // min_lane_bits entirely (they share the 8-bit lane count).
+  return frequency_hz * lanes * ops_per_cycle_per_lane;
+}
+
+// ---- FpgaModel --------------------------------------------------------------
+
+double FpgaModel::parallel_pes(int bits) const {
+  assert(bits >= 1 && bits <= 32);
+  const double b = static_cast<double>(bits);
+  // PE area relative to the 8-bit PE.
+  double relative_area;
+  if (b <= 8.0) {
+    relative_area = std::pow(b / 8.0, narrow_area_exponent);
+  } else {
+    relative_area = std::pow(b / 8.0, wide_area_exponent);
+  }
+  return pe_at_8bit / relative_area;
+}
+
+double FpgaModel::ops_per_second(int bits) const {
+  return frequency_hz * parallel_pes(bits);
+}
+
+double FpgaModel::energy_per_op_pj(int bits) const {
+  // Fixed power budget: energy per op = power / throughput.
+  return power_watts / ops_per_second(bits) * 1e12;
+}
+
+// ---- normalization ----------------------------------------------------------
+
+double relative_efficiency(const DeviceModel& device, const Workload& w,
+                           const DeviceModel& reference_device,
+                           const Workload& reference_workload) {
+  const double e = device.energy_joules(w);
+  const double e_ref = reference_device.energy_joules(reference_workload);
+  assert(e > 0.0);
+  return e_ref / e;
+}
+
+}  // namespace cyberhd::hw

@@ -1,0 +1,362 @@
+#include "nids/datasets.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/csv.hpp"
+
+namespace cyberhd::nids {
+
+namespace {
+
+FeatureSpec num(std::string name, bool heavy = false) {
+  return FeatureSpec{std::move(name), FeatureType::kNumeric, 0, heavy};
+}
+
+FeatureSpec cat(std::string name, std::size_t cardinality) {
+  return FeatureSpec{std::move(name), FeatureType::kCategorical, cardinality,
+                     false};
+}
+
+// ---- NSL-KDD ---------------------------------------------------------------
+// 41 features (3 categorical), 5 classes with the training split's heavy
+// imbalance; attack-name -> category aliases follow Tavallaee et al.
+DatasetSchema nsl_kdd_schema() {
+  DatasetSchema s;
+  s.name = "NSL-KDD";
+  s.features = {
+      num("duration", true),
+      cat("protocol_type", 3),
+      cat("service", 66),
+      cat("flag", 11),
+      num("src_bytes", true),
+      num("dst_bytes", true),
+      num("land"),
+      num("wrong_fragment"),
+      num("urgent"),
+      num("hot"),
+      num("num_failed_logins"),
+      num("logged_in"),
+      num("num_compromised"),
+      num("root_shell"),
+      num("su_attempted"),
+      num("num_root"),
+      num("num_file_creations"),
+      num("num_shells"),
+      num("num_access_files"),
+      num("num_outbound_cmds"),
+      num("is_host_login"),
+      num("is_guest_login"),
+      num("count", true),
+      num("srv_count", true),
+      num("serror_rate"),
+      num("srv_serror_rate"),
+      num("rerror_rate"),
+      num("srv_rerror_rate"),
+      num("same_srv_rate"),
+      num("diff_srv_rate"),
+      num("srv_diff_host_rate"),
+      num("dst_host_count", true),
+      num("dst_host_srv_count", true),
+      num("dst_host_same_srv_rate"),
+      num("dst_host_diff_srv_rate"),
+      num("dst_host_same_src_port_rate"),
+      num("dst_host_srv_diff_host_rate"),
+      num("dst_host_serror_rate"),
+      num("dst_host_srv_serror_rate"),
+      num("dst_host_rerror_rate"),
+      num("dst_host_srv_rerror_rate"),
+  };
+  s.class_names = {"normal", "dos", "probe", "r2l", "u2r"};
+  s.benign_class = 0;
+  const char* dos[] = {"back",    "land",        "neptune", "pod",
+                       "smurf",   "teardrop",    "apache2", "udpstorm",
+                       "processtable", "mailbomb", "worm"};
+  const char* probe[] = {"satan", "ipsweep", "nmap", "portsweep", "mscan",
+                         "saint"};
+  const char* r2l[] = {"guess_passwd", "ftp_write",     "imap",
+                       "phf",          "multihop",      "warezmaster",
+                       "warezclient",  "spy",           "xlock",
+                       "xsnoop",       "snmpguess",     "snmpgetattack",
+                       "httptunnel",   "sendmail",      "named"};
+  const char* u2r[] = {"buffer_overflow", "loadmodule", "rootkit", "perl",
+                       "sqlattack",       "xterm",      "ps"};
+  for (const char* a : dos) s.label_aliases[a] = 1;
+  for (const char* a : probe) s.label_aliases[a] = 2;
+  for (const char* a : r2l) s.label_aliases[a] = 3;
+  for (const char* a : u2r) s.label_aliases[a] = 4;
+  return s;
+}
+
+// ---- UNSW-NB15 --------------------------------------------------------------
+// 42 features (3 categorical), 10 classes. Cardinalities follow the
+// published CSV release (proto reduced to the major protocols).
+DatasetSchema unsw_nb15_schema() {
+  DatasetSchema s;
+  s.name = "UNSW-NB15";
+  s.features = {
+      num("dur", true),
+      cat("proto", 10),
+      cat("service", 13),
+      cat("state", 7),
+      num("spkts", true),
+      num("dpkts", true),
+      num("sbytes", true),
+      num("dbytes", true),
+      num("rate", true),
+      num("sttl"),
+      num("dttl"),
+      num("sload", true),
+      num("dload", true),
+      num("sloss", true),
+      num("dloss", true),
+      num("sinpkt"),
+      num("dinpkt"),
+      num("sjit"),
+      num("djit"),
+      num("swin"),
+      num("stcpb", true),
+      num("dtcpb", true),
+      num("dwin"),
+      num("tcprtt"),
+      num("synack"),
+      num("ackdat"),
+      num("smean"),
+      num("dmean"),
+      num("trans_depth"),
+      num("response_body_len", true),
+      num("ct_srv_src"),
+      num("ct_state_ttl"),
+      num("ct_dst_ltm"),
+      num("ct_src_dport_ltm"),
+      num("ct_dst_sport_ltm"),
+      num("ct_dst_src_ltm"),
+      num("is_ftp_login"),
+      num("ct_ftp_cmd"),
+      num("ct_flw_http_mthd"),
+      num("ct_src_ltm"),
+      num("ct_srv_dst"),
+      num("is_sm_ips_ports"),
+  };
+  s.class_names = {"normal",   "generic",  "exploits", "fuzzers",
+                   "dos",      "reconnaissance", "analysis", "backdoor",
+                   "shellcode", "worms"};
+  s.benign_class = 0;
+  s.label_aliases["backdoors"] = 7;  // spelling drift across releases
+  return s;
+}
+
+// ---- CIC-IDS-2017 ------------------------------------------------------------
+// 78 numeric flow features (CICFlowMeter), 8 majority classes.
+DatasetSchema cic_ids_2017_schema() {
+  DatasetSchema s;
+  s.name = "CIC-IDS-2017";
+  const char* names[] = {
+      "destination_port", "flow_duration", "total_fwd_packets",
+      "total_backward_packets", "total_length_of_fwd_packets",
+      "total_length_of_bwd_packets", "fwd_packet_length_max",
+      "fwd_packet_length_min", "fwd_packet_length_mean",
+      "fwd_packet_length_std", "bwd_packet_length_max",
+      "bwd_packet_length_min", "bwd_packet_length_mean",
+      "bwd_packet_length_std", "flow_bytes_per_s", "flow_packets_per_s",
+      "flow_iat_mean", "flow_iat_std", "flow_iat_max", "flow_iat_min",
+      "fwd_iat_total", "fwd_iat_mean", "fwd_iat_std", "fwd_iat_max",
+      "fwd_iat_min", "bwd_iat_total", "bwd_iat_mean", "bwd_iat_std",
+      "bwd_iat_max", "bwd_iat_min", "fwd_psh_flags", "bwd_psh_flags",
+      "fwd_urg_flags", "bwd_urg_flags", "fwd_header_length",
+      "bwd_header_length", "fwd_packets_per_s", "bwd_packets_per_s",
+      "min_packet_length", "max_packet_length", "packet_length_mean",
+      "packet_length_std", "packet_length_variance", "fin_flag_count",
+      "syn_flag_count", "rst_flag_count", "psh_flag_count",
+      "ack_flag_count", "urg_flag_count", "cwe_flag_count",
+      "ece_flag_count", "down_up_ratio", "average_packet_size",
+      "avg_fwd_segment_size", "avg_bwd_segment_size",
+      "fwd_header_length_1", "fwd_avg_bytes_bulk", "fwd_avg_packets_bulk",
+      "fwd_avg_bulk_rate", "bwd_avg_bytes_bulk", "bwd_avg_packets_bulk",
+      "bwd_avg_bulk_rate", "subflow_fwd_packets", "subflow_fwd_bytes",
+      "subflow_bwd_packets", "subflow_bwd_bytes", "init_win_bytes_forward",
+      "init_win_bytes_backward", "act_data_pkt_fwd", "min_seg_size_forward",
+      "active_mean", "active_std", "active_max", "active_min", "idle_mean",
+      "idle_std", "idle_max", "idle_min"};
+  for (const char* n : names) {
+    const std::string name(n);
+    const bool heavy = name.find("bytes") != std::string::npos ||
+                       name.find("packets") != std::string::npos ||
+                       name.find("duration") != std::string::npos ||
+                       name.find("iat") != std::string::npos;
+    s.features.push_back(num(name, heavy));
+  }
+  s.class_names = {"benign",        "dos_hulk",     "portscan",
+                   "ddos",          "dos_goldeneye", "ftp_patator",
+                   "ssh_patator",   "dos_slowloris"};
+  s.benign_class = 0;
+  s.label_aliases["dos hulk"] = 1;
+  s.label_aliases["dos goldeneye"] = 4;
+  s.label_aliases["ftp-patator"] = 5;
+  s.label_aliases["ssh-patator"] = 6;
+  s.label_aliases["dos slowloris"] = 7;
+  return s;
+}
+
+// ---- CIC-IDS-2018 ------------------------------------------------------------
+// 79 numeric flow features (adds protocol to the 2017 set), 7 classes.
+DatasetSchema cic_ids_2018_schema() {
+  DatasetSchema s = cic_ids_2017_schema();
+  s.name = "CIC-IDS-2018";
+  s.features.insert(s.features.begin(), num("protocol"));
+  s.class_names = {"benign",          "ddos_hoic", "dos_hulk",
+                   "bot",             "infiltration", "ssh_bruteforce",
+                   "ddos_loic_http"};
+  s.benign_class = 0;
+  s.label_aliases.clear();
+  s.label_aliases["ddos attack-hoic"] = 1;
+  s.label_aliases["dos attacks-hulk"] = 2;
+  s.label_aliases["ssh-bruteforce"] = 5;
+  s.label_aliases["ddos attacks-loic-http"] = 6;
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(DatasetId id) noexcept {
+  switch (id) {
+    case DatasetId::kNslKdd:
+      return "NSL-KDD";
+    case DatasetId::kUnswNb15:
+      return "UNSW-NB15";
+    case DatasetId::kCicIds2017:
+      return "CIC-IDS-2017";
+    case DatasetId::kCicIds2018:
+      return "CIC-IDS-2018";
+  }
+  return "unknown";
+}
+
+DatasetSchema make_schema(DatasetId id) {
+  switch (id) {
+    case DatasetId::kNslKdd:
+      return nsl_kdd_schema();
+    case DatasetId::kUnswNb15:
+      return unsw_nb15_schema();
+    case DatasetId::kCicIds2017:
+      return cic_ids_2017_schema();
+    case DatasetId::kCicIds2018:
+      return cic_ids_2018_schema();
+  }
+  throw std::invalid_argument("unknown dataset id");
+}
+
+FlowSynthesizer make_synthesizer(DatasetId id, std::uint64_t seed) {
+  SynthConfig cfg;
+  cfg.seed = seed;
+  switch (id) {
+    case DatasetId::kNslKdd:
+      // The easiest of the four: well-separated attack families, tiny
+      // label-noise floor. Real-world accuracies sit near 99%.
+      cfg.latent_dim = 14;
+      cfg.center_scale = 2.2;
+      cfg.cluster_spread = 0.32;
+      cfg.feature_noise = 0.05;
+      cfg.label_noise = 0.002;
+      cfg.clusters_per_class = 8;
+      cfg.radial_classes = 1;
+      cfg.class_weights = {0.53, 0.37, 0.09, 0.008, 0.002};
+      break;
+    case DatasetId::kUnswNb15:
+      // The hardest: ten overlapping classes with many behavioural modes
+      // (fuzzers/exploits/dos blur together in the real corpus too).
+      cfg.latent_dim = 16;
+      cfg.center_scale = 1.45;
+      cfg.cluster_spread = 0.40;
+      cfg.feature_noise = 0.06;
+      cfg.label_noise = 0.008;
+      cfg.clusters_per_class = 10;
+      cfg.radial_classes = 2;
+      cfg.class_weights = {0.45,  0.215, 0.135, 0.074, 0.05,
+                           0.042, 0.011, 0.009, 0.006, 0.002};
+      break;
+    case DatasetId::kCicIds2017:
+      cfg.latent_dim = 15;
+      cfg.center_scale = 1.5;
+      cfg.cluster_spread = 0.20;
+      cfg.feature_noise = 0.05;
+      cfg.label_noise = 0.003;
+      cfg.clusters_per_class = 24;
+      cfg.radial_classes = 1;
+      cfg.class_weights = {0.70, 0.10, 0.08, 0.06, 0.03, 0.015, 0.01, 0.005};
+      break;
+    case DatasetId::kCicIds2018:
+      cfg.latent_dim = 15;
+      cfg.center_scale = 1.4;
+      cfg.cluster_spread = 0.24;
+      cfg.feature_noise = 0.05;
+      cfg.label_noise = 0.005;
+      cfg.clusters_per_class = 18;
+      cfg.radial_classes = 2;
+      cfg.class_weights = {0.72, 0.12, 0.06, 0.05, 0.02, 0.02, 0.01};
+      break;
+  }
+  return FlowSynthesizer(make_schema(id), cfg);
+}
+
+Dataset load_csv(const DatasetSchema& schema, const std::string& path,
+                 bool header) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open dataset file: " + path);
+  core::CsvReader reader(file);
+  if (header) (void)reader.next();
+
+  // First-seen-order vocabularies for symbolic categorical columns.
+  std::vector<std::unordered_map<std::string, std::size_t>> vocab(
+      schema.num_features());
+
+  std::vector<float> row_values;
+  std::vector<std::vector<float>> rows;
+  std::vector<int> labels;
+  while (auto record = reader.next()) {
+    if (record->size() < schema.num_features() + 1) continue;
+    const std::size_t label_cls =
+        schema.resolve_label((*record)[schema.num_features()]);
+    if (label_cls >= schema.num_classes()) continue;  // unknown label
+    row_values.assign(schema.num_features(), 0.0f);
+    bool ok = true;
+    for (std::size_t f = 0; f < schema.num_features(); ++f) {
+      const std::string& cell = (*record)[f];
+      if (schema.features[f].type == FeatureType::kCategorical) {
+        auto [it, inserted] = vocab[f].try_emplace(cell, vocab[f].size());
+        const std::size_t code =
+            std::min(it->second, schema.features[f].cardinality - 1);
+        row_values[f] = static_cast<float>(code);
+      } else {
+        float v = 0.0f;
+        const auto* begin = cell.data();
+        const auto* end = begin + cell.size();
+        const auto result = std::from_chars(begin, end, v);
+        if (result.ec != std::errc{} ||
+            !std::isfinite(static_cast<double>(v))) {
+          // Real CIC files contain "Infinity"/"NaN" cells; zero them like
+          // the standard preprocessing scripts do.
+          v = 0.0f;
+        }
+        row_values[f] = v;
+      }
+    }
+    if (!ok) continue;
+    rows.push_back(row_values);
+    labels.push_back(static_cast<int>(label_cls));
+  }
+
+  Dataset ds;
+  ds.schema = schema;
+  ds.x.resize(rows.size(), schema.num_features());
+  ds.y = std::move(labels);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::copy(rows[i].begin(), rows[i].end(), ds.x.row(i).data());
+  }
+  return ds;
+}
+
+}  // namespace cyberhd::nids

@@ -1,0 +1,48 @@
+// The four NIDS benchmarks of the paper: NSL-KDD, UNSW-NB15, CIC-IDS-2017,
+// and CIC-IDS-2018.
+//
+// Each factory returns (a) the dataset's faithful schema — real feature
+// names, types, categorical cardinalities, class taxonomy, class
+// imbalance — and (b) a FlowSynthesizer tuned so the *relative* difficulty
+// of the four corpora matches what the paper's Fig. 3 reports. When the
+// real CSV files are available, `load_csv` ingests them through the same
+// schema into the identical downstream pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nids/schema.hpp"
+#include "nids/synth.hpp"
+
+namespace cyberhd::nids {
+
+/// Identifiers of the paper's four evaluation datasets.
+enum class DatasetId { kNslKdd, kUnswNb15, kCicIds2017, kCicIds2018 };
+
+/// All four, in the order the paper's figures list them.
+inline constexpr DatasetId kAllDatasets[] = {
+    DatasetId::kNslKdd, DatasetId::kUnswNb15, DatasetId::kCicIds2017,
+    DatasetId::kCicIds2018};
+
+/// Printable name ("NSL-KDD", ...).
+const char* to_string(DatasetId id) noexcept;
+
+/// Faithful schema of one dataset (features, classes, imbalance aliases).
+DatasetSchema make_schema(DatasetId id);
+
+/// Synthesizer with the dataset's schema and difficulty profile.
+/// `seed` perturbs only the sampling, not the schema.
+FlowSynthesizer make_synthesizer(DatasetId id, std::uint64_t seed = 7);
+
+/// Load a real dataset CSV through `schema`. Expects one sample per row
+/// with schema.num_features() feature columns followed by the label column
+/// (extra trailing columns such as NSL-KDD's difficulty score are ignored).
+/// Categorical features may be symbolic; a per-column vocabulary is built
+/// in first-seen order. Rows whose label cannot be resolved are skipped.
+/// `header` skips the first row. Throws std::runtime_error when the file
+/// cannot be opened.
+Dataset load_csv(const DatasetSchema& schema, const std::string& path,
+                 bool header);
+
+}  // namespace cyberhd::nids

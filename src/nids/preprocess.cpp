@@ -1,0 +1,148 @@
+#include "nids/preprocess.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace cyberhd::nids {
+
+void MinMaxScaler::fit(const core::Matrix& x) {
+  min_.assign(x.cols(), 0.0f);
+  max_.assign(x.cols(), 0.0f);
+  if (x.rows() == 0) return;
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    min_[c] = max_[c] = x(0, c);
+  }
+  for (std::size_t r = 1; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      min_[c] = std::min(min_[c], row[c]);
+      max_[c] = std::max(max_[c], row[c]);
+    }
+  }
+}
+
+void MinMaxScaler::transform(core::Matrix& x) const {
+  assert(fitted());
+  assert(x.cols() == min_.size());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const float range = max_[c] - min_[c];
+      if (range <= 0.0f) {
+        row[c] = 0.0f;
+      } else {
+        row[c] = std::clamp((row[c] - min_[c]) / range, 0.0f, 1.0f);
+      }
+    }
+  }
+}
+
+void expand_one(const DatasetSchema& schema, std::span<const float> raw,
+                std::span<float> out) {
+  assert(raw.size() == schema.num_features());
+  assert(out.size() == schema.encoded_width());
+  std::fill(out.begin(), out.end(), 0.0f);
+  std::size_t o = 0;
+  for (std::size_t f = 0; f < schema.num_features(); ++f) {
+    const FeatureSpec& spec = schema.features[f];
+    if (spec.type == FeatureType::kCategorical) {
+      auto code = static_cast<std::size_t>(std::max(0.0f, raw[f]));
+      code = std::min(code, spec.cardinality - 1);
+      out[o + code] = 1.0f;
+      o += spec.cardinality;
+    } else {
+      float v = raw[f];
+      if (spec.heavy_tailed) {
+        // log1p on magnitude, sign preserved: compresses the decades-wide
+        // count/byte features the way standard NIDS pipelines do.
+        v = std::copysign(std::log1p(std::abs(v)), v);
+      }
+      out[o++] = v;
+    }
+  }
+  assert(o == schema.encoded_width());
+}
+
+core::Matrix expand_features(const Dataset& raw) {
+  core::Matrix out(raw.size(), raw.schema.encoded_width());
+  for (std::size_t r = 0; r < raw.size(); ++r) {
+    expand_one(raw.schema, raw.x.row(r), out.row(r));
+  }
+  return out;
+}
+
+SplitIndices stratified_split(std::span<const int> y, double test_fraction,
+                              core::Rng& rng) {
+  assert(test_fraction > 0.0 && test_fraction < 1.0);
+  int max_label = -1;
+  for (int label : y) max_label = std::max(max_label, label);
+  std::vector<std::vector<std::size_t>> per_class(
+      static_cast<std::size_t>(max_label + 1));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    per_class[static_cast<std::size_t>(y[i])].push_back(i);
+  }
+  SplitIndices split;
+  for (auto& members : per_class) {
+    if (members.empty()) continue;
+    rng.shuffle(members);
+    std::size_t n_test = static_cast<std::size_t>(
+        std::lround(test_fraction * static_cast<double>(members.size())));
+    if (members.size() >= 2) n_test = std::max<std::size_t>(n_test, 1);
+    n_test = std::min(n_test, members.size() - 1);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      (i < n_test ? split.test : split.train).push_back(members[i]);
+    }
+  }
+  rng.shuffle(split.train);
+  rng.shuffle(split.test);
+  return split;
+}
+
+namespace {
+ProcessedDataset gather(const core::Matrix& x, std::span<const int> y,
+                        const DatasetSchema& schema,
+                        std::span<const std::size_t> indices) {
+  ProcessedDataset out;
+  out.x.resize(indices.size(), x.cols());
+  out.y.resize(indices.size());
+  out.num_classes = schema.num_classes();
+  out.class_names = schema.class_names;
+  out.benign_class = schema.benign_class;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    std::copy_n(x.row(indices[i]).data(), x.cols(), out.x.row(i).data());
+    out.y[i] = y[indices[i]];
+  }
+  return out;
+}
+}  // namespace
+
+TrainTestSplit preprocess(const Dataset& raw, double test_fraction,
+                          std::uint64_t seed) {
+  const core::Matrix expanded = expand_features(raw);
+  core::Rng rng(seed);
+  const SplitIndices split = stratified_split(raw.y, test_fraction, rng);
+
+  TrainTestSplit out;
+  out.train = gather(expanded, raw.y, raw.schema, split.train);
+  out.test = gather(expanded, raw.y, raw.schema, split.test);
+
+  MinMaxScaler scaler;
+  scaler.fit(out.train.x);
+  scaler.transform(out.train.x);
+  scaler.transform(out.test.x);
+  return out;
+}
+
+std::vector<std::size_t> class_histogram(std::span<const int> y,
+                                         std::size_t num_classes) {
+  std::vector<std::size_t> hist(num_classes, 0);
+  for (int label : y) {
+    assert(label >= 0 && static_cast<std::size_t>(label) < num_classes);
+    ++hist[static_cast<std::size_t>(label)];
+  }
+  return hist;
+}
+
+}  // namespace cyberhd::nids

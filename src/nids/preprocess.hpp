@@ -1,0 +1,86 @@
+// Preprocessing pipeline: raw schema-typed flows -> dense [0,1] features.
+//
+// The pipeline mirrors the standard treatment of these corpora:
+//   1. one-hot expansion of categorical columns,
+//   2. log1p compression of heavy-tailed numeric columns,
+//   3. per-column min-max scaling to [0, 1], with the scaler **fit on the
+//      training split only** and applied to both splits (no test leakage).
+// The [0,1] range is what both the RBF encoder (bounded inputs keep the
+// kernel lengthscale meaningful) and the ID-level encoder (explicit [0,1]
+// contract) expect.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+#include "nids/schema.hpp"
+
+namespace cyberhd::nids {
+
+/// A model-ready dataset: dense features, integer labels, class metadata.
+struct ProcessedDataset {
+  core::Matrix x;
+  std::vector<int> y;
+  std::size_t num_classes = 0;
+  std::vector<std::string> class_names;
+  std::size_t benign_class = 0;
+
+  std::size_t size() const noexcept { return x.rows(); }
+  std::size_t num_features() const noexcept { return x.cols(); }
+};
+
+/// Train/test pair after preprocessing.
+struct TrainTestSplit {
+  ProcessedDataset train;
+  ProcessedDataset test;
+};
+
+/// Per-column affine scaler fit on training data.
+class MinMaxScaler {
+ public:
+  /// Learn per-column min/max from `x`.
+  void fit(const core::Matrix& x);
+  /// Scale rows of `x` in place to [0, 1]; constant columns map to 0.
+  /// Values outside the fitted range are clamped.
+  void transform(core::Matrix& x) const;
+  bool fitted() const noexcept { return !min_.empty(); }
+  std::span<const float> column_min() const noexcept { return min_; }
+  std::span<const float> column_max() const noexcept { return max_; }
+
+ private:
+  std::vector<float> min_;
+  std::vector<float> max_;
+};
+
+/// One-hot-expand categorical columns and log1p-compress heavy-tailed
+/// numeric columns of a raw dataset. Output width = schema.encoded_width().
+core::Matrix expand_features(const Dataset& raw);
+
+/// Stratified split indices: within every class, `test_fraction` of the
+/// samples (at least 1 when the class has >= 2) go to test. Order within
+/// splits is shuffled.
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+SplitIndices stratified_split(std::span<const int> y, double test_fraction,
+                              core::Rng& rng);
+
+/// Full pipeline: expand, split stratified, fit scaler on train, scale both.
+TrainTestSplit preprocess(const Dataset& raw, double test_fraction,
+                          std::uint64_t seed);
+
+/// Expand + scale a single raw flow with an already-fitted scaler: the
+/// online path a deployed NIDS uses per packet/flow. `out` must have
+/// schema.encoded_width() entries.
+void expand_one(const DatasetSchema& schema, std::span<const float> raw,
+                std::span<float> out);
+
+/// Per-class sample counts of a label vector (size = num_classes).
+std::vector<std::size_t> class_histogram(std::span<const int> y,
+                                         std::size_t num_classes);
+
+}  // namespace cyberhd::nids

@@ -1,0 +1,48 @@
+#include "nids/schema.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cyberhd::nids {
+
+namespace {
+std::string to_lower(const std::string& s) {
+  std::string out(s.size(), '\0');
+  std::transform(s.begin(), s.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+}  // namespace
+
+std::size_t DatasetSchema::num_numeric() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(features.begin(), features.end(), [](const auto& f) {
+        return f.type == FeatureType::kNumeric;
+      }));
+}
+
+std::size_t DatasetSchema::num_categorical() const noexcept {
+  return features.size() - num_numeric();
+}
+
+std::size_t DatasetSchema::encoded_width() const noexcept {
+  std::size_t width = 0;
+  for (const auto& f : features) {
+    width += f.type == FeatureType::kNumeric ? 1 : f.cardinality;
+  }
+  return width;
+}
+
+std::size_t DatasetSchema::resolve_label(const std::string& raw) const {
+  const std::string key = to_lower(raw);
+  if (auto it = label_aliases.find(key); it != label_aliases.end()) {
+    return it->second;
+  }
+  for (std::size_t c = 0; c < class_names.size(); ++c) {
+    if (to_lower(class_names[c]) == key) return c;
+  }
+  return class_names.size();
+}
+
+}  // namespace cyberhd::nids

@@ -1,0 +1,72 @@
+// Typed feature schemas for the four NIDS datasets the paper evaluates on.
+//
+// A schema records, for each raw column, its name and whether it is numeric
+// or categorical (with cardinality), plus the class taxonomy. Schemas drive
+// both the synthetic generator (so generated data has exactly the real
+// datasets' shape) and the CSV loader (so the real files can be dropped in).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/matrix.hpp"
+
+namespace cyberhd::nids {
+
+/// Kind of one raw dataset column.
+enum class FeatureType {
+  kNumeric,      ///< real-valued (counts, durations, rates, sizes)
+  kCategorical,  ///< small-cardinality symbol (protocol, service, flag)
+};
+
+/// One raw column of a dataset.
+struct FeatureSpec {
+  std::string name;
+  FeatureType type = FeatureType::kNumeric;
+  /// Number of distinct symbols; meaningful only for categorical features.
+  std::size_t cardinality = 0;
+  /// Heavy-tailed numeric feature (byte/packet counts): the synthesizer
+  /// applies a log-normal-style tail and the recommended normalization is
+  /// log1p before scaling.
+  bool heavy_tailed = false;
+};
+
+/// Complete description of one dataset's raw format and label taxonomy.
+struct DatasetSchema {
+  std::string name;
+  std::vector<FeatureSpec> features;
+  std::vector<std::string> class_names;
+  /// Index of the benign/normal class within class_names.
+  std::size_t benign_class = 0;
+  /// Map from raw label strings (e.g. NSL-KDD's "neptune") to class index;
+  /// used by the CSV loader. Synthetic data uses class indices directly.
+  std::unordered_map<std::string, std::size_t> label_aliases;
+
+  std::size_t num_features() const noexcept { return features.size(); }
+  std::size_t num_classes() const noexcept { return class_names.size(); }
+  /// Count of numeric columns.
+  std::size_t num_numeric() const noexcept;
+  /// Count of categorical columns.
+  std::size_t num_categorical() const noexcept;
+  /// Width after one-hot expansion of categorical columns.
+  std::size_t encoded_width() const noexcept;
+  /// Resolve a raw label string to a class index; returns num_classes()
+  /// when unknown. Matching is case-insensitive on the alias table first,
+  /// then on class names.
+  std::size_t resolve_label(const std::string& raw) const;
+};
+
+/// A raw dataset: row-major feature matrix (categorical columns hold the
+/// symbol index as a float) plus integer labels, tied to its schema.
+struct Dataset {
+  DatasetSchema schema;
+  /// n x schema.num_features(); categorical cells store the symbol code.
+  core::Matrix x;
+  std::vector<int> y;
+
+  std::size_t size() const noexcept { return x.rows(); }
+};
+
+}  // namespace cyberhd::nids

@@ -1,0 +1,261 @@
+#include "nids/synth.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cyberhd::nids {
+
+FlowSynthesizer::FlowSynthesizer(DatasetSchema schema, SynthConfig config)
+    : schema_(std::move(schema)), config_(config) {
+  const std::size_t k = schema_.num_classes();
+  if (k == 0) throw std::invalid_argument("schema has no classes");
+  if (config_.latent_dim == 0) {
+    throw std::invalid_argument("latent_dim must be positive");
+  }
+
+  // Normalize the class prior.
+  prior_ = config_.class_weights;
+  prior_.resize(k, prior_.empty() ? 1.0 : 0.0);
+  double total = std::accumulate(prior_.begin(), prior_.end(), 0.0);
+  if (total <= 0.0) {
+    prior_.assign(k, 1.0);
+    total = static_cast<double>(k);
+  }
+  for (double& w : prior_) w /= total;
+
+  for (std::size_t f = 0; f < schema_.num_features(); ++f) {
+    (schema_.features[f].type == FeatureType::kCategorical
+         ? categorical_features_
+         : numeric_features_)
+        .push_back(f);
+  }
+
+  // All structural randomness derives from the config seed so that a
+  // synthesizer is a pure function of (schema, config).
+  core::Rng root(config_.seed);
+  core::Rng structure_rng = root.fork(101);
+
+  // Shared nonlinear mixing from latent space to numeric features.
+  const std::size_t fn = numeric_features_.size();
+  const std::size_t latent = config_.latent_dim;
+  mix_linear_.resize(fn, latent);
+  mix_tanh_.resize(fn, latent);
+  core::fill_gaussian(structure_rng, mix_linear_.data(), mix_linear_.size(),
+                      0.0f, 1.0f);
+  core::fill_gaussian(structure_rng, mix_tanh_.data(), mix_tanh_.size(),
+                      0.0f, 1.0f);
+  feature_scale_.resize(fn);
+  for (std::size_t i = 0; i < fn; ++i) {
+    // Feature magnitudes spread over ~1 decade, as flow statistics do.
+    feature_scale_[i] =
+        static_cast<float>(std::exp(structure_rng.uniform(-1.0, 1.0)));
+  }
+
+  // Per-class latent profiles.
+  profiles_.resize(k);
+  // Benign anchor: the first cluster center of the benign class, used as
+  // the center of radial attack shells.
+  std::vector<float> benign_anchor(latent, 0.0f);
+
+  // Decide which attack classes are radial shells: the first
+  // `radial_classes` attack classes after benign (deterministic choice).
+  std::size_t radial_budget = config_.radial_classes;
+
+  for (std::size_t c = 0; c < k; ++c) {
+    core::Rng class_rng = root.fork(1000 + c);
+    ClassProfile& p = profiles_[c];
+    p.centers.resize(config_.clusters_per_class * latent);
+    for (std::size_t m = 0; m < config_.clusters_per_class; ++m) {
+      core::fill_gaussian(class_rng, p.centers.data() + m * latent, latent,
+                          0.0f, static_cast<float>(config_.center_scale));
+    }
+    if (c == schema_.benign_class) {
+      std::copy_n(p.centers.data(), latent, benign_anchor.data());
+    }
+    // Categorical symbol distributions: peaked on a class-preferred symbol
+    // with the rest of the mass spread geometrically.
+    p.categorical_probs.resize(categorical_features_.size());
+    for (std::size_t ci = 0; ci < categorical_features_.size(); ++ci) {
+      const std::size_t card =
+          schema_.features[categorical_features_[ci]].cardinality;
+      assert(card >= 2);
+      std::vector<double> probs(card);
+      const std::size_t preferred = class_rng.next_below(card);
+      double mass = 0.0;
+      for (std::size_t s = 0; s < card; ++s) {
+        const double dist = s == preferred ? 0.0 : 1.0;
+        probs[s] = std::exp(-2.2 * dist) *
+                   (0.4 + class_rng.next_double());  // jittered, peaked
+        mass += probs[s];
+      }
+      for (double& pr : probs) pr /= mass;
+      p.categorical_probs[ci] = std::move(probs);
+    }
+  }
+
+  // Convert the leading attack classes into radial shells around benign.
+  for (std::size_t c = 0; c < k && radial_budget > 0; ++c) {
+    if (c == schema_.benign_class) continue;
+    core::Rng shell_rng = root.fork(5000 + c);
+    ClassProfile& p = profiles_[c];
+    p.radial = true;
+    p.shell_radius = config_.center_scale *
+                     (1.6 + 0.9 * static_cast<double>(
+                                      config_.radial_classes - radial_budget));
+    p.shell_width = config_.cluster_spread * 0.5;
+    // Center the shell on benign.
+    for (std::size_t m = 0; m < config_.clusters_per_class; ++m) {
+      std::copy_n(benign_anchor.data(), config_.latent_dim,
+                  p.centers.data() + m * config_.latent_dim);
+    }
+    (void)shell_rng;
+    --radial_budget;
+  }
+}
+
+bool FlowSynthesizer::is_radial_class(std::size_t cls) const {
+  assert(cls < profiles_.size());
+  return profiles_[cls].radial;
+}
+
+void FlowSynthesizer::sample_latent(std::size_t cls, std::span<float> z,
+                                    core::Rng& rng) const {
+  assert(cls < profiles_.size());
+  assert(z.size() == config_.latent_dim);
+  const ClassProfile& p = profiles_[cls];
+  const std::size_t m = rng.next_below(config_.clusters_per_class);
+  const float* center = p.centers.data() + m * config_.latent_dim;
+
+  if (p.radial) {
+    // Sample a direction uniformly on the sphere, then a radius around the
+    // shell radius: same mean region as benign, different intensity.
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      z[i] = static_cast<float>(rng.gaussian());
+      norm_sq += static_cast<double>(z[i]) * z[i];
+    }
+    const double norm = std::sqrt(std::max(norm_sq, 1e-12));
+    const double radius =
+        std::max(0.1, rng.gaussian(p.shell_radius, p.shell_width));
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      z[i] = center[i] + static_cast<float>(radius / norm) * z[i];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z[i] = center[i] + static_cast<float>(
+                           rng.gaussian(0.0, config_.cluster_spread));
+  }
+}
+
+void FlowSynthesizer::latent_to_features(std::span<const float> z,
+                                         std::span<float> out,
+                                         core::Rng& rng) const {
+  for (std::size_t i = 0; i < numeric_features_.size(); ++i) {
+    const float lin = core::dot(mix_linear_.row(i), z);
+    const float nl = std::tanh(core::dot(mix_tanh_.row(i), z));
+    float v = feature_scale_[i] *
+              (lin + static_cast<float>(config_.nonlinearity) * nl);
+    v += static_cast<float>(rng.gaussian(0.0, config_.feature_noise));
+    const FeatureSpec& spec = schema_.features[numeric_features_[i]];
+    if (spec.heavy_tailed) {
+      // Log-normal-style tail: a monotone exponential warp, so counts and
+      // sizes span decades while class structure stays recoverable by a
+      // log1p at preprocessing.
+      v = std::expm1(0.85f * v);
+    }
+    out[numeric_features_[i]] = v;
+  }
+}
+
+void FlowSynthesizer::sample_flow(std::size_t cls, std::span<float> out,
+                                  core::Rng& rng) const {
+  assert(out.size() == schema_.num_features());
+  std::vector<float> z(config_.latent_dim);
+  sample_latent(cls, z, rng);
+  latent_to_features(z, out, rng);
+  const ClassProfile& p = profiles_[cls];
+  for (std::size_t ci = 0; ci < categorical_features_.size(); ++ci) {
+    out[categorical_features_[ci]] = static_cast<float>(
+        rng.categorical(p.categorical_probs[ci]));
+  }
+}
+
+Dataset FlowSynthesizer::generate(std::size_t n, std::uint64_t stream) const {
+  const std::size_t k = schema_.num_classes();
+  // Exact class counts: floor allocation by prior, remainder to the
+  // largest fractional parts; every class gets at least one sample when
+  // n >= k.
+  std::vector<std::size_t> counts(k, 0);
+  std::vector<std::pair<double, std::size_t>> fractional(k);
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double exact = prior_[c] * static_cast<double>(n);
+    counts[c] = static_cast<std::size_t>(exact);
+    fractional[c] = {exact - std::floor(exact), c};
+    assigned += counts[c];
+  }
+  std::sort(fractional.begin(), fractional.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; assigned < n; ++i) {
+    ++counts[fractional[i % k].second];
+    ++assigned;
+  }
+  if (n >= k) {
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Steal one from the largest class.
+        const std::size_t donor = static_cast<std::size_t>(std::distance(
+            counts.begin(), std::max_element(counts.begin(), counts.end())));
+        --counts[donor];
+        ++counts[c];
+      }
+    }
+  }
+
+  core::Rng root(config_.seed);
+  core::Rng rng = root.fork(0xda7a0000ULL + stream);
+
+  Dataset ds;
+  ds.schema = schema_;
+  ds.x.resize(n, schema_.num_features());
+  ds.y.resize(n);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < counts[c]; ++i, ++row) {
+      sample_flow(c, ds.x.row(row), rng);
+      ds.y[row] = static_cast<int>(c);
+    }
+  }
+  assert(row == n);
+
+  // Label noise: a small fraction of flows carry the wrong label, like
+  // real mislabeled corpora; this caps attainable accuracy below 100%.
+  if (config_.label_noise > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(config_.label_noise)) {
+        ds.y[i] = static_cast<int>(rng.next_below(k));
+      }
+    }
+  }
+
+  // Shuffle rows (with labels) so class blocks do not survive.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  core::Matrix shuffled(n, schema_.num_features());
+  std::vector<int> shuffled_y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy_n(ds.x.row(order[i]).data(), schema_.num_features(),
+                shuffled.row(i).data());
+    shuffled_y[i] = ds.y[order[i]];
+  }
+  ds.x = std::move(shuffled);
+  ds.y = std::move(shuffled_y);
+  return ds;
+}
+
+}  // namespace cyberhd::nids

@@ -1,0 +1,120 @@
+// Synthetic NIDS flow generation.
+//
+// The real NSL-KDD / UNSW-NB15 / CIC-IDS corpora cannot be redistributed
+// with this repository, so experiments run on a class-conditional generative
+// model that reproduces the statistical properties the classifiers under
+// test are sensitive to:
+//
+//  * each class is a mixture of clusters in a low-dimensional latent space
+//    (traffic of one attack family is a handful of behavioural modes);
+//  * observed numeric features are a shared *nonlinear* mixing of the
+//    latent vector (linear + tanh components), so the feature manifold is
+//    curved — linear models lose accuracy, kernel/NN/HDC methods do not;
+//  * selected attack classes are *radial shells* around the benign center
+//    (same mean, different radius — e.g. flood traffic that differs from
+//    benign only in intensity), which is non-linearly separable by
+//    construction;
+//  * byte/packet-count features get log-normal heavy tails;
+//  * categorical features (protocol/service/flag) follow peaked per-class
+//    distributions;
+//  * a small label-noise floor caps attainable accuracy below 100%, like
+//    real label errors do.
+//
+// Everything is deterministic in the (schema, config, seed) triple.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+#include "nids/schema.hpp"
+
+namespace cyberhd::nids {
+
+/// Difficulty and shape knobs of the generator.
+struct SynthConfig {
+  /// Latent behavioural dimensionality.
+  std::size_t latent_dim = 12;
+  /// Within-cluster standard deviation in latent space.
+  double cluster_spread = 0.55;
+  /// Standard deviation of cluster centers (class separation).
+  double center_scale = 1.6;
+  /// Additive observation noise on numeric features.
+  double feature_noise = 0.12;
+  /// Weight of the tanh component in the latent-to-feature mixing
+  /// (0 = purely linear manifold).
+  double nonlinearity = 0.9;
+  /// Fraction of samples whose label is replaced uniformly at random.
+  double label_noise = 0.004;
+  /// Behavioural modes per class.
+  std::size_t clusters_per_class = 3;
+  /// Number of attack classes realized as radial shells around the benign
+  /// center (capped at the number of attack classes).
+  std::size_t radial_classes = 1;
+  /// Class prior; resized/normalized to the schema's class count
+  /// (uniform when empty).
+  std::vector<double> class_weights;
+  /// Generator seed.
+  std::uint64_t seed = 7;
+};
+
+/// Class-conditional flow generator for one dataset schema.
+class FlowSynthesizer {
+ public:
+  FlowSynthesizer(DatasetSchema schema, SynthConfig config);
+
+  const DatasetSchema& schema() const noexcept { return schema_; }
+  const SynthConfig& config() const noexcept { return config_; }
+
+  /// Generate `n` flows with class counts proportional to the prior
+  /// (every class gets at least one sample), shuffled. Deterministic for a
+  /// fixed (schema, config) and `stream`; different `stream` values give
+  /// independent draws (use 0 for train, 1 for test, etc.).
+  Dataset generate(std::size_t n, std::uint64_t stream = 0) const;
+
+  /// Generate one flow of a given class into `out` (size num_features()).
+  /// Exposed for the streaming-detection example.
+  void sample_flow(std::size_t cls, std::span<float> out,
+                   core::Rng& rng) const;
+
+  /// True when `cls` was realized as a radial shell around benign.
+  bool is_radial_class(std::size_t cls) const;
+
+  /// The normalized class prior actually in use.
+  const std::vector<double>& class_prior() const noexcept { return prior_; }
+
+ private:
+  struct ClassProfile {
+    /// clusters_per_class centers, each latent_dim long (row-major).
+    std::vector<float> centers;
+    /// Radial-shell parameters; used when `radial` is true.
+    bool radial = false;
+    double shell_radius = 0.0;
+    double shell_width = 0.0;
+    /// Per categorical feature: probability over its symbols
+    /// (index aligned with categorical_features_).
+    std::vector<std::vector<double>> categorical_probs;
+  };
+
+  void sample_latent(std::size_t cls, std::span<float> z,
+                     core::Rng& rng) const;
+  void latent_to_features(std::span<const float> z, std::span<float> out,
+                          core::Rng& rng) const;
+
+  DatasetSchema schema_;
+  SynthConfig config_;
+  std::vector<double> prior_;
+  std::vector<ClassProfile> profiles_;
+  /// Indices of categorical columns within the schema.
+  std::vector<std::size_t> categorical_features_;
+  /// Indices of numeric columns within the schema.
+  std::vector<std::size_t> numeric_features_;
+  /// Shared latent-to-feature mixing (rows = numeric features).
+  core::Matrix mix_linear_;  // F_num x L
+  core::Matrix mix_tanh_;    // F_num x L
+  /// Per-numeric-feature output scale.
+  std::vector<float> feature_scale_;
+};
+
+}  // namespace cyberhd::nids

@@ -1,0 +1,149 @@
+// Unit tests for core/bitpack: packed bipolar vectors and the XOR/popcount
+// similarity kernel behind 1-bit HDC inference.
+#include "core/bitpack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+
+namespace cyberhd::core {
+namespace {
+
+TEST(PackedBits, DefaultIsAllMinusOne) {
+  PackedBits p(70);
+  EXPECT_EQ(p.dims(), 70u);
+  EXPECT_EQ(p.num_words(), 2u);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_EQ(p.get(i), -1);
+  EXPECT_EQ(p.popcount(), 0u);
+}
+
+TEST(PackedBits, SetGetFlip) {
+  PackedBits p(100);
+  p.set(3, 1);
+  p.set(64, 1);
+  p.set(99, 1);
+  EXPECT_EQ(p.get(3), 1);
+  EXPECT_EQ(p.get(64), 1);
+  EXPECT_EQ(p.get(99), 1);
+  EXPECT_EQ(p.get(4), -1);
+  EXPECT_EQ(p.popcount(), 3u);
+  p.flip(3);
+  EXPECT_EQ(p.get(3), -1);
+  p.flip(3);
+  EXPECT_EQ(p.get(3), 1);
+  p.set(64, -1);
+  EXPECT_EQ(p.get(64), -1);
+}
+
+TEST(PackedBits, PackSigns) {
+  const std::vector<float> x = {1.0f, -0.5f, 0.0f, -2.0f, 3.0f};
+  const PackedBits p = pack_signs(x);
+  EXPECT_EQ(p.dims(), 5u);
+  EXPECT_EQ(p.get(0), 1);
+  EXPECT_EQ(p.get(1), -1);
+  EXPECT_EQ(p.get(2), 1);  // zero counts as +1
+  EXPECT_EQ(p.get(3), -1);
+  EXPECT_EQ(p.get(4), 1);
+}
+
+TEST(PackedBits, UnpackRoundTrip) {
+  Rng rng(3);
+  std::vector<float> x(130);
+  fill_gaussian(rng, x.data(), x.size(), 0.0f, 1.0f);
+  const PackedBits p = pack_signs(x);
+  std::vector<float> back(x.size());
+  unpack_to_floats(p, back);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(back[i], x[i] >= 0.0f ? 1.0f : -1.0f);
+  }
+}
+
+TEST(PackedBits, HammingBasics) {
+  PackedBits a(64), b(64);
+  EXPECT_EQ(hamming(a, b), 0u);
+  b.flip(0);
+  b.flip(63);
+  EXPECT_EQ(hamming(a, b), 2u);
+}
+
+TEST(PackedBits, DotBipolarIdentity) {
+  // dot = D - 2 * hamming, verified against an explicit bipolar dot.
+  Rng rng(5);
+  std::vector<float> x(200), y(200);
+  fill_gaussian(rng, x.data(), x.size(), 0.0f, 1.0f);
+  fill_gaussian(rng, y.data(), y.size(), 0.0f, 1.0f);
+  const PackedBits a = pack_signs(x);
+  const PackedBits b = pack_signs(y);
+  std::int64_t expect = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    expect += static_cast<std::int64_t>(a.get(i)) * b.get(i);
+  }
+  EXPECT_EQ(dot_bipolar(a, b), expect);
+}
+
+TEST(PackedBits, CosineBipolarSelf) {
+  Rng rng(7);
+  std::vector<float> x(128);
+  fill_gaussian(rng, x.data(), x.size(), 0.0f, 1.0f);
+  const PackedBits a = pack_signs(x);
+  EXPECT_FLOAT_EQ(cosine_bipolar(a, a), 1.0f);
+}
+
+TEST(PackedBits, CosineBipolarOpposite) {
+  PackedBits a(64), b(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    a.set(i, 1);
+    b.set(i, -1);
+  }
+  EXPECT_FLOAT_EQ(cosine_bipolar(a, b), -1.0f);
+}
+
+TEST(PackedBits, RandomVectorsNearOrthogonal) {
+  // Two independent random bipolar vectors have cosine ~ N(0, 1/D).
+  Rng rng(11);
+  std::vector<float> x(4096), y(4096);
+  fill_gaussian(rng, x.data(), x.size(), 0.0f, 1.0f);
+  fill_gaussian(rng, y.data(), y.size(), 0.0f, 1.0f);
+  const float c = cosine_bipolar(pack_signs(x), pack_signs(y));
+  EXPECT_LT(std::abs(c), 0.08f);  // ~5 sigma
+}
+
+TEST(PackedBits, EqualityAndTailMasking) {
+  // pack_signs masks unused tail bits, so equality is well-defined.
+  const std::vector<float> x = {1.0f, -1.0f, 1.0f};
+  const PackedBits a = pack_signs(x);
+  PackedBits b(3);
+  b.set(0, 1);
+  b.set(2, 1);
+  EXPECT_EQ(a, b);
+}
+
+// Property sweep across dimensions incl. word-boundary cases.
+class BitpackDimSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitpackDimSweep, HammingConsistentWithGet) {
+  const std::size_t dims = GetParam();
+  Rng rng(dims + 1);
+  std::vector<float> x(dims), y(dims);
+  fill_gaussian(rng, x.data(), dims, 0.0f, 1.0f);
+  fill_gaussian(rng, y.data(), dims, 0.0f, 1.0f);
+  const PackedBits a = pack_signs(x);
+  const PackedBits b = pack_signs(y);
+  std::size_t expect = 0;
+  for (std::size_t i = 0; i < dims; ++i) {
+    if (a.get(i) != b.get(i)) ++expect;
+  }
+  EXPECT_EQ(hamming(a, b), expect);
+  EXPECT_EQ(dot_bipolar(a, b),
+            static_cast<std::int64_t>(dims) - 2 * static_cast<std::int64_t>(expect));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BitpackDimSweep,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 129,
+                                           512, 1000));
+
+}  // namespace
+}  // namespace cyberhd::core

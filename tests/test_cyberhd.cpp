@@ -1,0 +1,230 @@
+// Tests for the CyberHdClassifier facade: end-to-end learning, config
+// validation, the regeneration ledger, and baseline equivalence.
+#include "hdc/cyberhd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+
+namespace cyberhd::hdc {
+namespace {
+
+/// Three Gaussian blobs in 4-d feature space, values in [0, 1].
+struct Blobs {
+  core::Matrix x;
+  std::vector<int> y;
+
+  explicit Blobs(std::size_t per_class, std::uint64_t seed = 3) {
+    const float centers[3][4] = {{0.2f, 0.2f, 0.8f, 0.5f},
+                                 {0.8f, 0.3f, 0.2f, 0.4f},
+                                 {0.5f, 0.8f, 0.5f, 0.9f}};
+    core::Rng rng(seed);
+    x.resize(3 * per_class, 4);
+    y.resize(3 * per_class);
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t i = 0; i < per_class; ++i) {
+        const std::size_t row = c * per_class + i;
+        for (std::size_t f = 0; f < 4; ++f) {
+          x(row, f) = centers[c][f] +
+                      static_cast<float>(rng.gaussian(0.0, 0.06));
+        }
+        y[row] = static_cast<int>(c);
+      }
+    }
+  }
+};
+
+CyberHdConfig small_config(std::size_t dims = 128) {
+  CyberHdConfig cfg;
+  cfg.dims = dims;
+  cfg.regen_rate = 0.2;
+  cfg.regen_steps = 5;
+  cfg.epochs_per_step = 1;
+  cfg.final_epochs = 3;
+  cfg.parallel = false;
+  return cfg;
+}
+
+TEST(CyberHdClassifier, RejectsBadConfig) {
+  CyberHdConfig bad_dims;
+  bad_dims.dims = 0;
+  EXPECT_THROW(CyberHdClassifier{bad_dims}, std::invalid_argument);
+  CyberHdConfig bad_rate;
+  bad_rate.regen_rate = 1.0;
+  EXPECT_THROW(CyberHdClassifier{bad_rate}, std::invalid_argument);
+  CyberHdConfig negative_rate;
+  negative_rate.regen_rate = -0.1;
+  EXPECT_THROW(CyberHdClassifier{negative_rate}, std::invalid_argument);
+}
+
+TEST(CyberHdClassifier, FitRejectsEmptyData) {
+  CyberHdClassifier model(small_config());
+  core::Matrix empty(0, 4);
+  EXPECT_THROW(model.fit(empty, {}, 2), std::invalid_argument);
+}
+
+TEST(CyberHdClassifier, LearnsBlobs) {
+  const Blobs data(80);
+  CyberHdClassifier model(small_config());
+  model.fit(data.x, data.y, 3);
+  EXPECT_GT(model.evaluate(data.x, data.y), 0.95);
+}
+
+TEST(CyberHdClassifier, EffectiveDimsLedger) {
+  const Blobs data(40);
+  auto cfg = small_config(100);
+  cfg.regen_rate = 0.2;  // 20 dims/step before annealing
+  cfg.regen_steps = 4;
+  cfg.regen_anneal = false;
+  CyberHdClassifier model(cfg);
+  model.fit(data.x, data.y, 3);
+  EXPECT_EQ(model.effective_dims(), 100u + 4u * 20u);
+  EXPECT_EQ(model.physical_dims(), 100u);
+  EXPECT_EQ(model.last_fit_report().effective_dims, 180u);
+  EXPECT_EQ(model.last_fit_report().regenerated_per_step.size(), 4u);
+}
+
+TEST(CyberHdClassifier, AnnealedLedgerIsHalved) {
+  const Blobs data(40);
+  auto cfg = small_config(100);
+  cfg.regen_rate = 0.4;
+  cfg.regen_steps = 4;  // 40 + 30 + 20 + 10 = 100 regenerated
+  cfg.regen_anneal = true;
+  CyberHdClassifier model(cfg);
+  model.fit(data.x, data.y, 3);
+  EXPECT_EQ(model.effective_dims(), 200u);
+}
+
+TEST(CyberHdClassifier, ZeroRateIsStaticBaseline) {
+  const Blobs data(50);
+  auto cfg = small_config();
+  cfg.regen_rate = 0.0;
+  cfg.regen_steps = 0;
+  CyberHdClassifier model(cfg);
+  model.fit(data.x, data.y, 3);
+  EXPECT_EQ(model.effective_dims(), cfg.dims);
+  EXPECT_NE(model.name().find("BaselineHD"), std::string::npos);
+}
+
+TEST(CyberHdClassifier, NameReflectsMode) {
+  CyberHdClassifier regen(small_config());
+  EXPECT_NE(regen.name().find("CyberHD"), std::string::npos);
+  EXPECT_NE(regen.name().find("128"), std::string::npos);
+  CyberHdClassifier base(baseline_hd_config(256));
+  EXPECT_NE(base.name().find("BaselineHD"), std::string::npos);
+}
+
+TEST(CyberHdClassifier, DeterministicAcrossRuns) {
+  const Blobs data(60);
+  CyberHdClassifier a(small_config()), b(small_config());
+  a.fit(data.x, data.y, 3);
+  b.fit(data.x, data.y, 3);
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    EXPECT_EQ(a.predict(data.x.row(i)), b.predict(data.x.row(i)));
+  }
+}
+
+TEST(CyberHdClassifier, DifferentSeedsDifferentEncoders) {
+  const Blobs data(60);
+  auto cfg_a = small_config();
+  auto cfg_b = small_config();
+  cfg_b.seed = cfg_a.seed + 1;
+  CyberHdClassifier a(cfg_a), b(cfg_b);
+  a.fit(data.x, data.y, 3);
+  b.fit(data.x, data.y, 3);
+  std::vector<float> ha(cfg_a.dims), hb(cfg_a.dims);
+  a.encode(data.x.row(0), ha);
+  b.encode(data.x.row(0), hb);
+  EXPECT_NE(ha, hb);
+}
+
+TEST(CyberHdClassifier, ScoresAreCosines) {
+  const Blobs data(60);
+  CyberHdClassifier model(small_config());
+  model.fit(data.x, data.y, 3);
+  std::vector<float> scores(3);
+  model.scores(data.x.row(0), scores);
+  for (float s : scores) {
+    EXPECT_GE(s, -1.0f - 1e-5f);
+    EXPECT_LE(s, 1.0f + 1e-5f);
+  }
+  // Prediction agrees with argmax of scores.
+  const int pred = model.predict(data.x.row(0));
+  EXPECT_EQ(pred, static_cast<int>(core::argmax(scores)));
+}
+
+TEST(CyberHdClassifier, FitReportTracksEpochs) {
+  const Blobs data(40);
+  auto cfg = small_config();
+  cfg.regen_steps = 3;
+  cfg.epochs_per_step = 2;
+  cfg.final_epochs = 4;
+  CyberHdClassifier model(cfg);
+  model.fit(data.x, data.y, 3);
+  EXPECT_EQ(model.last_fit_report().epochs, 3u * 2u + 4u);
+  EXPECT_EQ(model.last_fit_report().epoch_accuracy.size(), 10u);
+}
+
+TEST(CyberHdClassifier, RefitResetsState) {
+  const Blobs data(40);
+  CyberHdClassifier model(small_config());
+  model.fit(data.x, data.y, 3);
+  const std::size_t eff_first = model.effective_dims();
+  model.fit(data.x, data.y, 3);
+  EXPECT_EQ(model.effective_dims(), eff_first);  // ledger reset, not doubled
+}
+
+TEST(CyberHdClassifier, EncoderAccessAfterFit) {
+  const Blobs data(40);
+  CyberHdClassifier model(small_config());
+  model.fit(data.x, data.y, 3);
+  EXPECT_EQ(model.encoder().output_dim(), 128u);
+  EXPECT_EQ(model.encoder().input_dim(), 4u);
+}
+
+TEST(CyberHdClassifier, ParallelAndSerialAgree) {
+  const Blobs data(60);
+  auto serial_cfg = small_config();
+  serial_cfg.parallel = false;
+  auto parallel_cfg = small_config();
+  parallel_cfg.parallel = true;
+  CyberHdClassifier s(serial_cfg), p(parallel_cfg);
+  s.fit(data.x, data.y, 3);
+  p.fit(data.x, data.y, 3);
+  for (std::size_t i = 0; i < data.x.rows(); i += 7) {
+    EXPECT_EQ(s.predict(data.x.row(i)), p.predict(data.x.row(i)));
+  }
+}
+
+TEST(CyberHdClassifier, BaselineConfigDisablesRegeneration) {
+  const CyberHdConfig cfg = baseline_hd_config(333, 9);
+  EXPECT_EQ(cfg.dims, 333u);
+  EXPECT_EQ(cfg.regen_rate, 0.0);
+  EXPECT_EQ(cfg.regen_steps, 0u);
+  EXPECT_EQ(cfg.seed, 9u);
+}
+
+// Encoder-kind sweep: the facade learns blobs with every encoder family.
+class CyberHdEncoderSweep : public ::testing::TestWithParam<EncoderKind> {};
+
+TEST_P(CyberHdEncoderSweep, LearnsBlobs) {
+  const Blobs data(80);
+  auto cfg = small_config(256);
+  cfg.encoder = GetParam();
+  CyberHdClassifier model(cfg);
+  model.fit(data.x, data.y, 3);
+  EXPECT_GT(model.evaluate(data.x, data.y), 0.9)
+      << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Encoders, CyberHdEncoderSweep,
+                         ::testing::Values(EncoderKind::kRbf,
+                                           EncoderKind::kSignProjection,
+                                           EncoderKind::kIdLevel));
+
+}  // namespace
+}  // namespace cyberhd::hdc

@@ -1,0 +1,152 @@
+// Tests for hw/perf_model: the structural properties Table I rests on
+// (CPU monotonicity, FPGA interior maximum, normalization semantics).
+#include "hw/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cyberhd::hw {
+namespace {
+
+Workload workload_at(int bits, std::size_t dims = 1024) {
+  Workload w;
+  w.dims = dims;
+  w.features = 100;
+  w.classes = 5;
+  w.samples = 1000;
+  w.bits = bits;
+  return w;
+}
+
+TEST(ElementOps, Formula) {
+  Workload w;
+  w.dims = 10;
+  w.features = 3;
+  w.classes = 2;
+  w.samples = 7;
+  EXPECT_DOUBLE_EQ(element_ops(w), 7.0 * 10.0 * 5.0);
+}
+
+TEST(CpuModel, EnergyPerOpNearlyFlatBelowByte) {
+  const CpuModel cpu;
+  // Sub-byte widths share the 8-bit lane: identical energy.
+  EXPECT_DOUBLE_EQ(cpu.energy_per_op_pj(1), cpu.energy_per_op_pj(8));
+  EXPECT_DOUBLE_EQ(cpu.energy_per_op_pj(4), cpu.energy_per_op_pj(8));
+  // Wider ops cost somewhat more, but far less than proportionally.
+  EXPECT_GT(cpu.energy_per_op_pj(32), cpu.energy_per_op_pj(8));
+  EXPECT_LT(cpu.energy_per_op_pj(32), 2.0 * cpu.energy_per_op_pj(8));
+}
+
+TEST(CpuModel, ThroughputImprovesWithNarrowLanesUntilByte) {
+  const CpuModel cpu;
+  EXPECT_GT(cpu.ops_per_second(8), cpu.ops_per_second(32));
+  EXPECT_DOUBLE_EQ(cpu.ops_per_second(1), cpu.ops_per_second(8));
+}
+
+TEST(CpuModel, EfficiencyMonotoneInBitwidthAtIsoAccuracyDims) {
+  // With the paper's effective-D ladder, CPU efficiency must decrease
+  // monotonically toward 1 bit.
+  const CpuModel cpu;
+  const std::size_t dims[] = {1200, 2100, 3600, 5600, 7500, 8800};
+  const int bits[] = {32, 16, 8, 4, 2, 1};
+  const Workload ref = workload_at(1, 8800);
+  double prev = 1e18;
+  for (int i = 0; i < 6; ++i) {
+    const double eff =
+        relative_efficiency(cpu, workload_at(bits[i], dims[i]), cpu, ref);
+    EXPECT_LT(eff, prev) << "bits=" << bits[i];
+    prev = eff;
+  }
+  // Normalization anchor: 1-bit CPU vs itself is exactly 1.
+  EXPECT_DOUBLE_EQ(relative_efficiency(cpu, ref, cpu, ref), 1.0);
+}
+
+TEST(FpgaModel, ParallelismPeaksTowardNarrowWidths) {
+  const FpgaModel fpga;
+  EXPECT_GT(fpga.parallel_pes(1), fpga.parallel_pes(8));
+  EXPECT_GT(fpga.parallel_pes(8), fpga.parallel_pes(16));
+  EXPECT_GT(fpga.parallel_pes(16), fpga.parallel_pes(32));
+}
+
+TEST(FpgaModel, EnergyPerOpGrowsWithWidth) {
+  const FpgaModel fpga;
+  double prev = 0;
+  for (int bits : {1, 2, 4, 8, 16, 32}) {
+    const double e = fpga.energy_per_op_pj(bits);
+    EXPECT_GT(e, prev) << "bits=" << bits;
+    prev = e;
+  }
+}
+
+TEST(FpgaModel, EfficiencyHasInteriorMaximum) {
+  // Table I's signature: with the effective-D ladder, the FPGA column
+  // peaks at an interior bitwidth (8 in the paper), not at an endpoint.
+  const CpuModel cpu;
+  const FpgaModel fpga;
+  const std::size_t dims[] = {1200, 2100, 3600, 5600, 7500, 8800};
+  const int bits[] = {32, 16, 8, 4, 2, 1};
+  const Workload ref = workload_at(1, 8800);
+  double eff[6];
+  for (int i = 0; i < 6; ++i) {
+    eff[i] = relative_efficiency(fpga, workload_at(bits[i], dims[i]), cpu,
+                                 ref);
+  }
+  int peak = 0;
+  for (int i = 1; i < 6; ++i) {
+    if (eff[i] > eff[peak]) peak = i;
+  }
+  EXPECT_GT(peak, 0);  // not at 32 bits
+  EXPECT_LT(peak, 5);  // not at 1 bit
+}
+
+TEST(FpgaModel, BeatsCpuEverywhereOnTheLadder) {
+  const CpuModel cpu;
+  const FpgaModel fpga;
+  const std::size_t dims[] = {1200, 2100, 3600, 5600, 7500, 8800};
+  const int bits[] = {32, 16, 8, 4, 2, 1};
+  const Workload ref = workload_at(1, 8800);
+  for (int i = 0; i < 6; ++i) {
+    const Workload w = workload_at(bits[i], dims[i]);
+    EXPECT_GT(relative_efficiency(fpga, w, cpu, ref),
+              relative_efficiency(cpu, w, cpu, ref))
+        << "bits=" << bits[i];
+  }
+}
+
+TEST(DeviceModel, EnergyScalesLinearlyWithSamples) {
+  const CpuModel cpu;
+  Workload w = workload_at(8);
+  const double e1 = cpu.energy_joules(w);
+  w.samples *= 10;
+  EXPECT_NEAR(cpu.energy_joules(w), 10.0 * e1, 1e-9 * e1);
+}
+
+TEST(DeviceModel, RuntimePositiveAndFinite) {
+  const CpuModel cpu;
+  const FpgaModel fpga;
+  for (int bits : {1, 2, 4, 8, 16, 32}) {
+    const Workload w = workload_at(bits);
+    EXPECT_GT(cpu.runtime_seconds(w), 0.0);
+    EXPECT_GT(fpga.runtime_seconds(w), 0.0);
+    EXPECT_TRUE(std::isfinite(cpu.runtime_seconds(w)));
+    EXPECT_TRUE(std::isfinite(fpga.runtime_seconds(w)));
+  }
+}
+
+TEST(DeviceModel, FpgaEnergyConsistentWithPowerBudget) {
+  // energy = power * runtime must hold by construction.
+  const FpgaModel fpga;
+  const Workload w = workload_at(8);
+  EXPECT_NEAR(fpga.energy_joules(w),
+              fpga.power_watts * fpga.runtime_seconds(w),
+              1e-9 * fpga.energy_joules(w));
+}
+
+TEST(DeviceModel, Names) {
+  EXPECT_NE(CpuModel{}.name().find("CPU"), std::string::npos);
+  EXPECT_NE(FpgaModel{}.name().find("FPGA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cyberhd::hw

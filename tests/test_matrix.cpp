@@ -1,0 +1,244 @@
+// Unit tests for core/matrix: the dense kernels every higher layer builds on.
+#include "core/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cyberhd::core {
+namespace {
+
+TEST(Matrix, ConstructionZeroInitializes) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0f);
+  }
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 2, 1.5f);
+  EXPECT_EQ(m(0, 0), 1.5f);
+  EXPECT_EQ(m(1, 1), 1.5f);
+}
+
+TEST(Matrix, ElementAccessIsRowMajor) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  EXPECT_EQ(m.data()[0], 1.0f);
+  EXPECT_EQ(m.data()[2], 3.0f);
+  EXPECT_EQ(m.data()[3], 4.0f);
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 9.0f;
+  EXPECT_EQ(m(1, 2), 9.0f);
+}
+
+TEST(Matrix, FillAndResize) {
+  Matrix m(2, 2);
+  m.fill(7.0f);
+  EXPECT_EQ(m(1, 1), 7.0f);
+  m.resize(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m(2, 4), 0.0f);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m(2, 3);
+  float v = 0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(t(c, r), m(r, c));
+  }
+}
+
+TEST(Matrix, EqualityIsValueBased) {
+  Matrix a(2, 2, 1.0f), b(2, 2, 1.0f), c(2, 2, 2.0f);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(VectorKernels, DotBasic) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {4, 5, 6};
+  EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+}
+
+TEST(VectorKernels, DotHandlesTail) {
+  // Length not divisible by the 4-wide unroll.
+  const std::vector<float> a = {1, 1, 1, 1, 1, 1, 1};
+  const std::vector<float> b = {2, 2, 2, 2, 2, 2, 2};
+  EXPECT_FLOAT_EQ(dot(a, b), 14.0f);
+}
+
+TEST(VectorKernels, DotEmpty) {
+  const std::vector<float> a, b;
+  EXPECT_FLOAT_EQ(dot(a, b), 0.0f);
+}
+
+TEST(VectorKernels, Norm2) {
+  const std::vector<float> a = {3, 4};
+  EXPECT_FLOAT_EQ(norm2(a), 5.0f);
+}
+
+TEST(VectorKernels, Axpy) {
+  const std::vector<float> x = {1, 2, 3};
+  std::vector<float> y = {10, 10, 10};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 14.0f);
+  EXPECT_FLOAT_EQ(y[2], 16.0f);
+}
+
+TEST(VectorKernels, Scale) {
+  std::vector<float> x = {1, -2, 3};
+  scale(x, -2.0f);
+  EXPECT_FLOAT_EQ(x[0], -2.0f);
+  EXPECT_FLOAT_EQ(x[1], 4.0f);
+  EXPECT_FLOAT_EQ(x[2], -6.0f);
+}
+
+TEST(VectorKernels, NormalizeL2) {
+  std::vector<float> x = {3, 4};
+  const float n = normalize_l2(x);
+  EXPECT_FLOAT_EQ(n, 5.0f);
+  EXPECT_NEAR(norm2(x), 1.0f, 1e-6f);
+}
+
+TEST(VectorKernels, NormalizeZeroVectorIsNoop) {
+  std::vector<float> x = {0, 0, 0};
+  const float n = normalize_l2(x);
+  EXPECT_FLOAT_EQ(n, 0.0f);
+  for (float v : x) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(VectorKernels, CosineIdenticalIsOne) {
+  const std::vector<float> a = {1, 2, 3};
+  EXPECT_NEAR(cosine(a, a), 1.0f, 1e-6f);
+}
+
+TEST(VectorKernels, CosineOppositeIsMinusOne) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {-1, -2, -3};
+  EXPECT_NEAR(cosine(a, b), -1.0f, 1e-6f);
+}
+
+TEST(VectorKernels, CosineOrthogonalIsZero) {
+  const std::vector<float> a = {1, 0};
+  const std::vector<float> b = {0, 1};
+  EXPECT_NEAR(cosine(a, b), 0.0f, 1e-6f);
+}
+
+TEST(VectorKernels, CosineZeroNormReturnsZero) {
+  const std::vector<float> a = {0, 0};
+  const std::vector<float> b = {1, 1};
+  EXPECT_FLOAT_EQ(cosine(a, b), 0.0f);
+}
+
+TEST(VectorKernels, CosineScaleInvariant) {
+  const std::vector<float> a = {1, 2, 3, 4};
+  std::vector<float> b = {2, -1, 0, 5};
+  const float c1 = cosine(a, b);
+  scale(b, 7.0f);
+  EXPECT_NEAR(cosine(a, b), c1, 1e-6f);
+}
+
+TEST(MatrixKernels, GemvMatchesManual) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const std::vector<float> x = {1, 1, 1};
+  std::vector<float> y(2);
+  gemv(a, x, y);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[1], 15.0f);
+}
+
+TEST(MatrixKernels, GemvTransposedMatchesTransposeThenGemv) {
+  Matrix a(3, 4);
+  float v = 1;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = v++ * 0.5f;
+  }
+  const std::vector<float> x = {1, -1, 2};
+  std::vector<float> y1(4), y2(4);
+  gemv_transposed(a, x, y1);
+  gemv(a.transposed(), x, y2);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-5f);
+}
+
+TEST(MatrixKernels, GemmMatchesNaive) {
+  Matrix a(3, 2), b(2, 4);
+  float v = 1;
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = v++;
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = v++ * 0.1f;
+  Matrix c;
+  gemm(a, b, c);
+  ASSERT_EQ(c.rows(), 3u);
+  ASSERT_EQ(c.cols(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      float expect = 0;
+      for (std::size_t p = 0; p < 2; ++p) expect += a(i, p) * b(p, j);
+      EXPECT_NEAR(c(i, j), expect, 1e-5f);
+    }
+  }
+}
+
+TEST(MatrixKernels, GemmWithZerosSkipsWork) {
+  Matrix a(2, 2), b(2, 2, 1.0f);
+  a(0, 0) = 0; a(0, 1) = 2; a(1, 0) = 0; a(1, 1) = 0;
+  Matrix c;
+  gemm(a, b, c);
+  EXPECT_FLOAT_EQ(c(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 0.0f);
+}
+
+TEST(MatrixKernels, Argmax) {
+  const std::vector<float> x = {1, 5, 3, 5, 2};
+  EXPECT_EQ(argmax(x), 1u);  // first of ties
+  const std::vector<float> neg = {-3, -1, -2};
+  EXPECT_EQ(argmax(neg), 1u);
+  const std::vector<float> empty;
+  EXPECT_EQ(argmax(empty), 0u);
+}
+
+TEST(MatrixKernels, ShapeString) {
+  Matrix m(3, 7);
+  EXPECT_EQ(shape_string(m), "(3 x 7)");
+}
+
+// Property: dot(a,b) == dot(b,a) and |dot| <= |a||b| for random data.
+class DotProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DotProperty, SymmetricAndCauchySchwarz) {
+  const std::size_t n = GetParam();
+  std::vector<float> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(std::sin(0.7 * static_cast<double>(i + 1)));
+    b[i] = static_cast<float>(std::cos(1.3 * static_cast<double>(i + 1)));
+  }
+  EXPECT_FLOAT_EQ(dot(a, b), dot(b, a));
+  EXPECT_LE(std::abs(dot(a, b)), norm2(a) * norm2(b) + 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DotProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 17,
+                                           64, 100, 513));
+
+}  // namespace
+}  // namespace cyberhd::core

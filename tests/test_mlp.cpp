@@ -1,0 +1,208 @@
+// Tests for the MLP baseline: softmax contracts, learning nonlinear
+// decision boundaries (XOR), and training diagnostics.
+#include "baselines/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+
+namespace cyberhd::baselines {
+namespace {
+
+TEST(Softmax, SumsToOne) {
+  const std::vector<float> logits = {1.0f, 2.0f, 3.0f};
+  std::vector<float> probs(3);
+  softmax(logits, probs);
+  float sum = 0;
+  for (float p : probs) {
+    EXPECT_GT(p, 0.0f);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(probs[2], probs[1]);
+  EXPECT_GT(probs[1], probs[0]);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  const std::vector<float> logits = {1000.0f, 1001.0f};
+  std::vector<float> probs(2);
+  softmax(logits, probs);
+  EXPECT_TRUE(std::isfinite(probs[0]));
+  EXPECT_NEAR(probs[0] + probs[1], 1.0f, 1e-6f);
+  EXPECT_GT(probs[1], probs[0]);
+}
+
+TEST(Softmax, UniformForEqualLogits) {
+  const std::vector<float> logits = {5.0f, 5.0f, 5.0f, 5.0f};
+  std::vector<float> probs(4);
+  softmax(logits, probs);
+  for (float p : probs) EXPECT_NEAR(p, 0.25f, 1e-6f);
+}
+
+TEST(Mlp, RejectsZeroBatch) {
+  MlpConfig cfg;
+  cfg.batch_size = 0;
+  EXPECT_THROW(Mlp{cfg}, std::invalid_argument);
+}
+
+TEST(Mlp, RejectsEmptyTrainingSet) {
+  Mlp mlp;
+  core::Matrix empty(0, 4);
+  EXPECT_THROW(mlp.fit(empty, {}, 2), std::invalid_argument);
+}
+
+TEST(Mlp, LearnsXor) {
+  // XOR is the canonical not-linearly-separable task.
+  core::Matrix x(200, 2);
+  std::vector<int> y(200);
+  core::Rng rng(3);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const int a = static_cast<int>(rng.next_below(2));
+    const int b = static_cast<int>(rng.next_below(2));
+    x(i, 0) = static_cast<float>(a) + static_cast<float>(rng.gaussian(0, 0.05));
+    x(i, 1) = static_cast<float>(b) + static_cast<float>(rng.gaussian(0, 0.05));
+    y[i] = a ^ b;
+  }
+  MlpConfig cfg;
+  cfg.hidden = {16};
+  cfg.epochs = 60;
+  cfg.batch_size = 16;
+  Mlp mlp(cfg);
+  mlp.fit(x, y, 2);
+  EXPECT_GT(mlp.evaluate(x, y), 0.97);
+}
+
+TEST(Mlp, LossDecreases) {
+  core::Matrix x(100, 2);
+  std::vector<int> y(100);
+  core::Rng rng(5);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    x(i, 0) = static_cast<float>(cls) +
+              static_cast<float>(rng.gaussian(0, 0.1));
+    x(i, 1) = static_cast<float>(rng.gaussian(0, 0.1));
+    y[i] = cls;
+  }
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 40;
+  cfg.batch_size = 8;  // enough optimizer steps on 100 samples
+  Mlp mlp(cfg);
+  mlp.fit(x, y, 2);
+  const auto losses = mlp.loss_history();
+  ASSERT_EQ(losses.size(), 40u);
+  EXPECT_LT(losses.back(), losses.front());
+  EXPECT_LT(losses.back(), 0.1);
+}
+
+TEST(Mlp, PredictProbaSumsToOne) {
+  core::Matrix x(60, 3);
+  std::vector<int> y(60);
+  core::Rng rng(7);
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (std::size_t f = 0; f < 3; ++f) {
+      x(i, f) = static_cast<float>(rng.gaussian(0, 1));
+    }
+    y[i] = static_cast<int>(i % 3);
+  }
+  Mlp mlp;
+  mlp.fit(x, y, 3);
+  std::vector<float> probs(3);
+  mlp.predict_proba(x.row(0), probs);
+  float sum = 0;
+  for (float p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(Mlp, ParameterCount) {
+  core::Matrix x(10, 4);
+  std::vector<int> y(10, 0);
+  y[1] = 1;
+  MlpConfig cfg;
+  cfg.hidden = {8, 8};
+  cfg.epochs = 1;
+  Mlp mlp(cfg);
+  mlp.fit(x, y, 2);
+  // (4*8 + 8) + (8*8 + 8) + (8*2 + 2) = 40 + 72 + 18 = 130.
+  EXPECT_EQ(mlp.num_parameters(), 130u);
+  EXPECT_EQ(mlp.num_layers(), 3u);
+}
+
+TEST(Mlp, NameListsArchitecture) {
+  MlpConfig cfg;
+  cfg.hidden = {96, 96};
+  const Mlp mlp(cfg);
+  EXPECT_EQ(mlp.name(), "MLP(96-96)");
+}
+
+TEST(Mlp, DeterministicGivenSeed) {
+  core::Matrix x(80, 2);
+  std::vector<int> y(80);
+  core::Rng rng(11);
+  for (std::size_t i = 0; i < 80; ++i) {
+    x(i, 0) = static_cast<float>(rng.gaussian(0, 1));
+    x(i, 1) = static_cast<float>(rng.gaussian(0, 1));
+    y[i] = x(i, 0) > 0 ? 1 : 0;
+  }
+  MlpConfig cfg;
+  cfg.epochs = 5;
+  Mlp a(cfg), b(cfg);
+  a.fit(x, y, 2);
+  b.fit(x, y, 2);
+  for (std::size_t i = 0; i < 80; i += 9) {
+    EXPECT_EQ(a.predict(x.row(i)), b.predict(x.row(i)));
+  }
+}
+
+TEST(Mlp, WeightAccessForFaultInjection) {
+  core::Matrix x(20, 2);
+  std::vector<int> y(20, 0);
+  y[1] = 1;
+  MlpConfig cfg;
+  cfg.hidden = {4};
+  cfg.epochs = 1;
+  Mlp mlp(cfg);
+  mlp.fit(x, y, 2);
+  auto& w0 = mlp.layer_weights(0);
+  EXPECT_EQ(w0.rows(), 4u);
+  EXPECT_EQ(w0.cols(), 2u);
+  const float original = w0(0, 0);
+  w0(0, 0) = original + 100.0f;  // mutable access must stick
+  EXPECT_EQ(mlp.layer_weights(0)(0, 0), original + 100.0f);
+}
+
+// Depth sweep: various architectures all learn a simple linear task.
+class MlpArchSweep
+    : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(MlpArchSweep, LearnsLinearTask) {
+  core::Matrix x(150, 2);
+  std::vector<int> y(150);
+  core::Rng rng(13);
+  for (std::size_t i = 0; i < 150; ++i) {
+    x(i, 0) = static_cast<float>(rng.gaussian(0, 1));
+    x(i, 1) = static_cast<float>(rng.gaussian(0, 1));
+    y[i] = (x(i, 0) + x(i, 1) > 0) ? 1 : 0;
+  }
+  MlpConfig cfg;
+  cfg.hidden = GetParam();
+  cfg.epochs = 40;
+  cfg.batch_size = 16;
+  Mlp mlp(cfg);
+  mlp.fit(x, y, 2);
+  EXPECT_GT(mlp.evaluate(x, y), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, MlpArchSweep,
+    ::testing::Values(std::vector<std::size_t>{},          // logistic reg.
+                      std::vector<std::size_t>{8},
+                      std::vector<std::size_t>{16, 16},
+                      std::vector<std::size_t>{8, 8, 8}));
+
+}  // namespace
+}  // namespace cyberhd::baselines

@@ -1,0 +1,149 @@
+// Unit tests for hdc/model: bundling, cosine scoring, normalization, and
+// the variance statistic regeneration ranks dimensions by.
+#include "hdc/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/matrix.hpp"
+
+namespace cyberhd::hdc {
+namespace {
+
+TEST(HdcModel, ConstructionZeroed) {
+  HdcModel m(3, 16);
+  EXPECT_EQ(m.num_classes(), 3u);
+  EXPECT_EQ(m.dims(), 16u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (float v : m.class_vector(c)) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(HdcModel, BundleAccumulates) {
+  HdcModel m(2, 3);
+  const std::vector<float> h1 = {1, 2, 3};
+  const std::vector<float> h2 = {1, 0, -1};
+  m.bundle(0, h1);
+  m.bundle(0, h2);
+  m.bundle(1, h2, 2.0f);
+  EXPECT_FLOAT_EQ(m.class_vector(0)[0], 2.0f);
+  EXPECT_FLOAT_EQ(m.class_vector(0)[2], 2.0f);
+  EXPECT_FLOAT_EQ(m.class_vector(1)[0], 2.0f);
+  EXPECT_FLOAT_EQ(m.class_vector(1)[2], -2.0f);
+}
+
+TEST(HdcModel, SimilaritiesAreCosines) {
+  HdcModel m(2, 2);
+  m.bundle(0, std::vector<float>{1, 0});
+  m.bundle(1, std::vector<float>{0, 1});
+  std::vector<float> scores(2);
+  m.similarities(std::vector<float>{1, 0}, scores);
+  EXPECT_NEAR(scores[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(scores[1], 0.0f, 1e-6f);
+}
+
+TEST(HdcModel, ZeroClassScoresZero) {
+  HdcModel m(2, 4);
+  m.bundle(0, std::vector<float>{1, 1, 1, 1});
+  std::vector<float> scores(2);
+  m.similarities(std::vector<float>{1, 1, 1, 1}, scores);
+  EXPECT_NEAR(scores[0], 1.0f, 1e-6f);
+  EXPECT_EQ(scores[1], 0.0f);  // class 1 never bundled
+}
+
+TEST(HdcModel, PredictEncodedPicksNearest) {
+  HdcModel m(3, 4);
+  m.bundle(0, std::vector<float>{1, 0, 0, 0});
+  m.bundle(1, std::vector<float>{0, 1, 0, 0});
+  m.bundle(2, std::vector<float>{0, 0, 1, 1});
+  EXPECT_EQ(m.predict_encoded(std::vector<float>{0.9f, 0.1f, 0, 0}), 0u);
+  EXPECT_EQ(m.predict_encoded(std::vector<float>{0, 1, 0.1f, 0}), 1u);
+  EXPECT_EQ(m.predict_encoded(std::vector<float>{0, 0, 1, 0.9f}), 2u);
+}
+
+TEST(HdcModel, NormalizeRows) {
+  HdcModel m(2, 3);
+  m.bundle(0, std::vector<float>{3, 0, 4});
+  m.bundle(1, std::vector<float>{0, 0, 0});  // zero row untouched
+  m.normalize_rows();
+  EXPECT_NEAR(core::norm2(m.class_vector(0)), 1.0f, 1e-6f);
+  EXPECT_EQ(core::norm2(m.class_vector(1)), 0.0f);
+}
+
+TEST(HdcModel, DimensionVariancesIdentifyCommonDims) {
+  HdcModel m(3, 3);
+  // Dim 0 identical across classes (common), dim 1 distinct, dim 2 wildly
+  // distinct. Rows are already unit-ish; normalization happens inside.
+  m.bundle(0, std::vector<float>{1.0f, 0.1f, 0.5f});
+  m.bundle(1, std::vector<float>{1.0f, 0.2f, -0.5f});
+  m.bundle(2, std::vector<float>{1.0f, 0.3f, 0.0f});
+  std::vector<float> var(3);
+  m.dimension_variances(var);
+  EXPECT_LT(var[0], var[2]);
+  EXPECT_LT(var[1], var[2]);
+}
+
+TEST(HdcModel, DimensionVariancesDoesNotModifyModel) {
+  HdcModel m(2, 2);
+  m.bundle(0, std::vector<float>{5, 3});
+  const float before = m.class_vector(0)[0];
+  std::vector<float> var(2);
+  m.dimension_variances(var);
+  EXPECT_EQ(m.class_vector(0)[0], before);
+}
+
+TEST(HdcModel, NormalizationPreventsMagnitudeMasquerade) {
+  // Two classes pointing the same direction but at different magnitudes:
+  // raw variance would be large everywhere, normalized variance ~ 0.
+  HdcModel m(2, 2);
+  m.bundle(0, std::vector<float>{1, 1});
+  m.bundle(1, std::vector<float>{100, 100});
+  std::vector<float> var(2);
+  m.dimension_variances(var);
+  EXPECT_NEAR(var[0], 0.0f, 1e-8f);
+  EXPECT_NEAR(var[1], 0.0f, 1e-8f);
+}
+
+TEST(HdcModel, ZeroDimensions) {
+  HdcModel m(2, 4);
+  m.bundle(0, std::vector<float>{1, 2, 3, 4});
+  m.bundle(1, std::vector<float>{5, 6, 7, 8});
+  const std::vector<std::size_t> dims = {1, 3};
+  m.zero_dimensions(dims);
+  EXPECT_EQ(m.class_vector(0)[1], 0.0f);
+  EXPECT_EQ(m.class_vector(0)[3], 0.0f);
+  EXPECT_EQ(m.class_vector(1)[1], 0.0f);
+  EXPECT_EQ(m.class_vector(0)[0], 1.0f);
+  EXPECT_EQ(m.class_vector(1)[2], 7.0f);
+}
+
+TEST(HdcModel, LowestKBasic) {
+  const std::vector<float> values = {5, 1, 4, 0, 3};
+  const auto idx = HdcModel::lowest_k(values, 2);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 3u);
+  EXPECT_EQ(idx[1], 1u);
+}
+
+TEST(HdcModel, LowestKTiesBrokenByIndex) {
+  const std::vector<float> values = {2, 1, 1, 1};
+  const auto idx = HdcModel::lowest_k(values, 2);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 2u);
+}
+
+TEST(HdcModel, LowestKClampsCount) {
+  const std::vector<float> values = {1, 2};
+  const auto idx = HdcModel::lowest_k(values, 10);
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(HdcModel, LowestKZero) {
+  const std::vector<float> values = {1, 2};
+  EXPECT_TRUE(HdcModel::lowest_k(values, 0).empty());
+}
+
+}  // namespace
+}  // namespace cyberhd::hdc

@@ -1,0 +1,267 @@
+// Tests for the nids substrate: schema fidelity against the real datasets,
+// synthesizer determinism and class structure, and the CSV ingestion path.
+#include "nids/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "core/csv.hpp"
+#include "nids/preprocess.hpp"
+#include "nids/synth.hpp"
+
+namespace cyberhd::nids {
+namespace {
+
+TEST(Schema, NslKddShape) {
+  const DatasetSchema s = make_schema(DatasetId::kNslKdd);
+  EXPECT_EQ(s.num_features(), 41u);  // the canonical 41 KDD features
+  EXPECT_EQ(s.num_categorical(), 3u);
+  EXPECT_EQ(s.num_classes(), 5u);
+  EXPECT_EQ(s.class_names[0], "normal");
+  EXPECT_EQ(s.benign_class, 0u);
+  EXPECT_EQ(s.features[1].name, "protocol_type");
+  EXPECT_EQ(s.features[1].cardinality, 3u);
+}
+
+TEST(Schema, NslKddAttackAliases) {
+  const DatasetSchema s = make_schema(DatasetId::kNslKdd);
+  EXPECT_EQ(s.resolve_label("neptune"), 1u);   // dos
+  EXPECT_EQ(s.resolve_label("nmap"), 2u);      // probe
+  EXPECT_EQ(s.resolve_label("warezmaster"), 3u);  // r2l
+  EXPECT_EQ(s.resolve_label("rootkit"), 4u);   // u2r
+  EXPECT_EQ(s.resolve_label("normal"), 0u);
+  EXPECT_EQ(s.resolve_label("NORMAL"), 0u);    // case-insensitive
+  EXPECT_EQ(s.resolve_label("no-such-attack"), s.num_classes());
+}
+
+TEST(Schema, UnswShape) {
+  const DatasetSchema s = make_schema(DatasetId::kUnswNb15);
+  EXPECT_EQ(s.num_features(), 42u);
+  EXPECT_EQ(s.num_categorical(), 3u);
+  EXPECT_EQ(s.num_classes(), 10u);
+  EXPECT_EQ(s.resolve_label("backdoors"), 7u);  // alias for backdoor
+}
+
+TEST(Schema, CicIds2017Shape) {
+  const DatasetSchema s = make_schema(DatasetId::kCicIds2017);
+  EXPECT_EQ(s.num_features(), 78u);  // CICFlowMeter features
+  EXPECT_EQ(s.num_categorical(), 0u);
+  EXPECT_EQ(s.num_classes(), 8u);
+  EXPECT_EQ(s.resolve_label("DoS Hulk"), 1u);
+  EXPECT_EQ(s.resolve_label("FTP-Patator"), 5u);
+}
+
+TEST(Schema, CicIds2018Shape) {
+  const DatasetSchema s = make_schema(DatasetId::kCicIds2018);
+  EXPECT_EQ(s.num_features(), 79u);  // 2017 set plus protocol
+  EXPECT_EQ(s.num_classes(), 7u);
+  EXPECT_EQ(s.features[0].name, "protocol");
+  EXPECT_EQ(s.resolve_label("SSH-Bruteforce"), 5u);
+}
+
+TEST(Schema, EncodedWidth) {
+  const DatasetSchema s = make_schema(DatasetId::kNslKdd);
+  // 38 numeric + 3 + 66 + 11 one-hot = 118.
+  EXPECT_EQ(s.encoded_width(), 38u + 3u + 66u + 11u);
+}
+
+TEST(Schema, DatasetNames) {
+  EXPECT_STREQ(to_string(DatasetId::kNslKdd), "NSL-KDD");
+  EXPECT_STREQ(to_string(DatasetId::kUnswNb15), "UNSW-NB15");
+  EXPECT_STREQ(to_string(DatasetId::kCicIds2017), "CIC-IDS-2017");
+  EXPECT_STREQ(to_string(DatasetId::kCicIds2018), "CIC-IDS-2018");
+}
+
+TEST(Synthesizer, GenerateIsDeterministic) {
+  const FlowSynthesizer a = make_synthesizer(DatasetId::kNslKdd, 7);
+  const FlowSynthesizer b = make_synthesizer(DatasetId::kNslKdd, 7);
+  const Dataset da = a.generate(500, 0);
+  const Dataset db = b.generate(500, 0);
+  EXPECT_EQ(da.x, db.x);
+  EXPECT_EQ(da.y, db.y);
+}
+
+TEST(Synthesizer, StreamsAreIndependent) {
+  const FlowSynthesizer s = make_synthesizer(DatasetId::kNslKdd, 7);
+  const Dataset train = s.generate(300, 0);
+  const Dataset test = s.generate(300, 1);
+  EXPECT_NE(train.x, test.x);
+}
+
+TEST(Synthesizer, SeedChangesData) {
+  const Dataset a = make_synthesizer(DatasetId::kNslKdd, 7).generate(200, 0);
+  const Dataset b = make_synthesizer(DatasetId::kNslKdd, 8).generate(200, 0);
+  EXPECT_NE(a.x, b.x);
+}
+
+TEST(Synthesizer, ClassCountsFollowPrior) {
+  const FlowSynthesizer s = make_synthesizer(DatasetId::kNslKdd, 7);
+  const std::size_t n = 10000;
+  const Dataset d = s.generate(n, 0);
+  const auto hist = class_histogram(d.y, d.schema.num_classes());
+  const auto& prior = s.class_prior();
+  for (std::size_t c = 0; c < hist.size(); ++c) {
+    // Counts follow the prior up to label noise (tolerance 2%).
+    EXPECT_NEAR(static_cast<double>(hist[c]) / n, prior[c], 0.02)
+        << "class " << c;
+    EXPECT_GE(hist[c], 1u);  // every class represented
+  }
+}
+
+TEST(Synthesizer, EveryClassPresentEvenWhenRare) {
+  // u2r has prior 0.002; at n = 1000 exact allocation would round to 2.
+  const FlowSynthesizer s = make_synthesizer(DatasetId::kNslKdd, 7);
+  const Dataset d = s.generate(1000, 0);
+  const auto hist = class_histogram(d.y, 5);
+  for (std::size_t c = 0; c < 5; ++c) EXPECT_GE(hist[c], 1u);
+}
+
+TEST(Synthesizer, CategoricalCodesWithinCardinality) {
+  const FlowSynthesizer s = make_synthesizer(DatasetId::kUnswNb15, 7);
+  const Dataset d = s.generate(500, 0);
+  for (std::size_t f = 0; f < d.schema.num_features(); ++f) {
+    if (d.schema.features[f].type != FeatureType::kCategorical) continue;
+    for (std::size_t r = 0; r < d.size(); ++r) {
+      const float v = d.x(r, f);
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LT(v, static_cast<float>(d.schema.features[f].cardinality));
+      EXPECT_EQ(v, std::floor(v));  // integral code
+    }
+  }
+}
+
+TEST(Synthesizer, RadialClassesAreMarked) {
+  const FlowSynthesizer s = make_synthesizer(DatasetId::kUnswNb15, 7);
+  EXPECT_FALSE(s.is_radial_class(0));  // benign is never radial
+  std::size_t radial = 0;
+  for (std::size_t c = 0; c < 10; ++c) {
+    if (s.is_radial_class(c)) ++radial;
+  }
+  EXPECT_EQ(radial, s.config().radial_classes);
+}
+
+TEST(Synthesizer, HeavyTailedFeaturesSpanDecades) {
+  const FlowSynthesizer s = make_synthesizer(DatasetId::kNslKdd, 7);
+  const Dataset d = s.generate(3000, 0);
+  // src_bytes (index 4) is heavy-tailed: max/median should be large.
+  std::vector<float> col;
+  for (std::size_t r = 0; r < d.size(); ++r) col.push_back(d.x(r, 4));
+  std::sort(col.begin(), col.end());
+  const float median = col[col.size() / 2];
+  const float max = col.back();
+  EXPECT_GT(max / std::max(std::abs(median), 1e-3f), 20.0f);
+}
+
+TEST(Synthesizer, SampleFlowMatchesSchemaWidth) {
+  const FlowSynthesizer s = make_synthesizer(DatasetId::kCicIds2017, 7);
+  core::Rng rng(3);
+  std::vector<float> flow(s.schema().num_features());
+  s.sample_flow(0, flow, rng);  // must not crash; width enforced by assert
+  SUCCEED();
+}
+
+TEST(LoadCsv, RoundTripsSyntheticData) {
+  // Write a small synthetic NSL-KDD-style CSV with symbolic labels, read it
+  // back through the schema, and compare labels and numeric columns.
+  const DatasetSchema schema = make_schema(DatasetId::kNslKdd);
+  const FlowSynthesizer s = make_synthesizer(DatasetId::kNslKdd, 7);
+  const Dataset d = s.generate(50, 0);
+  const std::string path = ::testing::TempDir() + "/nsl_test.csv";
+  {
+    std::ofstream out(path);
+    for (std::size_t r = 0; r < d.size(); ++r) {
+      core::CsvRow row;
+      for (std::size_t f = 0; f < schema.num_features(); ++f) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6f", d.x(r, f));
+        row.push_back(buf);
+      }
+      row.push_back(schema.class_names[static_cast<std::size_t>(d.y[r])]);
+      row.push_back("21");  // NSL-KDD difficulty column, must be ignored
+      out << core::to_csv_line(row) << "\n";
+    }
+  }
+  const Dataset loaded = load_csv(schema, path, /*header=*/false);
+  ASSERT_EQ(loaded.size(), d.size());
+  EXPECT_EQ(loaded.y, d.y);
+  // Numeric columns match to print precision.
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    EXPECT_NEAR(loaded.x(r, 0), d.x(r, 0), 1e-4f);
+    EXPECT_NEAR(loaded.x(r, 4), d.x(r, 4), 1e-2f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LoadCsv, SkipsUnknownLabelsAndShortRows) {
+  const DatasetSchema schema = make_schema(DatasetId::kNslKdd);
+  const std::string path = ::testing::TempDir() + "/nsl_bad.csv";
+  {
+    std::ofstream out(path);
+    // Too-short row, unknown label row: both skipped.
+    out << "1,2,3\n";
+    std::string row;
+    for (std::size_t f = 0; f < schema.num_features(); ++f) row += "0,";
+    out << row << "martian\n";
+    out << row << "neptune\n";  // valid: dos
+  }
+  const Dataset loaded = load_csv(schema, path, false);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.y[0], 1);
+  std::remove(path.c_str());
+}
+
+TEST(LoadCsv, ThrowsOnMissingFile) {
+  const DatasetSchema schema = make_schema(DatasetId::kNslKdd);
+  EXPECT_THROW(load_csv(schema, "/no/such/file.csv", false),
+               std::runtime_error);
+}
+
+TEST(LoadCsv, HandlesInfinityAndNanCells) {
+  const DatasetSchema schema = make_schema(DatasetId::kCicIds2017);
+  const std::string path = ::testing::TempDir() + "/cic_inf.csv";
+  {
+    std::ofstream out(path);
+    std::string row;
+    for (std::size_t f = 0; f < schema.num_features(); ++f) {
+      row += (f == 14 ? std::string("Infinity,") : std::string("1.5,"));
+    }
+    out << row << "BENIGN\n";
+  }
+  const Dataset loaded = load_csv(schema, path, false);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.x(0, 14), 0.0f);  // Infinity zeroed like standard scripts
+  EXPECT_EQ(loaded.x(0, 0), 1.5f);
+  std::remove(path.c_str());
+}
+
+// Sweep: all four datasets generate, with correct schema wiring.
+class DatasetSweep : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetSweep, GeneratesConsistentDataset) {
+  const FlowSynthesizer s = make_synthesizer(GetParam(), 11);
+  const Dataset d = s.generate(400, 0);
+  EXPECT_EQ(d.size(), 400u);
+  EXPECT_EQ(d.x.cols(), d.schema.num_features());
+  EXPECT_EQ(d.y.size(), 400u);
+  for (int label : d.y) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, static_cast<int>(d.schema.num_classes()));
+  }
+  for (std::size_t i = 0; i < d.x.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(d.x.data()[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, DatasetSweep,
+                         ::testing::Values(DatasetId::kNslKdd,
+                                           DatasetId::kUnswNb15,
+                                           DatasetId::kCicIds2017,
+                                           DatasetId::kCicIds2018));
+
+}  // namespace
+}  // namespace cyberhd::nids

@@ -1,0 +1,201 @@
+// Tests for nids/preprocess: one-hot expansion, scaling without test
+// leakage, and stratified splitting.
+#include "nids/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "nids/datasets.hpp"
+
+namespace cyberhd::nids {
+namespace {
+
+Dataset tiny_dataset() {
+  DatasetSchema schema;
+  schema.name = "tiny";
+  schema.features = {
+      {"amount", FeatureType::kNumeric, 0, false},
+      {"proto", FeatureType::kCategorical, 3, false},
+      {"bytes", FeatureType::kNumeric, 0, true},
+  };
+  schema.class_names = {"benign", "attack"};
+  Dataset d;
+  d.schema = schema;
+  d.x.resize(4, 3);
+  // amount, proto code, bytes
+  d.x(0, 0) = 1.0f;  d.x(0, 1) = 0; d.x(0, 2) = 0.0f;
+  d.x(1, 0) = 2.0f;  d.x(1, 1) = 1; d.x(1, 2) = 100.0f;
+  d.x(2, 0) = 3.0f;  d.x(2, 1) = 2; d.x(2, 2) = 10000.0f;
+  d.x(3, 0) = 4.0f;  d.x(3, 1) = 0; d.x(3, 2) = -5.0f;
+  d.y = {0, 0, 1, 1};
+  return d;
+}
+
+TEST(ExpandFeatures, WidthAndOneHot) {
+  const Dataset d = tiny_dataset();
+  const core::Matrix e = expand_features(d);
+  EXPECT_EQ(e.cols(), d.schema.encoded_width());
+  EXPECT_EQ(e.cols(), 5u);  // 1 + 3 + 1
+  // Row 1: proto code 1 -> one-hot position 2 (after "amount").
+  EXPECT_EQ(e(1, 1), 0.0f);
+  EXPECT_EQ(e(1, 2), 1.0f);
+  EXPECT_EQ(e(1, 3), 0.0f);
+  // Exactly one hot per categorical.
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_FLOAT_EQ(e(r, 1) + e(r, 2) + e(r, 3), 1.0f);
+  }
+}
+
+TEST(ExpandFeatures, HeavyTailedGetsLog1p) {
+  const Dataset d = tiny_dataset();
+  const core::Matrix e = expand_features(d);
+  EXPECT_NEAR(e(1, 4), std::log1p(100.0f), 1e-5f);
+  EXPECT_NEAR(e(2, 4), std::log1p(10000.0f), 1e-4f);
+  // Sign preserved for negative values.
+  EXPECT_NEAR(e(3, 4), -std::log1p(5.0f), 1e-5f);
+  // Plain numeric passes through.
+  EXPECT_EQ(e(0, 0), 1.0f);
+}
+
+TEST(ExpandOne, MatchesBatchExpansion) {
+  const Dataset d = tiny_dataset();
+  const core::Matrix e = expand_features(d);
+  std::vector<float> one(d.schema.encoded_width());
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    expand_one(d.schema, d.x.row(r), one);
+    for (std::size_t c = 0; c < one.size(); ++c) {
+      EXPECT_FLOAT_EQ(one[c], e(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(ExpandOne, ClampsOutOfRangeCategoricalCodes) {
+  const Dataset d = tiny_dataset();
+  std::vector<float> raw = {1.0f, 99.0f, 0.0f};  // proto code beyond card
+  std::vector<float> out(d.schema.encoded_width());
+  expand_one(d.schema, raw, out);
+  EXPECT_EQ(out[3], 1.0f);  // clamped to last category
+}
+
+TEST(MinMaxScaler, ScalesToUnitInterval) {
+  core::Matrix x(3, 2);
+  x(0, 0) = 0; x(0, 1) = 10;
+  x(1, 0) = 5; x(1, 1) = 20;
+  x(2, 0) = 10; x(2, 1) = 30;
+  MinMaxScaler scaler;
+  scaler.fit(x);
+  scaler.transform(x);
+  EXPECT_FLOAT_EQ(x(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(x(1, 0), 0.5f);
+  EXPECT_FLOAT_EQ(x(2, 0), 1.0f);
+  EXPECT_FLOAT_EQ(x(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(x(2, 1), 1.0f);
+}
+
+TEST(MinMaxScaler, ClampsOutOfRangeAtTransform) {
+  core::Matrix train(2, 1);
+  train(0, 0) = 0;
+  train(1, 0) = 10;
+  MinMaxScaler scaler;
+  scaler.fit(train);
+  core::Matrix test(2, 1);
+  test(0, 0) = -5;
+  test(1, 0) = 20;
+  scaler.transform(test);
+  EXPECT_FLOAT_EQ(test(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(test(1, 0), 1.0f);
+}
+
+TEST(MinMaxScaler, ConstantColumnMapsToZero) {
+  core::Matrix x(3, 1, 7.0f);
+  MinMaxScaler scaler;
+  scaler.fit(x);
+  scaler.transform(x);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_EQ(x(r, 0), 0.0f);
+}
+
+TEST(StratifiedSplit, DisjointAndComplete) {
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) y.push_back(i % 3);
+  core::Rng rng(7);
+  const SplitIndices split = stratified_split(y, 0.3, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), y.size());
+  std::set<std::size_t> seen;
+  for (std::size_t i : split.train) EXPECT_TRUE(seen.insert(i).second);
+  for (std::size_t i : split.test) EXPECT_TRUE(seen.insert(i).second);
+}
+
+TEST(StratifiedSplit, PreservesClassRatios) {
+  std::vector<int> y;
+  for (int i = 0; i < 900; ++i) y.push_back(0);
+  for (int i = 0; i < 100; ++i) y.push_back(1);
+  core::Rng rng(11);
+  const SplitIndices split = stratified_split(y, 0.2, rng);
+  std::size_t test_minority = 0;
+  for (std::size_t i : split.test) {
+    if (y[i] == 1) ++test_minority;
+  }
+  EXPECT_EQ(test_minority, 20u);  // exactly 20% of the minority class
+}
+
+TEST(StratifiedSplit, TinyClassKeepsOneInEachSide) {
+  std::vector<int> y = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1};
+  core::Rng rng(13);
+  const SplitIndices split = stratified_split(y, 0.1, rng);
+  std::size_t minority_test = 0, minority_train = 0;
+  for (std::size_t i : split.test) {
+    if (y[i] == 1) ++minority_test;
+  }
+  for (std::size_t i : split.train) {
+    if (y[i] == 1) ++minority_train;
+  }
+  EXPECT_EQ(minority_test, 1u);
+  EXPECT_EQ(minority_train, 1u);
+}
+
+TEST(Preprocess, FullPipelineInvariants) {
+  const FlowSynthesizer s = make_synthesizer(DatasetId::kNslKdd, 7);
+  const Dataset raw = s.generate(1000, 0);
+  const TrainTestSplit split = preprocess(raw, 0.25, 42);
+  EXPECT_EQ(split.train.size() + split.test.size(), raw.size());
+  EXPECT_EQ(split.train.num_features(), raw.schema.encoded_width());
+  EXPECT_EQ(split.test.num_features(), raw.schema.encoded_width());
+  EXPECT_EQ(split.train.num_classes, 5u);
+  EXPECT_EQ(split.train.class_names, raw.schema.class_names);
+  EXPECT_EQ(split.train.benign_class, 0u);
+  // Every value in [0, 1] — train by construction, test via clamping.
+  for (std::size_t i = 0; i < split.train.x.size(); ++i) {
+    EXPECT_GE(split.train.x.data()[i], 0.0f);
+    EXPECT_LE(split.train.x.data()[i], 1.0f);
+  }
+  for (std::size_t i = 0; i < split.test.x.size(); ++i) {
+    EXPECT_GE(split.test.x.data()[i], 0.0f);
+    EXPECT_LE(split.test.x.data()[i], 1.0f);
+  }
+}
+
+TEST(Preprocess, DeterministicGivenSeed) {
+  const FlowSynthesizer s = make_synthesizer(DatasetId::kNslKdd, 7);
+  const Dataset raw = s.generate(300, 0);
+  const TrainTestSplit a = preprocess(raw, 0.3, 5);
+  const TrainTestSplit b = preprocess(raw, 0.3, 5);
+  EXPECT_EQ(a.train.x, b.train.x);
+  EXPECT_EQ(a.test.y, b.test.y);
+  const TrainTestSplit c = preprocess(raw, 0.3, 6);
+  EXPECT_NE(a.train.x, c.train.x);
+}
+
+TEST(ClassHistogram, CountsMatch) {
+  const std::vector<int> y = {0, 1, 1, 2, 2, 2};
+  const auto hist = class_histogram(y, 4);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 3u);
+  EXPECT_EQ(hist[3], 0u);
+}
+
+}  // namespace
+}  // namespace cyberhd::nids

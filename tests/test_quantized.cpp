@@ -1,0 +1,179 @@
+// Tests for hdc/quantized: post-training quantization fidelity across
+// bitwidths and the packed 1-bit popcount inference path.
+#include "hdc/quantized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+
+namespace cyberhd::hdc {
+namespace {
+
+struct TrainedFixture {
+  core::Matrix x;
+  std::vector<int> y;
+  CyberHdClassifier model;
+
+  TrainedFixture() : model(make_config()) {
+    const float centers[3][4] = {{0.2f, 0.2f, 0.8f, 0.5f},
+                                 {0.8f, 0.3f, 0.2f, 0.4f},
+                                 {0.5f, 0.8f, 0.5f, 0.9f}};
+    core::Rng rng(5);
+    const std::size_t per_class = 70;
+    x.resize(3 * per_class, 4);
+    y.resize(3 * per_class);
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t i = 0; i < per_class; ++i) {
+        const std::size_t row = c * per_class + i;
+        for (std::size_t f = 0; f < 4; ++f) {
+          x(row, f) = centers[c][f] +
+                      static_cast<float>(rng.gaussian(0.0, 0.06));
+        }
+        y[row] = static_cast<int>(c);
+      }
+    }
+    model.fit(x, y, 3);
+  }
+
+  static CyberHdConfig make_config() {
+    CyberHdConfig cfg;
+    cfg.dims = 256;
+    cfg.regen_steps = 4;
+    cfg.final_epochs = 4;
+    cfg.parallel = false;
+    return cfg;
+  }
+};
+
+TEST(QuantizedHdcModel, RejectsUnsupportedBitwidth) {
+  HdcModel m(2, 8);
+  EXPECT_THROW(QuantizedHdcModel(m, 3), std::invalid_argument);
+  EXPECT_THROW(QuantizedHdcModel(m, 0), std::invalid_argument);
+}
+
+TEST(QuantizedHdcModel, StorageLayoutPerBitwidth) {
+  HdcModel m(3, 64);
+  QuantizedHdcModel one(m, 1);
+  EXPECT_EQ(one.packed_classes().size(), 3u);
+  EXPECT_TRUE(one.level_classes().empty());
+  QuantizedHdcModel eight(m, 8);
+  EXPECT_EQ(eight.level_classes().size(), 3u);
+  EXPECT_TRUE(eight.packed_classes().empty());
+  EXPECT_EQ(one.storage_bits(), 3u * 64u * 1u);
+  EXPECT_EQ(eight.storage_bits(), 3u * 64u * 8u);
+}
+
+TEST(QuantizedHdcModel, HighBitwidthMatchesFloatPredictions) {
+  TrainedFixture f;
+  const QuantizedHdcModel q(f.model.model(), 16);
+  std::vector<float> h(f.model.physical_dims());
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < f.x.rows(); ++i) {
+    f.model.encode(f.x.row(i), h);
+    if (static_cast<int>(q.predict_encoded(h)) == f.model.predict(f.x.row(i))) {
+      ++agree;
+    }
+  }
+  EXPECT_EQ(agree, f.x.rows());
+}
+
+TEST(QuantizedHdcModel, AccuracyDegradesGracefullyWithBits) {
+  TrainedFixture f;
+  const double float_acc = f.model.evaluate(f.x, f.y);
+  std::vector<float> h(f.model.physical_dims());
+  for (int bits : {8, 4, 2, 1}) {
+    const QuantizedHdcModel q(f.model.model(), bits);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < f.x.rows(); ++i) {
+      f.model.encode(f.x.row(i), h);
+      if (q.predict_encoded(h) == static_cast<std::size_t>(f.y[i])) {
+        ++correct;
+      }
+    }
+    const double acc =
+        static_cast<double>(correct) / static_cast<double>(f.x.rows());
+    // Even 1-bit HDC retains most accuracy — the holographic property.
+    EXPECT_GT(acc, float_acc - 0.10) << "bits=" << bits;
+  }
+}
+
+TEST(QuantizedHdcModel, OneBitUsesSignAgreement) {
+  HdcModel m(2, 128);
+  core::Rng rng(7);
+  std::vector<float> proto(128);
+  core::fill_gaussian(rng, proto.data(), proto.size(), 0.0f, 1.0f);
+  m.bundle(0, proto);
+  std::vector<float> anti(proto);
+  core::scale(anti, -1.0f);
+  m.bundle(1, anti);
+  const QuantizedHdcModel q(m, 1);
+  // The prototype itself must classify as class 0 with similarity 1.
+  std::vector<float> scores(2);
+  q.similarities(proto, scores);
+  EXPECT_FLOAT_EQ(scores[0], 1.0f);
+  EXPECT_FLOAT_EQ(scores[1], -1.0f);
+  EXPECT_EQ(q.predict_encoded(proto), 0u);
+}
+
+TEST(QuantizedCyberHd, EndToEndPredictions) {
+  TrainedFixture f;
+  const QuantizedCyberHd q8(f.model, 8);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < f.x.rows(); ++i) {
+    if (q8.predict(f.x.row(i)) == f.y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(f.x.rows()),
+            0.9);
+}
+
+TEST(QuantizedCyberHd, NameIncludesBitsAndDims) {
+  TrainedFixture f;
+  const QuantizedCyberHd q(f.model, 4);
+  EXPECT_NE(q.name().find("q4"), std::string::npos);
+  EXPECT_NE(q.name().find("256"), std::string::npos);
+  EXPECT_EQ(q.bits(), 4);
+}
+
+TEST(QuantizedCyberHd, FitThrows) {
+  TrainedFixture f;
+  QuantizedCyberHd q(f.model, 8);
+  EXPECT_THROW(q.fit(f.x, f.y, 3), std::logic_error);
+}
+
+TEST(QuantizedCyberHd, IndependentOfSourceAfterSnapshot) {
+  TrainedFixture f;
+  const QuantizedCyberHd q(f.model, 8);
+  const int before = q.predict(f.x.row(0));
+  // Retrain the source with a different seed; the snapshot must not move.
+  auto cfg = TrainedFixture::make_config();
+  cfg.seed = 999;
+  f.model = CyberHdClassifier(cfg);
+  f.model.fit(f.x, f.y, 3);
+  EXPECT_EQ(q.predict(f.x.row(0)), before);
+}
+
+// Bitwidth sweep: quantized accuracy is monotone (allowing small noise) in
+// bitwidth on the blob task.
+class QuantizedBitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizedBitSweep, RetainsAccuracy) {
+  TrainedFixture f;
+  const QuantizedCyberHd q(f.model, GetParam());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < f.x.rows(); ++i) {
+    if (q.predict(f.x.row(i)) == f.y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(f.x.rows()),
+            0.85)
+      << "bits=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantizedBitSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace cyberhd::hdc

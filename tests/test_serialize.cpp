@@ -1,0 +1,161 @@
+// Tests for model persistence: encoder round trips for every family and
+// full classifier save/load equivalence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+#include "hdc/cyberhd.hpp"
+#include "hdc/encoder.hpp"
+
+namespace cyberhd::hdc {
+namespace {
+
+std::vector<float> probe_input(std::size_t n) {
+  core::Rng rng(77);
+  std::vector<float> x(n);
+  core::fill_uniform(rng, x.data(), n, 0.0f, 1.0f);
+  return x;
+}
+
+class EncoderRoundTrip : public ::testing::TestWithParam<EncoderKind> {};
+
+TEST_P(EncoderRoundTrip, EncodesIdentically) {
+  core::Rng rng(3);
+  const auto original = make_encoder(GetParam(), 7, 48, rng);
+  std::stringstream buffer;
+  original->serialize(buffer);
+  const auto restored = deserialize_encoder(buffer);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->input_dim(), 7u);
+  EXPECT_EQ(restored->output_dim(), 48u);
+  const auto x = probe_input(7);
+  std::vector<float> h1(48), h2(48);
+  original->encode(x, h1);
+  restored->encode(x, h2);
+  EXPECT_EQ(h1, h2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EncoderRoundTrip,
+                         ::testing::Values(EncoderKind::kRbf,
+                                           EncoderKind::kSignProjection,
+                                           EncoderKind::kIdLevel));
+
+TEST(DeserializeEncoder, RejectsGarbage) {
+  std::stringstream buffer("XXXXnot an encoder");
+  EXPECT_THROW(deserialize_encoder(buffer), std::runtime_error);
+}
+
+TEST(DeserializeEncoder, RejectsTruncation) {
+  core::Rng rng(5);
+  const RbfEncoder enc(4, 16, rng);
+  std::stringstream buffer;
+  enc.serialize(buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(deserialize_encoder(truncated), std::runtime_error);
+}
+
+struct TrainedSmall {
+  core::Matrix x{120, 3};
+  std::vector<int> y = std::vector<int>(120);
+  CyberHdClassifier model;
+
+  TrainedSmall() : model(config()) {
+    core::Rng rng(9);
+    for (std::size_t i = 0; i < 120; ++i) {
+      const int cls = static_cast<int>(i % 3);
+      for (std::size_t f = 0; f < 3; ++f) {
+        x(i, f) = 0.3f * static_cast<float>(cls) +
+                  static_cast<float>(rng.gaussian(0.0, 0.05));
+      }
+      y[i] = cls;
+    }
+    model.fit(x, y, 3);
+  }
+
+  static CyberHdConfig config() {
+    CyberHdConfig cfg;
+    cfg.dims = 96;
+    cfg.regen_steps = 4;
+    cfg.final_epochs = 3;
+    cfg.parallel = false;
+    return cfg;
+  }
+};
+
+TEST(ClassifierPersistence, StreamRoundTripPredictsIdentically) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer);
+  const CyberHdClassifier restored = CyberHdClassifier::load(buffer);
+  for (std::size_t i = 0; i < t.x.rows(); ++i) {
+    EXPECT_EQ(restored.predict(t.x.row(i)), t.model.predict(t.x.row(i)));
+  }
+}
+
+TEST(ClassifierPersistence, PreservesLedgerAndConfig) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer);
+  const CyberHdClassifier restored = CyberHdClassifier::load(buffer);
+  EXPECT_EQ(restored.effective_dims(), t.model.effective_dims());
+  EXPECT_EQ(restored.physical_dims(), t.model.physical_dims());
+  EXPECT_EQ(restored.config().dims, t.model.config().dims);
+  EXPECT_EQ(restored.config().seed, t.model.config().seed);
+  EXPECT_EQ(restored.name(), t.model.name());
+}
+
+TEST(ClassifierPersistence, PreservesScores) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer);
+  const CyberHdClassifier restored = CyberHdClassifier::load(buffer);
+  std::vector<float> s1(3), s2(3);
+  t.model.scores(t.x.row(0), s1);
+  restored.scores(t.x.row(0), s2);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(s1[c], s2[c]);
+}
+
+TEST(ClassifierPersistence, FileRoundTrip) {
+  const TrainedSmall t;
+  const std::string path = ::testing::TempDir() + "/cyberhd_model.bin";
+  t.model.save_file(path);
+  const CyberHdClassifier restored = CyberHdClassifier::load_file(path);
+  EXPECT_EQ(restored.predict(t.x.row(5)), t.model.predict(t.x.row(5)));
+  std::remove(path.c_str());
+}
+
+TEST(ClassifierPersistence, LoadRejectsBadMagic) {
+  std::stringstream buffer("JUNKxxxxxxxxxxxxxxxx");
+  EXPECT_THROW(CyberHdClassifier::load(buffer), std::runtime_error);
+}
+
+TEST(ClassifierPersistence, LoadRejectsTruncation) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() - 64));
+  EXPECT_THROW(CyberHdClassifier::load(truncated), std::runtime_error);
+}
+
+TEST(ClassifierPersistence, LoadFileRejectsMissingFile) {
+  EXPECT_THROW(CyberHdClassifier::load_file("/no/such/model.bin"),
+               std::runtime_error);
+}
+
+TEST(ClassifierPersistence, RestoredModelCanRefit) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer);
+  CyberHdClassifier restored = CyberHdClassifier::load(buffer);
+  restored.fit(t.x, t.y, 3);  // refit must work and reset the ledger
+  EXPECT_GT(restored.evaluate(t.x, t.y), 0.9);
+}
+
+}  // namespace
+}  // namespace cyberhd::hdc

@@ -1,0 +1,208 @@
+// Unit tests for core/stats: Welford accumulation, column variances (the
+// statistic regeneration ranks by), and confusion-matrix metrics.
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cyberhd::core {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance_population(), 0.0);
+  EXPECT_EQ(s.variance_sample(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance_population(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance_population(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_NEAR(s.variance_sample(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i * 0.37) * 10;
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance_population(), all.variance_population(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(ColumnVariances, MatchesManual) {
+  // 3 rows x 2 cols.
+  const float data[] = {1, 10, 2, 10, 3, 10};
+  std::vector<float> out(2);
+  column_variances(data, 3, 2, out);
+  EXPECT_NEAR(out[0], 2.0f / 3.0f, 1e-6f);  // var of {1,2,3}
+  EXPECT_NEAR(out[1], 0.0f, 1e-6f);         // constant column
+}
+
+TEST(ColumnVariances, ZeroRows) {
+  std::vector<float> out(3, 99.0f);
+  column_variances(nullptr, 0, 3, out);
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ColumnVariances, SingleRowIsZero) {
+  const float data[] = {5, -3, 7};
+  std::vector<float> out(3);
+  column_variances(data, 1, 3, out);
+  for (float v : out) EXPECT_NEAR(v, 0.0f, 1e-7f);
+}
+
+TEST(ConfusionMatrix, AccuracyAndCounts) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  cm.add(1, 2);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_EQ(cm.at(1, 2), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 4.0 / 5.0);
+}
+
+TEST(ConfusionMatrix, EmptyAccuracyZero) {
+  ConfusionMatrix cm(2);
+  EXPECT_EQ(cm.accuracy(), 0.0);
+  EXPECT_EQ(cm.macro_f1(), 0.0);
+}
+
+TEST(ConfusionMatrix, PrecisionRecallF1) {
+  ConfusionMatrix cm(2);
+  // class 1: TP=3, FP=1, FN=2.
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(0, 1);
+  cm.add(1, 0);
+  cm.add(1, 0);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 3.0 / 5.0);
+  const double p = 0.75, r = 0.6;
+  EXPECT_NEAR(cm.f1(1), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(ConfusionMatrix, NeverPredictedClassHasZeroPrecision) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(2, 0);
+  EXPECT_EQ(cm.precision(1), 0.0);
+  EXPECT_EQ(cm.recall(1), 0.0);
+  EXPECT_EQ(cm.f1(1), 0.0);
+}
+
+TEST(ConfusionMatrix, MacroF1SkipsAbsentClasses) {
+  ConfusionMatrix cm(3);
+  // Only classes 0 and 1 occur; both perfectly predicted.
+  cm.add(0, 0);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, DetectionRateExcludesBenign) {
+  ConfusionMatrix cm(3);  // class 0 benign
+  cm.add(0, 0);
+  cm.add(1, 1);  // attack detected
+  cm.add(1, 0);  // attack missed
+  cm.add(2, 2);  // attack detected
+  // class 1 recall 0.5, class 2 recall 1.0 -> mean 0.75
+  EXPECT_DOUBLE_EQ(cm.detection_rate(0), 0.75);
+}
+
+TEST(ConfusionMatrix, FalsePositiveRate) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);  // benign flagged
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.false_positive_rate(0), 1.0 / 3.0);
+}
+
+TEST(ConfusionMatrix, ToStringContainsNames) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 1);
+  const std::string s = cm.to_string({"benign", "attack"});
+  EXPECT_NE(s.find("benign"), std::string::npos);
+  EXPECT_NE(s.find("attack"), std::string::npos);
+}
+
+TEST(Aggregates, MeanOf) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(Aggregates, GeometricMean) {
+  const std::vector<double> xs = {1, 4, 16};
+  EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-10);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+}
+
+// Property sweep: column_variances agrees with RunningStats per column.
+class ColumnVarianceProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ColumnVarianceProperty, AgreesWithWelford) {
+  const auto [rows, cols] = GetParam();
+  std::vector<float> data(rows * cols);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(std::sin(0.91 * static_cast<double>(i)));
+  }
+  std::vector<float> out(cols);
+  column_variances(data.data(), rows, cols, out);
+  for (std::size_t c = 0; c < cols; ++c) {
+    RunningStats s;
+    for (std::size_t r = 0; r < rows; ++r) s.add(data[r * cols + c]);
+    EXPECT_NEAR(out[c], static_cast<float>(s.variance_population()), 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ColumnVarianceProperty,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{2, 3},
+                      std::pair<std::size_t, std::size_t>{5, 1},
+                      std::pair<std::size_t, std::size_t>{10, 64},
+                      std::pair<std::size_t, std::size_t>{3, 512}));
+
+}  // namespace
+}  // namespace cyberhd::core

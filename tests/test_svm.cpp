@@ -1,0 +1,204 @@
+// Tests for the SVM baselines: linear Pegasos on separable data, kernel
+// Pegasos on radially-structured (non-linearly-separable) data, and the
+// support-vector budget.
+#include "baselines/svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+
+namespace cyberhd::baselines {
+namespace {
+
+/// Linearly separable two-class data.
+struct LinearData {
+  core::Matrix x{200, 2};
+  std::vector<int> y = std::vector<int>(200);
+
+  explicit LinearData(std::uint64_t seed = 3) {
+    core::Rng rng(seed);
+    for (std::size_t i = 0; i < 200; ++i) {
+      const int cls = static_cast<int>(i % 2);
+      const float offset = cls == 0 ? -1.5f : 1.5f;
+      x(i, 0) = offset + static_cast<float>(rng.gaussian(0, 0.4));
+      x(i, 1) = static_cast<float>(rng.gaussian(0, 0.4));
+      y[i] = cls;
+    }
+  }
+};
+
+/// Concentric rings: inner class 0, outer class 1 — not linearly separable.
+struct RingData {
+  core::Matrix x{300, 2};
+  std::vector<int> y = std::vector<int>(300);
+
+  explicit RingData(std::uint64_t seed = 5) {
+    core::Rng rng(seed);
+    for (std::size_t i = 0; i < 300; ++i) {
+      const int cls = static_cast<int>(i % 2);
+      const double radius = cls == 0 ? 0.5 : 2.0;
+      const double angle = rng.uniform(0, 2 * 3.14159265358979);
+      const double r = radius + rng.gaussian(0, 0.1);
+      x(i, 0) = static_cast<float>(r * std::cos(angle));
+      x(i, 1) = static_cast<float>(r * std::sin(angle));
+      y[i] = cls;
+    }
+  }
+};
+
+TEST(LinearSvm, RejectsBadLambda) {
+  LinearSvmConfig cfg;
+  cfg.lambda = 0.0f;
+  EXPECT_THROW(LinearSvm{cfg}, std::invalid_argument);
+}
+
+TEST(LinearSvm, RejectsEmptyTrainingSet) {
+  LinearSvm svm;
+  core::Matrix empty(0, 2);
+  EXPECT_THROW(svm.fit(empty, {}, 2), std::invalid_argument);
+}
+
+TEST(LinearSvm, LearnsSeparableData) {
+  const LinearData data;
+  LinearSvm svm;
+  svm.fit(data.x, data.y, 2);
+  EXPECT_GT(svm.evaluate(data.x, data.y), 0.97);
+}
+
+TEST(LinearSvm, DecisionFunctionSignsMatchPredictions) {
+  const LinearData data;
+  LinearSvm svm;
+  svm.fit(data.x, data.y, 2);
+  std::vector<float> margins(2);
+  for (std::size_t i = 0; i < data.x.rows(); i += 13) {
+    svm.decision_function(data.x.row(i), margins);
+    const int pred = svm.predict(data.x.row(i));
+    EXPECT_EQ(pred, margins[1] > margins[0] ? 1 : 0);
+  }
+}
+
+TEST(LinearSvm, FailsOnRings) {
+  // Sanity: the ring task defeats a linear separator (near chance).
+  const RingData data;
+  LinearSvm svm;
+  svm.fit(data.x, data.y, 2);
+  EXPECT_LT(svm.evaluate(data.x, data.y), 0.8);
+}
+
+TEST(LinearSvm, WeightsAccessible) {
+  const LinearData data;
+  LinearSvm svm;
+  svm.fit(data.x, data.y, 2);
+  EXPECT_EQ(svm.weights(0).size(), 2u);
+  EXPECT_EQ(svm.weights(1).size(), 2u);
+  // Class-1 weight on feature 0 should be positive (class 1 sits right).
+  EXPECT_GT(svm.weights(1)[0], 0.0f);
+  EXPECT_LT(svm.weights(0)[0], 0.0f);
+}
+
+TEST(LinearSvm, DeterministicGivenSeed) {
+  const LinearData data;
+  LinearSvm a, b;
+  a.fit(data.x, data.y, 2);
+  b.fit(data.x, data.y, 2);
+  for (std::size_t i = 0; i < data.x.rows(); i += 17) {
+    EXPECT_EQ(a.predict(data.x.row(i)), b.predict(data.x.row(i)));
+  }
+}
+
+TEST(KernelSvm, RejectsBadLambda) {
+  KernelSvmConfig cfg;
+  cfg.lambda = -1.0f;
+  EXPECT_THROW(KernelSvm{cfg}, std::invalid_argument);
+}
+
+TEST(KernelSvm, SolvesRings) {
+  // The whole point of the RBF kernel: concentric rings become separable.
+  const RingData data;
+  KernelSvmConfig cfg;
+  cfg.epochs = 5;
+  KernelSvm svm(cfg);
+  svm.fit(data.x, data.y, 2);
+  EXPECT_GT(svm.evaluate(data.x, data.y), 0.95);
+}
+
+TEST(KernelSvm, AutoGammaViaMedianHeuristic) {
+  const RingData data;
+  KernelSvmConfig cfg;
+  cfg.gamma = 0.0f;  // auto
+  KernelSvm svm(cfg);
+  svm.fit(data.x, data.y, 2);
+  EXPECT_GT(svm.evaluate(data.x, data.y), 0.9);
+}
+
+TEST(KernelSvm, RespectsSupportVectorBudget) {
+  const RingData data;
+  KernelSvmConfig cfg;
+  cfg.sv_budget = 30;
+  cfg.epochs = 4;
+  KernelSvm svm(cfg);
+  svm.fit(data.x, data.y, 2);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_LE(svm.num_support_vectors(c), 30u);
+  }
+  EXPECT_LE(svm.total_support_vectors(), 60u);
+  EXPECT_GT(svm.total_support_vectors(), 0u);
+}
+
+TEST(KernelSvm, UnboundedBudgetGrowsSupportSet) {
+  const RingData data;
+  KernelSvmConfig small_budget;
+  small_budget.sv_budget = 5;  // tight enough that eviction actually fires
+  KernelSvmConfig unbounded;
+  unbounded.sv_budget = 0;
+  KernelSvm a(small_budget), b(unbounded);
+  a.fit(data.x, data.y, 2);
+  b.fit(data.x, data.y, 2);
+  EXPECT_LE(a.total_support_vectors(), 10u);
+  EXPECT_GT(b.total_support_vectors(), a.total_support_vectors());
+}
+
+TEST(KernelSvm, NameAndLinearName) {
+  EXPECT_EQ(KernelSvm{}.name(), "KernelSVM(rbf)");
+  EXPECT_EQ(LinearSvm{}.name(), "LinearSVM");
+}
+
+// Multi-class sweep: one-vs-rest handles 3 and 5 classes on blob data.
+class SvmMulticlassSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SvmMulticlassSweep, LinearLearnsBlobCircle) {
+  // Class centers on a circle: every class is linearly separable from the
+  // union of the rest, which is what one-vs-rest actually requires
+  // (collinear centers famously defeat OVR for the middle classes).
+  const std::size_t k = GetParam();
+  core::Rng rng(19);
+  const std::size_t per_class = 60;
+  core::Matrix x(k * per_class, 2);
+  std::vector<int> y(k * per_class);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double angle =
+        2.0 * 3.14159265358979 * static_cast<double>(c) /
+        static_cast<double>(k);
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = c * per_class + i;
+      x(row, 0) = static_cast<float>(3.0 * std::cos(angle) +
+                                     rng.gaussian(0, 0.3));
+      x(row, 1) = static_cast<float>(3.0 * std::sin(angle) +
+                                     rng.gaussian(0, 0.3));
+      y[row] = static_cast<int>(c);
+    }
+  }
+  LinearSvm svm;
+  svm.fit(x, y, k);
+  EXPECT_GT(svm.evaluate(x, y), 0.95) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, SvmMulticlassSweep,
+                         ::testing::Values(2, 3, 5));
+
+}  // namespace
+}  // namespace cyberhd::baselines

@@ -1,0 +1,222 @@
+// Unit tests for hdc/trainer: bundled initialization (with and without
+// centering), the adaptive update rule, and convergence on separable data.
+#include "hdc/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/rng.hpp"
+#include "hdc/encoder.hpp"
+
+namespace cyberhd::hdc {
+namespace {
+
+/// Two well-separated Gaussian blobs encoded through an RBF encoder.
+struct BlobFixture {
+  core::Matrix encoded;
+  std::vector<int> labels;
+  std::size_t dims = 128;
+
+  explicit BlobFixture(std::size_t n_per_class, std::uint64_t seed = 5) {
+    core::Rng rng(seed);
+    core::Matrix raw(2 * n_per_class, 2);
+    labels.resize(2 * n_per_class);
+    for (std::size_t i = 0; i < n_per_class; ++i) {
+      raw(i, 0) = static_cast<float>(rng.gaussian(0.25, 0.08));
+      raw(i, 1) = static_cast<float>(rng.gaussian(0.25, 0.08));
+      labels[i] = 0;
+      raw(n_per_class + i, 0) = static_cast<float>(rng.gaussian(0.75, 0.08));
+      raw(n_per_class + i, 1) = static_cast<float>(rng.gaussian(0.75, 0.08));
+      labels[n_per_class + i] = 1;
+    }
+    core::Rng enc_rng(seed + 1);
+    RbfEncoder enc(2, dims, enc_rng, 0.5f);
+    enc.encode_batch(raw, encoded);
+  }
+};
+
+TEST(Trainer, InitializeBundlesPerClass) {
+  core::Matrix encoded(4, 3);
+  encoded(0, 0) = 1;
+  encoded(1, 0) = 1;
+  encoded(2, 1) = 1;
+  encoded(3, 2) = 1;
+  const std::vector<int> labels = {0, 0, 1, 1};
+  HdcModel model(2, 3);
+  Trainer trainer(TrainerConfig{.center_initialization = false});
+  trainer.initialize(model, encoded, labels);
+  EXPECT_FLOAT_EQ(model.class_vector(0)[0], 2.0f);
+  EXPECT_FLOAT_EQ(model.class_vector(1)[1], 1.0f);
+  EXPECT_FLOAT_EQ(model.class_vector(1)[2], 1.0f);
+}
+
+TEST(Trainer, CenteredInitializationRemovesCommonMode) {
+  // All samples share a large common component along dim 0.
+  core::Matrix encoded(4, 2);
+  encoded(0, 0) = 10; encoded(0, 1) = 1;
+  encoded(1, 0) = 10; encoded(1, 1) = 1;
+  encoded(2, 0) = 10; encoded(2, 1) = -1;
+  encoded(3, 0) = 10; encoded(3, 1) = -1;
+  const std::vector<int> labels = {0, 0, 1, 1};
+  HdcModel model(2, 2);
+  Trainer trainer(TrainerConfig{.center_initialization = true});
+  trainer.initialize(model, encoded, labels);
+  // Common dim cancels; discriminative dim survives with opposite signs.
+  EXPECT_NEAR(model.class_vector(0)[0], 0.0f, 1e-5f);
+  EXPECT_NEAR(model.class_vector(1)[0], 0.0f, 1e-5f);
+  EXPECT_GT(model.class_vector(0)[1], 0.5f);
+  EXPECT_LT(model.class_vector(1)[1], -0.5f);
+}
+
+TEST(Trainer, CenteredInitializationWeightsByClassSize) {
+  // Class sizes 3 and 1: each class's share of the mean is proportional.
+  core::Matrix encoded(4, 1);
+  encoded(0, 0) = 1;
+  encoded(1, 0) = 1;
+  encoded(2, 0) = 1;
+  encoded(3, 0) = 1;
+  const std::vector<int> labels = {0, 0, 0, 1};
+  HdcModel model(2, 1);
+  Trainer trainer;
+  trainer.initialize(model, encoded, labels);
+  // bundle(c0)=3, share=3/4*4*1=3 -> 0; bundle(c1)=1, share=1 -> 0.
+  EXPECT_NEAR(model.class_vector(0)[0], 0.0f, 1e-5f);
+  EXPECT_NEAR(model.class_vector(1)[0], 0.0f, 1e-5f);
+}
+
+TEST(Trainer, EpochStatsAccuracy) {
+  EpochStats s;
+  s.samples = 10;
+  s.mispredicted = 3;
+  EXPECT_DOUBLE_EQ(s.accuracy(), 0.7);
+  EpochStats empty;
+  EXPECT_EQ(empty.accuracy(), 0.0);
+}
+
+TEST(Trainer, LearnsSeparableBlobs) {
+  BlobFixture fixture(100);
+  HdcModel model(2, fixture.dims);
+  Trainer trainer;
+  trainer.initialize(model, fixture.encoded, fixture.labels);
+  core::Rng rng(7);
+  trainer.train(model, fixture.encoded, fixture.labels, 5, rng);
+  const double acc =
+      Trainer::evaluate(model, fixture.encoded, fixture.labels);
+  EXPECT_GT(acc, 0.97);
+}
+
+TEST(Trainer, TrainingImprovesOverInitialization) {
+  BlobFixture fixture(150, /*seed=*/11);
+  HdcModel model(2, fixture.dims);
+  Trainer trainer(TrainerConfig{.center_initialization = false});
+  trainer.initialize(model, fixture.encoded, fixture.labels);
+  const double before =
+      Trainer::evaluate(model, fixture.encoded, fixture.labels);
+  core::Rng rng(13);
+  trainer.train(model, fixture.encoded, fixture.labels, 10, rng);
+  const double after =
+      Trainer::evaluate(model, fixture.encoded, fixture.labels);
+  EXPECT_GE(after, before);
+  EXPECT_GT(after, 0.95);
+}
+
+TEST(Trainer, MispredictionCountDropsAcrossEpochs) {
+  BlobFixture fixture(200, /*seed=*/17);
+  HdcModel model(2, fixture.dims);
+  Trainer trainer;
+  trainer.initialize(model, fixture.encoded, fixture.labels);
+  core::Rng rng(19);
+  const EpochStats first =
+      trainer.train_epoch(model, fixture.encoded, fixture.labels, rng);
+  EpochStats last;
+  for (int e = 0; e < 8; ++e) {
+    last = trainer.train_epoch(model, fixture.encoded, fixture.labels, rng);
+  }
+  EXPECT_LE(last.mispredicted, first.mispredicted);
+}
+
+TEST(Trainer, NoUpdatesWhenAllCorrect) {
+  // A model that already classifies everything correctly must not change.
+  core::Matrix encoded(2, 2);
+  encoded(0, 0) = 1;
+  encoded(1, 1) = 1;
+  const std::vector<int> labels = {0, 1};
+  HdcModel model(2, 2);
+  model.bundle(0, std::vector<float>{1, 0});
+  model.bundle(1, std::vector<float>{0, 1});
+  Trainer trainer;
+  core::Rng rng(23);
+  const auto w00 = model.class_vector(0)[0];
+  const EpochStats stats =
+      trainer.train_epoch(model, encoded, labels, rng);
+  EXPECT_EQ(stats.mispredicted, 0u);
+  EXPECT_EQ(model.class_vector(0)[0], w00);
+}
+
+TEST(Trainer, SimilarityWeightedUpdatesAreSmallerForFamiliarData) {
+  // Construct a misprediction where the true-class similarity is high:
+  // the (1 - delta) rule must move less than the plain perceptron rule.
+  core::Matrix encoded(1, 2);
+  encoded(0, 0) = 1.0f;
+  encoded(0, 1) = 0.1f;
+  const std::vector<int> labels = {0};
+  const auto run = [&](bool weighted) {
+    HdcModel model(2, 2);
+    model.bundle(0, std::vector<float>{0.9f, 0.0f});
+    model.bundle(1, std::vector<float>{1.0f, 0.2f});  // wins initially
+    Trainer trainer(TrainerConfig{.learning_rate = 1.0f,
+                                  .similarity_weighted = weighted,
+                                  .center_initialization = false});
+    core::Rng rng(29);
+    trainer.train_epoch(model, encoded, labels, rng);
+    return model.class_vector(0)[0];
+  };
+  const float weighted_w = run(true);
+  const float plain_w = run(false);
+  EXPECT_LT(weighted_w, plain_w);  // smaller step for familiar pattern
+  EXPECT_GT(weighted_w, 0.9f);     // but still moved toward the sample
+}
+
+TEST(Trainer, ReinforceCorrectGrowsTrueClass) {
+  // The class vector is not perfectly aligned with the sample (cos < 1),
+  // so the (1 - delta) reinforcement is strictly positive.
+  core::Matrix encoded(1, 2);
+  encoded(0, 0) = 1.0f;
+  encoded(0, 1) = 0.5f;
+  const std::vector<int> labels = {0};
+  HdcModel model(2, 2);
+  model.bundle(0, std::vector<float>{0.5f, 0.0f});
+  Trainer trainer(TrainerConfig{.reinforce_correct = true,
+                                .center_initialization = false});
+  core::Rng rng(31);
+  trainer.train_epoch(model, encoded, labels, rng);
+  EXPECT_GT(model.class_vector(0)[0], 0.5f);
+}
+
+TEST(Trainer, EvaluateEmptyIsZero) {
+  HdcModel model(2, 4);
+  core::Matrix empty(0, 4);
+  EXPECT_EQ(Trainer::evaluate(model, empty, {}), 0.0);
+}
+
+// Parameterized: training converges for a sweep of learning rates.
+class TrainerLrSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(TrainerLrSweep, ConvergesOnBlobs) {
+  BlobFixture fixture(100, /*seed=*/37);
+  HdcModel model(2, fixture.dims);
+  Trainer trainer(TrainerConfig{.learning_rate = GetParam()});
+  trainer.initialize(model, fixture.encoded, fixture.labels);
+  core::Rng rng(41);
+  trainer.train(model, fixture.encoded, fixture.labels, 10, rng);
+  EXPECT_GT(Trainer::evaluate(model, fixture.encoded, fixture.labels), 0.95)
+      << "lr=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(LearningRates, TrainerLrSweep,
+                         ::testing::Values(0.05f, 0.1f, 0.3f, 0.5f, 1.0f));
+
+}  // namespace
+}  // namespace cyberhd::hdc
