@@ -112,8 +112,14 @@ std::size_t argmax(std::span<const float> x) noexcept {
 }
 
 std::string shape_string(const Matrix& m) {
-  return "(" + std::to_string(m.rows()) + " x " + std::to_string(m.cols()) +
-         ")";
+  // Built with append rather than chained operator+ to sidestep a GCC 12
+  // -Wrestrict false positive (GCC PR105329) at -O2 and above.
+  std::string s = "(";
+  s += std::to_string(m.rows());
+  s += " x ";
+  s += std::to_string(m.cols());
+  s += ")";
+  return s;
 }
 
 }  // namespace cyberhd::core

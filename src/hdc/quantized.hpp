@@ -28,15 +28,21 @@ namespace cyberhd::hdc {
 class QuantizedHdcModel {
  public:
   /// Quantize `model`'s class hypervectors to `bits` bits.
+  /// Contract: `bits` must be one of {1, 2, 4, 8, 16, 32}; anything else
+  /// throws std::invalid_argument. bits == 1 stores sign-packed bipolar
+  /// vectors (PackedBits); bits > 1 stores level-coded QuantizedVectors.
   QuantizedHdcModel(const HdcModel& model, int bits);
 
+  /// The bitwidth this model was quantized to (one of {1,2,4,8,16,32}).
   int bits() const noexcept { return bits_; }
+  /// Hypervector dimensionality D (unchanged by quantization).
   std::size_t dims() const noexcept { return dims_; }
   std::size_t num_classes() const noexcept;
 
   /// Cosine similarities of a float-encoded query against every class,
   /// computed entirely in the quantized domain (the query is quantized at
   /// this model's bitwidth first).
+  /// Preconditions: h.size() == dims(), scores.size() == num_classes().
   void similarities(std::span<const float> h,
                     std::span<float> scores) const;
 
@@ -48,6 +54,9 @@ class QuantizedHdcModel {
   std::size_t storage_bits() const noexcept;
 
   // -- raw storage for fault injection --------------------------------------
+  // Exactly one of the two stores is populated, selected by bits():
+  // packed_classes() when bits() == 1, level_classes() when bits() > 1.
+  // The other is empty — callers must branch on bits() before touching them.
   /// Packed bipolar class vectors; only valid when bits() == 1.
   std::vector<core::PackedBits>& packed_classes() { return packed_; }
   const std::vector<core::PackedBits>& packed_classes() const {

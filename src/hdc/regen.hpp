@@ -40,7 +40,13 @@ class RegenController {
   RegenController(std::size_t physical_dims, double rate,
                   std::size_t anneal_steps = 0);
 
+  /// The configured base drop rate R: the fraction of the D physical
+  /// dimensions dropped and resampled per step (before annealing). Each
+  /// step drops floor(rate_now * D) dimensions, so a rate small enough
+  /// that floor(...) == 0 makes step() a no-op.
   double rate() const noexcept { return rate_; }
+  /// Physical dimensionality D (fixed; regeneration reuses slots, it never
+  /// grows storage — only the effective-D ledger grows).
   std::size_t physical_dims() const noexcept { return physical_dims_; }
   /// Dimensions the *next* step will regenerate: floor(rate_now * D),
   /// where rate_now is the (possibly annealed) current rate.

@@ -1,0 +1,65 @@
+// Unit tests for core/timer: monotonic stopwatch semantics, unit
+// conversions, and reset behavior.
+#include "core/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace cyberhd::core {
+namespace {
+
+TEST(Timer, StartsNearZero) {
+  Timer t;
+  // A fresh timer has essentially no elapsed time; allow generous slack
+  // for scheduler noise on loaded CI machines.
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(Timer, IsMonotonic) {
+  Timer t;
+  double prev = t.seconds();
+  for (int i = 0; i < 100; ++i) {
+    const double now = t.seconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Timer, MeasuresSleepAtLeast) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // steady_clock guarantees at least the slept duration has passed.
+  EXPECT_GE(t.millis(), 20.0);
+}
+
+TEST(Timer, ResetRestartsFromZero) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const double before_reset = t.millis();
+  t.reset();
+  // Compare against the pre-reset reading rather than an absolute bound:
+  // the post-reset clock restarted, so it reads below the 200ms accumulated
+  // value unless the thread is descheduled for 200ms+ between these two
+  // statements, which is far beyond normal CI scheduler noise.
+  EXPECT_LT(t.millis(), before_reset);
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Timer, UnitConversionsAgree) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = t.seconds();
+  const double ms = t.millis();
+  const double us = t.micros();
+  // Separate now() calls, so later reads may only be larger.
+  EXPECT_GE(ms, s * 1e3);
+  EXPECT_GE(us, s * 1e6);
+  EXPECT_LT(ms, (s + 1.0) * 1e3);
+  EXPECT_LT(us, (s + 1.0) * 1e6);
+}
+
+}  // namespace
+}  // namespace cyberhd::core
