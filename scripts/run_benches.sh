@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Run every macro bench and collect the emitted CSVs into one results dir.
+#
+#   scripts/run_benches.sh [build-dir] [--quick]
+#
+# CSVs are written to <build-dir>/bench-results/ (benches emit into the CWD,
+# so we cd there first). Pass --quick for smoke-sized workloads.
+set -eu
+
+# Both args are optional: a leading --quick means the build dir was omitted.
+case "${1:-}" in
+  --*) BUILD_DIR=build; QUICK="$1" ;;
+  *)   BUILD_DIR="${1:-build}"; QUICK="${2:-}" ;;
+esac
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found — configure and build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+BENCH_DIR="$(cd "$BUILD_DIR/bench" && pwd)"
+OUT_DIR="$BENCH_DIR/../bench-results"
+mkdir -p "$OUT_DIR"
+cd "$OUT_DIR"
+
+for bench in "$BENCH_DIR"/bench_*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  case "$name" in
+    bench_micro_ops)
+      # google-benchmark CLI: CSV goes to stdout; --quick maps to a short
+      # min-time so the smoke pass stays fast.
+      echo "== $name"
+      if [ -n "$QUICK" ]; then
+        "$bench" --benchmark_format=csv --benchmark_min_time=0.05 > "$name.csv"
+      else
+        "$bench" --benchmark_format=csv > "$name.csv"
+      fi
+      ;;
+    *)
+      echo "== $name ${QUICK}"
+      # shellcheck disable=SC2086  # intentional word-split of optional flag
+      "$bench" $QUICK
+      ;;
+  esac
+done
+
+echo "results in $OUT_DIR:"
+ls "$OUT_DIR"
