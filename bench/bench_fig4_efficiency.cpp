@@ -6,10 +6,17 @@
 // BaselineHD(4k); the (kernel) SVM is the slowest at both ends because its
 // cost scales with the support-vector count.
 //
+// Inference is timed two ways: the per-sample predict() loop (the
+// historical shape of this bench) and the batch path (predict_batch), which
+// amortizes encode across the test tile the way the paper's deployment
+// measures it. Both per-query latencies are reported; the headline ratio
+// uses the batch path.
+//
 // Absolute seconds depend on the host; the reported ratios are the
 // reproducible quantity.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "common.hpp"
 
@@ -21,6 +28,8 @@ struct Timing {
   double train_s = 0;
   double infer_total_s = 0;
   double infer_per_sample_us = 0;
+  double batch_total_s = 0;
+  double batch_per_sample_us = 0;
   double accuracy = 0;
 };
 
@@ -30,16 +39,24 @@ Timing measure(core::Classifier& model, const bench::PreparedData& data) {
   model.fit(data.train.x, data.train.y, data.train.num_classes);
   t.train_s = timer.seconds();
 
+  const auto rows = static_cast<double>(data.test.x.rows());
+
+  // Per-sample loop.
   timer.reset();
   std::size_t correct = 0;
   for (std::size_t i = 0; i < data.test.x.rows(); ++i) {
     if (model.predict(data.test.x.row(i)) == data.test.y[i]) ++correct;
   }
   t.infer_total_s = timer.seconds();
-  t.infer_per_sample_us =
-      t.infer_total_s * 1e6 / static_cast<double>(data.test.x.rows());
-  t.accuracy =
-      static_cast<double>(correct) / static_cast<double>(data.test.x.rows());
+  t.infer_per_sample_us = t.infer_total_s * 1e6 / rows;
+  t.accuracy = static_cast<double>(correct) / rows;
+
+  // Batch path over the whole test tile.
+  std::vector<int> predicted(data.test.x.rows());
+  timer.reset();
+  model.predict_batch(data.test.x, predicted);
+  t.batch_total_s = timer.seconds();
+  t.batch_per_sample_us = t.batch_total_s * 1e6 / rows;
   return t;
 }
 
@@ -57,21 +74,24 @@ int main(int argc, char** argv) {
   std::vector<core::CsvRow> csv_rows;
   std::vector<double> cyber_train, dnn_train, base_train, svm_train;
   std::vector<double> cyber_infer, base_infer, svm_infer, dnn_infer;
+  std::vector<double> cyber_batch, base_batch;
 
   for (nids::DatasetId id : nids::kAllDatasets) {
     const bench::PreparedData data = bench::prepare(id, total, /*seed=*/7);
     std::printf("-- %s --\n", data.name.c_str());
-    bench::print_row(
-        {"model", "train", "infer/query", "infer total", "accuracy"});
-    bench::print_rule(5);
+    bench::print_row({"model", "train", "infer/query", "batch/query",
+                      "infer total", "accuracy"});
+    bench::print_rule(6);
 
     const auto report = [&](const std::string& name, const Timing& t) {
       bench::print_row({name, bench::fmt_time(t.train_s),
                         bench::fmt_time(t.infer_per_sample_us * 1e-6),
+                        bench::fmt_time(t.batch_per_sample_us * 1e-6),
                         bench::fmt_time(t.infer_total_s),
                         bench::fmt(t.accuracy * 100) + "%"});
       csv_rows.push_back({data.name, name, bench::fmt(t.train_s, 6),
                           bench::fmt(t.infer_per_sample_us, 3),
+                          bench::fmt(t.batch_per_sample_us, 3),
                           bench::fmt(t.accuracy, 4)});
     };
 
@@ -95,6 +115,7 @@ int main(int argc, char** argv) {
       report(base.name(), t);
       base_train.push_back(t.train_s);
       base_infer.push_back(t.infer_per_sample_us);
+      base_batch.push_back(t.batch_per_sample_us);
     }
     {
       hdc::CyberHdClassifier cyber(bench::paper_cyberhd_config());
@@ -102,6 +123,7 @@ int main(int argc, char** argv) {
       report(cyber.name(), t);
       cyber_train.push_back(t.train_s);
       cyber_infer.push_back(t.infer_per_sample_us);
+      cyber_batch.push_back(t.batch_per_sample_us);
     }
     std::printf("\n");
   }
@@ -118,14 +140,16 @@ int main(int argc, char** argv) {
               "faster than HD(4k); infers 15.29x faster than HD(4k); SVM "
               "slowest\n");
   std::printf("measured   : train DNN/CyberHD = %.2fx, train HD4k/CyberHD = "
-              "%.2fx, infer HD4k/CyberHD = %.2fx, train SVM/CyberHD = "
-              "%.2fx\n",
+              "%.2fx, infer HD4k/CyberHD = %.2fx (batch %.2fx), train "
+              "SVM/CyberHD = %.2fx\n",
               ratio(dnn_train, cyber_train), ratio(base_train, cyber_train),
-              ratio(base_infer, cyber_infer), ratio(svm_train, cyber_train));
+              ratio(base_infer, cyber_infer),
+              ratio(base_batch, cyber_batch),
+              ratio(svm_train, cyber_train));
 
   bench::emit_csv("fig4_efficiency.csv",
                   {"dataset", "model", "train_s", "infer_us_per_query",
-                   "accuracy"},
+                   "infer_batch_us_per_query", "accuracy"},
                   csv_rows);
   return 0;
 }

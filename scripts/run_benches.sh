@@ -24,6 +24,10 @@ OUT_DIR="$BENCH_DIR/../bench-results"
 mkdir -p "$OUT_DIR"
 cd "$OUT_DIR"
 
+# The kernel backend is chosen at runtime (CPUID); CYBERHD_KERNELS=scalar
+# pins the portable backend for apples-to-apples comparisons across hosts.
+echo "kernel backend override: ${CYBERHD_KERNELS:-<auto>}"
+
 for bench in "$BENCH_DIR"/bench_*; do
   [ -x "$bench" ] || continue
   name="$(basename "$bench")"

@@ -197,12 +197,16 @@ int Mlp::predict(std::span<const float> x) const {
   return static_cast<int>(core::argmax(logits));
 }
 
-void Mlp::predict_proba(std::span<const float> x,
-                        std::span<float> out) const {
+void Mlp::scores(std::span<const float> x, std::span<float> out) const {
   assert(out.size() == num_classes_);
   std::vector<std::vector<float>> acts;
   forward(x, acts);
   softmax(acts.back(), out);
+}
+
+void Mlp::predict_proba(std::span<const float> x,
+                        std::span<float> out) const {
+  scores(x, out);
 }
 
 std::string Mlp::name() const {

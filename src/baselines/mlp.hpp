@@ -40,10 +40,14 @@ class Mlp final : public core::Classifier {
 
   void fit(const core::Matrix& x, std::span<const int> y,
            std::size_t num_classes) override;
+  std::size_t num_classes() const noexcept override { return num_classes_; }
   int predict(std::span<const float> x) const override;
+  /// Scores are the softmax class probabilities.
+  void scores(std::span<const float> x, std::span<float> out) const override;
   std::string name() const override;
 
-  /// Class probabilities for one sample (softmax output).
+  /// Class probabilities for one sample (softmax output); alias of
+  /// scores(), kept for the fault-injection study's call sites.
   void predict_proba(std::span<const float> x, std::span<float> out) const;
 
   /// Mean cross-entropy loss recorded at the end of each epoch.

@@ -14,6 +14,10 @@ namespace cyberhd::baselines {
 /// Static-encoder HDC at dimensionality `dims`: a CyberHdClassifier with
 /// regeneration off and the same total training-epoch budget, so any
 /// accuracy gap against CyberHD isolates the effect of regeneration.
+/// Being a CyberHdClassifier it inherits the batched inference path
+/// (predict_batch/scores_batch over the SIMD kernel layer), so efficiency
+/// comparisons against CyberHD measure identical machinery at different
+/// dimensionalities.
 inline hdc::CyberHdClassifier make_baseline_hd(std::size_t dims,
                                                std::uint64_t seed = 1) {
   return hdc::CyberHdClassifier(hdc::baseline_hd_config(dims, seed));

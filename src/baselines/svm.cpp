@@ -155,12 +155,18 @@ void KernelSvm::fit(const core::Matrix& x, std::span<const int> y,
   }
 }
 
+void KernelSvm::scores(std::span<const float> x,
+                       std::span<float> out) const {
+  assert(out.size() == models_.size());
+  for (std::size_t c = 0; c < models_.size(); ++c) {
+    out[c] = margin(models_[c], x);
+  }
+}
+
 int KernelSvm::predict(std::span<const float> x) const {
   assert(!models_.empty() && "predict() before fit()");
   std::vector<float> margins(models_.size());
-  for (std::size_t c = 0; c < models_.size(); ++c) {
-    margins[c] = margin(models_[c], x);
-  }
+  scores(x, margins);
   return static_cast<int>(core::argmax(margins));
 }
 

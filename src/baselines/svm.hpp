@@ -38,7 +38,14 @@ class LinearSvm final : public core::Classifier {
 
   void fit(const core::Matrix& x, std::span<const int> y,
            std::size_t num_classes) override;
+  std::size_t num_classes() const noexcept override {
+    return weights_.rows();
+  }
   int predict(std::span<const float> x) const override;
+  /// Scores are the one-vs-rest margins (decision_function).
+  void scores(std::span<const float> x, std::span<float> out) const override {
+    decision_function(x, out);
+  }
   std::string name() const override;
 
   /// Raw one-vs-rest margins of one sample; `out` has num_classes entries.
@@ -79,7 +86,12 @@ class KernelSvm final : public core::Classifier {
 
   void fit(const core::Matrix& x, std::span<const int> y,
            std::size_t num_classes) override;
+  std::size_t num_classes() const noexcept override {
+    return models_.size();
+  }
   int predict(std::span<const float> x) const override;
+  /// Scores are the one-vs-rest kernel margins.
+  void scores(std::span<const float> x, std::span<float> out) const override;
   std::string name() const override;
 
   /// Support vectors currently held for a class.

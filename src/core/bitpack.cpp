@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/kernels/kernels.hpp"
+
 namespace cyberhd::core {
 
 PackedBits::PackedBits(std::size_t dims)
@@ -57,11 +59,8 @@ void unpack_to_floats(const PackedBits& p, std::span<float> out) {
 
 std::size_t hamming(const PackedBits& a, const PackedBits& b) noexcept {
   assert(a.dims() == b.dims());
-  std::size_t h = 0;
-  for (std::size_t w = 0; w < a.num_words(); ++w) {
-    h += static_cast<std::size_t>(std::popcount(a.words_[w] ^ b.words_[w]));
-  }
-  return h;
+  return active_kernels().xor_popcount_words(a.words_.data(), b.words_.data(),
+                                             a.num_words());
 }
 
 std::int64_t dot_bipolar(const PackedBits& a, const PackedBits& b) noexcept {

@@ -4,7 +4,9 @@
 // the dot product of two bipolar vectors becomes
 //   dot = D - 2 * popcount(a XOR b)
 // which is the kernel behind the paper's "15.29x faster inference" and its
-// FPGA efficiency at low bitwidths. std::popcount lowers to POPCNT.
+// FPGA efficiency at low bitwidths. The XOR/popcount scan dispatches through
+// core/kernels/ (hardware POPCNT in the scalar backend, a vpshufb nibble-LUT
+// reduction in the AVX2 backend).
 #pragma once
 
 #include <bit>

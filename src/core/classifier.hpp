@@ -1,11 +1,22 @@
 // The common classifier interface every model in the repository implements
 // (CyberHD, static-encoder HDC, the MLP and SVM baselines), so benchmarks
 // and examples can sweep over heterogeneous models uniformly.
+//
+// Inference is exposed at two granularities: per-sample (predict/scores)
+// and batched over the rows of a Matrix (predict_batch/scores_batch). The
+// batch entry points have looping defaults, so every model supports them;
+// models with an amortizable encode stage (CyberHD and its quantized
+// snapshots) override them to encode a whole tile at once and split the
+// work across the thread pool. Per-row results are identical between the
+// two granularities — batching is a throughput optimization, never a
+// semantics change.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/matrix.hpp"
 
@@ -20,18 +31,55 @@ class Classifier {
   virtual void fit(const Matrix& x, std::span<const int> y,
                    std::size_t num_classes) = 0;
 
+  /// Number of classes the model was fitted for (0 before fit()).
+  virtual std::size_t num_classes() const noexcept = 0;
+
   /// Predict the label of one sample.
   virtual int predict(std::span<const float> x) const = 0;
+
+  /// Per-class decision scores of one sample — higher means more likely.
+  /// The scale is model-specific (cosine similarities for HDC, softmax
+  /// probabilities for the MLP, margins for the SVMs); argmax(out) always
+  /// equals predict(x). Precondition: out.size() == num_classes().
+  virtual void scores(std::span<const float> x,
+                      std::span<float> out) const = 0;
+
+  /// Predict every row of `x` into `out` (out.size() == x.rows()).
+  /// Implemented as argmax over scores_batch — since argmax(scores(x))
+  /// equals predict(x) by contract, any model that overrides scores_batch
+  /// gets batch prediction for free.
+  virtual void predict_batch(const Matrix& x, std::span<int> out) const {
+    assert(out.size() == x.rows());
+    Matrix scores;
+    scores_batch(x, scores);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      out[i] = static_cast<int>(argmax(scores.row(i)));
+    }
+  }
+
+  /// Scores for every row of `x`; `out` is resized to
+  /// x.rows() x num_classes(). Default loops scores(); batch-capable models
+  /// override.
+  virtual void scores_batch(const Matrix& x, Matrix& out) const {
+    out.resize(x.rows(), num_classes());
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      scores(x.row(i), out.row(i));
+    }
+  }
 
   /// Short human-readable model name for reports.
   virtual std::string name() const = 0;
 
-  /// Accuracy over a labeled set (fraction of correct predictions).
+  /// Accuracy over a labeled set (fraction of correct predictions). Runs
+  /// through predict_batch so batch-capable models evaluate at batch speed.
   double evaluate(const Matrix& x, std::span<const int> y) const {
+    assert(y.size() == x.rows());
     if (x.rows() == 0) return 0.0;
+    std::vector<int> predicted(x.rows());
+    predict_batch(x, predicted);
     std::size_t correct = 0;
     for (std::size_t i = 0; i < x.rows(); ++i) {
-      if (predict(x.row(i)) == y[i]) ++correct;
+      if (predicted[i] == y[i]) ++correct;
     }
     return static_cast<double>(correct) / static_cast<double>(x.rows());
   }

@@ -1,0 +1,58 @@
+// Backend selection: CPUID once at first use, env override for CI and
+// benchmarking.
+#include "core/kernels/kernels.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cyberhd::core {
+
+bool cpu_supports_avx2() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+const Kernels* select_kernels() noexcept {
+  const Kernels* chosen =
+      cpu_supports_avx2() ? avx2_kernels() : &scalar_kernels();
+  // CYBERHD_KERNELS=scalar forces the portable backend (the CI leg that
+  // exercises it everywhere); =avx2 requests the SIMD backend explicitly.
+  // Requests this process cannot honor are reported on stderr rather than
+  // silently ignored, so benchmark runs never record the wrong backend.
+  if (const char* env = std::getenv("CYBERHD_KERNELS")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      chosen = &scalar_kernels();
+    } else if (std::strcmp(env, "avx2") == 0) {
+      if (cpu_supports_avx2() && avx2_kernels() != nullptr) {
+        chosen = avx2_kernels();
+      } else {
+        std::fprintf(stderr,
+                     "cyberhd: CYBERHD_KERNELS=avx2 requested but this "
+                     "host/build cannot run it; using scalar\n");
+        chosen = &scalar_kernels();
+      }
+    } else {
+      std::fprintf(stderr,
+                   "cyberhd: unrecognized CYBERHD_KERNELS value \"%s\" "
+                   "(expected \"scalar\" or \"avx2\"); keeping \"%s\"\n",
+                   env, chosen != nullptr ? chosen->name : "scalar");
+    }
+  }
+  return chosen != nullptr ? chosen : &scalar_kernels();
+}
+
+}  // namespace
+
+const Kernels& active_kernels() noexcept {
+  static const Kernels& selected = *select_kernels();
+  return selected;
+}
+
+}  // namespace cyberhd::core

@@ -1,0 +1,89 @@
+// Runtime-dispatched SIMD kernel layer.
+//
+// Every arithmetic hot path in the library — float dot products, the fused
+// RBF encode (dot + bias + cos), packed XOR/popcount similarity, and the
+// quantized int8 dot — funnels through one table of function pointers, the
+// Kernels struct. Two backends are provided:
+//
+//  * scalar — portable C++, the reference semantics. Identical loop
+//    structure to the pre-kernel code, so a scalar-selected build computes
+//    bit-for-bit what the library always computed.
+//  * avx2   — AVX2+FMA intrinsics (x86-64 only), selected at startup via
+//    CPUID. 8/16-lane float kernels, a vpshufb nibble-LUT popcount, a
+//    vpmaddwd int8 dot, and an 8-lane polynomial cosine for the fused RBF
+//    encode.
+//
+// Selection happens exactly once (first call to active_kernels()):
+// AVX2+FMA hardware picks the avx2 table, everything else the scalar table.
+// The environment variable CYBERHD_KERNELS overrides the choice
+// ("scalar" forces the portable backend anywhere; "avx2" asks for the SIMD
+// backend and falls back to scalar when the CPU lacks it). The dispatch is
+// independent of the CYBERHD_NATIVE build flag: a portable -march=x86-64
+// binary still runs the AVX2 backend on capable hardware.
+//
+// Contracts shared by all backends:
+//  * integer kernels (xor_popcount_words, quantized_dot_i8) are exact —
+//    backends must agree bit-for-bit;
+//  * float kernels may reassociate sums, so backends agree only to rounding
+//    (tests pin the tolerance);
+//  * within one backend, cos_rbf_rows(rows=N) and N calls with rows=1 yield
+//    bit-identical values per row — encode() and encode_dims() stay
+//    consistent after regeneration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cyberhd::core {
+
+/// Table of the library's arithmetic hot-path kernels. All pointers are
+/// always non-null; spans are passed as raw pointer + length because these
+/// are the innermost loops.
+struct Kernels {
+  /// Backend name for logs/benches ("scalar", "avx2").
+  const char* name;
+
+  /// sum_i a[i] * b[i].
+  float (*dot_f32)(const float* a, const float* b, std::size_t n);
+
+  /// y[i] += alpha * x[i].
+  void (*axpy_f32)(float alpha, const float* x, float* y, std::size_t n);
+
+  /// acc[i] += a[i] * b[i] (elementwise bind-and-bundle of the ID/level
+  /// encoder).
+  void (*mul_acc_f32)(const float* a, const float* b, float* acc,
+                      std::size_t n);
+
+  /// Fused RBF encode over contiguous base rows:
+  ///   h[r] = cos(dot(bases + r * cols, x) + biases[r])   for r in [0, rows).
+  /// `bases` is a row-major rows x cols block.
+  void (*cos_rbf_rows)(const float* bases, std::size_t rows, std::size_t cols,
+                       const float* x, const float* biases, float* h);
+
+  /// sum_i popcount(a[i] ^ b[i]) — the Hamming distance of two packed
+  /// bipolar hypervectors (bitpack.hpp guarantees padding bits are zero).
+  std::size_t (*xor_popcount_words)(const std::uint64_t* a,
+                                    const std::uint64_t* b, std::size_t n);
+
+  /// sum_i a[i] * b[i] over signed 8-bit levels, accumulated in int64 —
+  /// the quantized-domain dot for bitwidths <= 8.
+  std::int64_t (*quantized_dot_i8)(const std::int8_t* a, const std::int8_t* b,
+                                   std::size_t n);
+};
+
+/// The portable reference backend. Always available.
+const Kernels& scalar_kernels() noexcept;
+
+/// The AVX2+FMA backend, or nullptr when this binary was built for a
+/// non-x86 target. A non-null return says the code exists, not that the
+/// CPU can run it — check cpu_supports_avx2() before calling it directly.
+const Kernels* avx2_kernels() noexcept;
+
+/// True when the running CPU reports AVX2 and FMA.
+bool cpu_supports_avx2() noexcept;
+
+/// The backend selected for this process (CPUID once at first use;
+/// overridable via CYBERHD_KERNELS=scalar|avx2).
+const Kernels& active_kernels() noexcept;
+
+}  // namespace cyberhd::core

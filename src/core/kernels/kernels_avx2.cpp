@@ -1,0 +1,247 @@
+// AVX2+FMA backend.
+//
+// Compiled via per-function target attributes, so no special -m flags are
+// needed and the translation unit is safe to build into a portable binary:
+// nothing here executes unless the runtime dispatcher saw AVX2+FMA in
+// CPUID (kernels.cpp).
+//
+// The fused RBF encode uses an 8-lane polynomial cosine (the classic
+// Cephes/cosf reduction: octant selection, 3-part extended-precision pi/4
+// subtraction, then a degree-4 minimax polynomial per octant). It is
+// accurate to a couple of float ulps for |angle| < 8192; lanes beyond that
+// range fall back to libm per lane, so results stay sane even for
+// degenerate lengthscales. Every lane is computed independently of its
+// neighbours, which keeps cos_rbf_rows(rows=N) bit-identical to N rows=1
+// calls — the consistency encode()/encode_dims() relies on.
+#include "core/kernels/kernels.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#define CYBERHD_AVX2 __attribute__((target("avx2,fma")))
+
+namespace cyberhd::core {
+namespace {
+
+CYBERHD_AVX2 inline float hsum8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+
+CYBERHD_AVX2 float dot_f32_avx2(const float* a, const float* b,
+                                std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  float sum = hsum8(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+CYBERHD_AVX2 void axpy_f32_avx2(float alpha, const float* x, float* y,
+                                std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 r =
+        _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, r);
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+CYBERHD_AVX2 void mul_acc_f32_avx2(const float* a, const float* b, float* acc,
+                                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 r = _mm256_fmadd_ps(
+        _mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+        _mm256_loadu_ps(acc + i));
+    _mm256_storeu_ps(acc + i, r);
+  }
+  for (; i < n; ++i) acc[i] += a[i] * b[i];
+}
+
+// 8-lane cosine, Cephes cosf ported to AVX2 (cf. the public-domain
+// sse_mathfun). Valid reduction range |x| < 8192.
+CYBERHD_AVX2 inline __m256 cos8(__m256 x) {
+  const __m256 abs_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  const __m256 four_over_pi = _mm256_set1_ps(1.27323954473516f);
+  const __m256 dp1 = _mm256_set1_ps(-0.78515625f);
+  const __m256 dp2 = _mm256_set1_ps(-2.4187564849853515625e-4f);
+  const __m256 dp3 = _mm256_set1_ps(-3.77489497744594108e-8f);
+
+  x = _mm256_and_ps(x, abs_mask);
+
+  // Octant index j = round-to-even-ish of x / (pi/4).
+  __m256i j = _mm256_cvttps_epi32(_mm256_mul_ps(x, four_over_pi));
+  j = _mm256_add_epi32(j, _mm256_set1_epi32(1));
+  j = _mm256_and_si256(j, _mm256_set1_epi32(~1));
+  const __m256 y = _mm256_cvtepi32_ps(j);
+  j = _mm256_sub_epi32(j, _mm256_set1_epi32(2));
+
+  // Sign of the result and which polynomial (sin vs cos) per octant.
+  __m256i sign_i = _mm256_andnot_si256(j, _mm256_set1_epi32(4));
+  sign_i = _mm256_slli_epi32(sign_i, 29);
+  const __m256 poly_mask = _mm256_castsi256_ps(_mm256_cmpeq_epi32(
+      _mm256_and_si256(j, _mm256_set1_epi32(2)), _mm256_setzero_si256()));
+  const __m256 sign = _mm256_castsi256_ps(sign_i);
+
+  // Extended-precision argument reduction: x - j * pi/4 in three parts.
+  x = _mm256_fmadd_ps(y, dp1, x);
+  x = _mm256_fmadd_ps(y, dp2, x);
+  x = _mm256_fmadd_ps(y, dp3, x);
+  const __m256 z = _mm256_mul_ps(x, x);
+
+  // Cosine polynomial on [-pi/4, pi/4].
+  __m256 yc = _mm256_set1_ps(2.443315711809948e-5f);
+  yc = _mm256_fmadd_ps(yc, z, _mm256_set1_ps(-1.388731625493765e-3f));
+  yc = _mm256_fmadd_ps(yc, z, _mm256_set1_ps(4.166664568298827e-2f));
+  yc = _mm256_mul_ps(_mm256_mul_ps(yc, z), z);
+  yc = _mm256_fnmadd_ps(_mm256_set1_ps(0.5f), z, yc);
+  yc = _mm256_add_ps(yc, _mm256_set1_ps(1.0f));
+
+  // Sine polynomial on [-pi/4, pi/4].
+  __m256 ys = _mm256_set1_ps(-1.9515295891e-4f);
+  ys = _mm256_fmadd_ps(ys, z, _mm256_set1_ps(8.3321608736e-3f));
+  ys = _mm256_fmadd_ps(ys, z, _mm256_set1_ps(-1.6666654611e-1f));
+  ys = _mm256_mul_ps(ys, _mm256_mul_ps(z, x));
+  ys = _mm256_add_ps(ys, x);
+
+  const __m256 r = _mm256_or_ps(_mm256_and_ps(poly_mask, ys),
+                                _mm256_andnot_ps(poly_mask, yc));
+  return _mm256_xor_ps(r, sign);
+}
+
+CYBERHD_AVX2 void cos_rbf_rows_avx2(const float* bases, std::size_t rows,
+                                    std::size_t cols, const float* x,
+                                    const float* biases, float* h) {
+  // Beyond this the 3-part reduction in cos8 loses the argument; those
+  // (pathological-lengthscale) lanes take libm instead.
+  const __m256 range = _mm256_set1_ps(8192.0f);
+  const __m256 abs_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  alignas(32) float angle[8];
+  alignas(32) float value[8];
+  for (std::size_t r = 0; r < rows; r += 8) {
+    const std::size_t m = std::min<std::size_t>(8, rows - r);
+    for (std::size_t k = 0; k < m; ++k) {
+      angle[k] = dot_f32_avx2(bases + (r + k) * cols, x, cols) + biases[r + k];
+    }
+    for (std::size_t k = m; k < 8; ++k) angle[k] = 0.0f;
+    const __m256 t = _mm256_load_ps(angle);
+    _mm256_store_ps(value, cos8(t));
+    const int out_of_range = _mm256_movemask_ps(
+        _mm256_cmp_ps(_mm256_and_ps(t, abs_mask), range, _CMP_GE_OQ));
+    for (std::size_t k = 0; k < m; ++k) {
+      h[r + k] =
+          (out_of_range >> k) & 1 ? std::cos(angle[k]) : value[k];
+    }
+  }
+}
+
+CYBERHD_AVX2 std::size_t xor_popcount_words_avx2(const std::uint64_t* a,
+                                                 const std::uint64_t* b,
+                                                 std::size_t n) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nibble = _mm256_set1_epi8(0x0f);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  std::size_t i = 0;
+  // 8 nibble-LUT rounds (32 words) per vpsadbw: byte counters reach at
+  // most 8 * 8 = 64, well under overflow.
+  while (n - i >= 4) {
+    const std::size_t rounds = std::min<std::size_t>((n - i) / 4, 8);
+    __m256i bytes = zero;
+    for (std::size_t k = 0; k < rounds; ++k, i += 4) {
+      const __m256i v = _mm256_xor_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+      const __m256i lo = _mm256_and_si256(v, nibble);
+      const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), nibble);
+      bytes = _mm256_add_epi8(bytes, _mm256_shuffle_epi8(lut, lo));
+      bytes = _mm256_add_epi8(bytes, _mm256_shuffle_epi8(lut, hi));
+    }
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(bytes, zero));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::size_t count = static_cast<std::size_t>(lanes[0] + lanes[1] +
+                                               lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    count += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return count;
+}
+
+CYBERHD_AVX2 std::int64_t quantized_dot_i8_avx2(const std::int8_t* a,
+                                                const std::int8_t* b,
+                                                std::size_t n) {
+  __m256i acc64 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  while (n - i >= 16) {
+    // Each 16-element round adds at most 2 * 127^2 to an i32 lane; cap the
+    // rounds per i32 accumulator far below overflow before widening.
+    const std::size_t rounds = std::min<std::size_t>((n - i) / 16, 32768);
+    __m256i acc32 = _mm256_setzero_si256();
+    for (std::size_t k = 0; k < rounds; ++k, i += 16) {
+      const __m256i av = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+      const __m256i bv = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+      acc32 = _mm256_add_epi32(acc32, _mm256_madd_epi16(av, bv));
+    }
+    const __m256i lo =
+        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(acc32));
+    const __m256i hi =
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(acc32, 1));
+    acc64 = _mm256_add_epi64(acc64, _mm256_add_epi64(lo, hi));
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc64);
+  std::int64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) sum += static_cast<std::int64_t>(a[i]) * b[i];
+  return sum;
+}
+
+constexpr Kernels kAvx2Kernels = {
+    "avx2",           dot_f32_avx2,         axpy_f32_avx2,
+    mul_acc_f32_avx2, cos_rbf_rows_avx2,    xor_popcount_words_avx2,
+    quantized_dot_i8_avx2,
+};
+
+}  // namespace
+
+const Kernels* avx2_kernels() noexcept { return &kAvx2Kernels; }
+
+}  // namespace cyberhd::core
+
+#else  // non-x86 or unsupported compiler: no AVX2 backend in this binary.
+
+namespace cyberhd::core {
+const Kernels* avx2_kernels() noexcept { return nullptr; }
+}  // namespace cyberhd::core
+
+#endif

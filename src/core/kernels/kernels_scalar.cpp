@@ -1,0 +1,73 @@
+// Portable scalar backend — the reference semantics of every kernel.
+//
+// The float loops are ported verbatim from the pre-kernel implementations
+// (core/matrix.cpp, hdc/encoder.cpp, core/bitpack.cpp), so a scalar-selected
+// build reproduces the library's historical numerics bit-for-bit.
+#include <bit>
+#include <cmath>
+
+#include "core/kernels/kernels.hpp"
+
+namespace cyberhd::core {
+namespace {
+
+float dot_f32_scalar(const float* a, const float* b, std::size_t n) {
+  // Four accumulators to break the dependency chain; gcc vectorizes this.
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+void axpy_f32_scalar(float alpha, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void mul_acc_f32_scalar(const float* a, const float* b, float* acc,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += a[i] * b[i];
+}
+
+void cos_rbf_rows_scalar(const float* bases, std::size_t rows,
+                         std::size_t cols, const float* x, const float* biases,
+                         float* h) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    h[r] = std::cos(dot_f32_scalar(bases + r * cols, x, cols) + biases[r]);
+  }
+}
+
+std::size_t xor_popcount_words_scalar(const std::uint64_t* a,
+                                      const std::uint64_t* b, std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    count += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return count;
+}
+
+std::int64_t quantized_dot_i8_scalar(const std::int8_t* a,
+                                     const std::int8_t* b, std::size_t n) {
+  std::int64_t s = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += static_cast<std::int64_t>(a[i]) * b[i];
+  }
+  return s;
+}
+
+constexpr Kernels kScalarKernels = {
+    "scalar",          dot_f32_scalar,           axpy_f32_scalar,
+    mul_acc_f32_scalar, cos_rbf_rows_scalar,     xor_popcount_words_scalar,
+    quantized_dot_i8_scalar,
+};
+
+}  // namespace
+
+const Kernels& scalar_kernels() noexcept { return kScalarKernels; }
+
+}  // namespace cyberhd::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/kernels/kernels.hpp"
+
 namespace cyberhd::core {
 
 void Matrix::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
@@ -26,18 +28,7 @@ Matrix Matrix::transposed() const {
 
 float dot(std::span<const float> a, std::span<const float> b) noexcept {
   assert(a.size() == b.size());
-  const std::size_t n = a.size();
-  // Four accumulators to break the dependency chain; gcc vectorizes this.
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < n; ++i) s0 += a[i] * b[i];
-  return (s0 + s1) + (s2 + s3);
+  return active_kernels().dot_f32(a.data(), b.data(), a.size());
 }
 
 float norm2(std::span<const float> a) noexcept {
@@ -46,8 +37,7 @@ float norm2(std::span<const float> a) noexcept {
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
   assert(x.size() == y.size());
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  active_kernels().axpy_f32(alpha, x.data(), y.data(), x.size());
 }
 
 void scale(std::span<float> x, float alpha) noexcept {

@@ -2,9 +2,10 @@
 //
 // The library deliberately avoids external BLAS: hypervector work is
 // embarrassingly data-parallel and dominated by a handful of kernels
-// (gemv, axpy, dot, cosine), all implemented here with cache-blocked loops
-// the compiler auto-vectorizes. Matrices are row-major, value-semantic, and
-// expose raw spans for the hot paths.
+// (gemv, axpy, dot, cosine). The innermost loops route through the
+// runtime-dispatched SIMD layer in core/kernels/ (scalar reference or AVX2,
+// chosen once at startup); everything above stays portable C++. Matrices
+// are row-major, value-semantic, and expose raw spans for the hot paths.
 #pragma once
 
 #include <cassert>

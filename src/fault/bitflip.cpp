@@ -71,6 +71,9 @@ FlipReport inject_hdc(hdc::QuantizedHdcModel& model, double rate,
       }
     }
   }
+  // The raw level store was edited in place; rebuild the model's scoring
+  // caches (int8 mirrors + class norms) so inference sees the upsets.
+  model.resync();
   return report;
 }
 

@@ -44,7 +44,6 @@ void CyberHdClassifier::fit(const core::Matrix& x, std::span<const int> y,
   model_ = HdcModel(num_classes, config_.dims);
   regen_.emplace(config_.dims, config_.regen_rate,
                  config_.regen_anneal ? config_.regen_steps : 0);
-  scratch_.assign(config_.dims, 0.0f);
 
   core::ThreadPool* pool =
       config_.parallel ? &core::ThreadPool::global() : nullptr;
@@ -121,16 +120,28 @@ void CyberHdClassifier::fit(const core::Matrix& x, std::span<const int> y,
 
 int CyberHdClassifier::predict(std::span<const float> x) const {
   assert(encoder_ != nullptr && "predict() before fit()");
-  encoder_->encode(x, scratch_);
-  return static_cast<int>(model_.predict_encoded(scratch_));
+  std::vector<float> encoded(config_.dims);
+  encoder_->encode(x, encoded);
+  return static_cast<int>(model_.predict_encoded(encoded));
 }
 
 void CyberHdClassifier::scores(std::span<const float> x,
                                std::span<float> out) const {
   assert(encoder_ != nullptr && "scores() before fit()");
   assert(out.size() == num_classes_);
-  encoder_->encode(x, scratch_);
-  model_.similarities(scratch_, out);
+  std::vector<float> encoded(config_.dims);
+  encoder_->encode(x, encoded);
+  model_.similarities(encoded, out);
+}
+
+void CyberHdClassifier::scores_batch(const core::Matrix& x,
+                                     core::Matrix& out) const {
+  assert(encoder_ != nullptr && "scores_batch() before fit()");
+  core::ThreadPool* pool =
+      config_.parallel ? &core::ThreadPool::global() : nullptr;
+  core::Matrix encoded;
+  encoder_->encode_batch(x, encoded, pool);
+  model_.similarities_batch(encoded, out, pool);
 }
 
 std::string CyberHdClassifier::name() const {
@@ -216,7 +227,12 @@ CyberHdClassifier CyberHdClassifier::load(std::istream& in) {
   }
   CyberHdConfig cfg;
   cfg.dims = core::io::read_u64(in);
-  cfg.encoder = static_cast<EncoderKind>(core::io::read_u64(in));
+  const std::uint64_t encoder_kind = core::io::read_u64(in);
+  if (encoder_kind > static_cast<std::uint64_t>(EncoderKind::kIdLevel)) {
+    throw std::runtime_error("unknown encoder kind id " +
+                             std::to_string(encoder_kind));
+  }
+  cfg.encoder = static_cast<EncoderKind>(encoder_kind);
   cfg.regen_rate = core::io::read_f32(in);
   cfg.regen_steps = core::io::read_u64(in);
   cfg.regen_anneal = core::io::read_u64(in) != 0;
@@ -230,6 +246,12 @@ CyberHdClassifier CyberHdClassifier::load(std::istream& in) {
   const std::uint64_t total_regenerated = core::io::read_u64(in);
   const std::uint64_t regen_steps_done = core::io::read_u64(in);
   model.encoder_ = deserialize_encoder(in);
+  if (model.encoder_->kind() != cfg.encoder) {
+    throw std::runtime_error(
+        "encoder kind mismatch: config says " +
+        std::string(to_string(cfg.encoder)) + ", payload holds " +
+        std::string(to_string(model.encoder_->kind())));
+  }
   const std::uint64_t k = core::io::read_u64(in);
   const std::uint64_t dims = core::io::read_u64(in);
   const std::vector<float> weights = core::io::read_f32_array(in);
@@ -242,7 +264,6 @@ CyberHdClassifier CyberHdClassifier::load(std::istream& in) {
   model.regen_.emplace(cfg.dims, cfg.regen_rate,
                        cfg.regen_anneal ? cfg.regen_steps : 0);
   model.regen_->restore(total_regenerated, regen_steps_done);
-  model.scratch_.assign(cfg.dims, 0.0f);
   return model;
 }
 

@@ -100,12 +100,22 @@ class CyberHdClassifier final : public core::Classifier {
   // core::Classifier ---------------------------------------------------------
   void fit(const core::Matrix& x, std::span<const int> y,
            std::size_t num_classes) override;
+  std::size_t num_classes() const noexcept override { return num_classes_; }
   int predict(std::span<const float> x) const override;
   std::string name() const override;
 
   /// Class-membership scores (cosine similarities) of one raw sample;
   /// `scores` has num_classes entries. Useful for alert thresholds.
-  void scores(std::span<const float> x, std::span<float> scores) const;
+  void scores(std::span<const float> x,
+              std::span<float> scores) const override;
+
+  /// Batch inference: encode every row of `x` in one encode_batch pass
+  /// (split across the global thread pool when config().parallel) and score
+  /// the whole tile against the class hypervectors. Per-row results are
+  /// bit-identical to predict()/scores() on that row; predict_batch (from
+  /// core::Classifier) rides this override.
+  void scores_batch(const core::Matrix& x,
+                    core::Matrix& out) const override;
 
   /// Diagnostics of the last fit() call.
   const FitReport& last_fit_report() const noexcept { return report_; }
@@ -141,7 +151,9 @@ class CyberHdClassifier final : public core::Classifier {
   std::optional<RegenController> regen_;
   FitReport report_;
   std::size_t num_classes_ = 0;
-  mutable std::vector<float> scratch_;  // encode buffer for predict()
+  // Note: no shared encode scratch — predict()/scores() allocate per call so
+  // concurrent const calls from many threads are safe (the encode itself
+  // dominates the cost of a D-float allocation by orders of magnitude).
 };
 
 /// Convenience: a static-encoder baseline HDC (regeneration disabled) at

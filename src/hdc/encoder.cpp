@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "core/io.hpp"
+#include "core/kernels/kernels.hpp"
 
 namespace cyberhd::hdc {
 
@@ -66,9 +67,10 @@ void RbfEncoder::sample_row(std::size_t d, core::Rng& rng) {
 void RbfEncoder::encode(std::span<const float> x, std::span<float> h) const {
   assert(x.size() == input_dim());
   assert(h.size() == output_dim());
-  for (std::size_t d = 0; d < output_dim(); ++d) {
-    h[d] = std::cos(core::dot(bases_.row(d), x) + biases_[d]);
-  }
+  // One fused kernel call over the whole contiguous D x F base block.
+  core::active_kernels().cos_rbf_rows(bases_.data(), output_dim(),
+                                      input_dim(), x.data(), biases_.data(),
+                                      h.data());
 }
 
 void RbfEncoder::encode_dims(std::span<const float> x,
@@ -76,9 +78,13 @@ void RbfEncoder::encode_dims(std::span<const float> x,
                              std::span<float> h) const {
   assert(x.size() == input_dim());
   assert(h.size() == output_dim());
+  const core::Kernels& k = core::active_kernels();
   for (std::size_t d : dims) {
     assert(d < output_dim());
-    h[d] = std::cos(core::dot(bases_.row(d), x) + biases_[d]);
+    // rows = 1 calls are guaranteed bit-identical to the fused full-encode
+    // (kernels.hpp contract), so regenerated columns match a fresh encode.
+    k.cos_rbf_rows(bases_.row(d).data(), 1, input_dim(), x.data(),
+                   &biases_[d], &h[d]);
   }
 }
 
@@ -108,17 +114,23 @@ void SignProjectionEncoder::encode(std::span<const float> x,
                                    std::span<float> h) const {
   assert(x.size() == input_dim());
   assert(h.size() == output_dim());
+  const core::Kernels& k = core::active_kernels();
+  const std::size_t cols = input_dim();
   for (std::size_t d = 0; d < output_dim(); ++d) {
-    h[d] = core::dot(bases_.row(d), x) >= 0.0f ? 1.0f : -1.0f;
+    h[d] = k.dot_f32(bases_.row(d).data(), x.data(), cols) >= 0.0f ? 1.0f
+                                                                   : -1.0f;
   }
 }
 
 void SignProjectionEncoder::encode_dims(std::span<const float> x,
                                         std::span<const std::size_t> dims,
                                         std::span<float> h) const {
+  const core::Kernels& k = core::active_kernels();
+  const std::size_t cols = input_dim();
   for (std::size_t d : dims) {
     assert(d < output_dim());
-    h[d] = core::dot(bases_.row(d), x) >= 0.0f ? 1.0f : -1.0f;
+    h[d] = k.dot_f32(bases_.row(d).data(), x.data(), cols) >= 0.0f ? 1.0f
+                                                                   : -1.0f;
   }
 }
 
@@ -174,10 +186,11 @@ void IdLevelEncoder::encode(std::span<const float> x,
   assert(x.size() == num_features_);
   assert(h.size() == dims_);
   std::fill(h.begin(), h.end(), 0.0f);
+  const core::Kernels& k = core::active_kernels();
   for (std::size_t f = 0; f < num_features_; ++f) {
     const float* id = id_.data() + f * dims_;
     const float* lv = level_.data() + level_of(x[f]) * dims_;
-    for (std::size_t d = 0; d < dims_; ++d) h[d] += id[d] * lv[d];
+    k.mul_acc_f32(id, lv, h.data(), dims_);
   }
 }
 

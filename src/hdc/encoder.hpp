@@ -31,10 +31,16 @@
 
 namespace cyberhd::hdc {
 
+/// Encoder families selectable through CyberHdConfig.
+enum class EncoderKind { kRbf, kSignProjection, kIdLevel };
+
 /// Abstract encoder from feature space (F dims) to hyperspace (D dims).
 class Encoder {
  public:
   virtual ~Encoder() = default;
+
+  /// Which family this encoder belongs to (used by persistence checks).
+  virtual EncoderKind kind() const noexcept = 0;
 
   /// Feature-space dimensionality F.
   virtual std::size_t input_dim() const noexcept = 0;
@@ -88,6 +94,7 @@ class RbfEncoder final : public Encoder {
   RbfEncoder(std::size_t input_dim, std::size_t output_dim, core::Rng& rng,
              float lengthscale = 1.0f);
 
+  EncoderKind kind() const noexcept override { return EncoderKind::kRbf; }
   std::size_t input_dim() const noexcept override { return bases_.cols(); }
   std::size_t output_dim() const noexcept override { return bases_.rows(); }
   void encode(std::span<const float> x, std::span<float> h) const override;
@@ -122,6 +129,9 @@ class SignProjectionEncoder final : public Encoder {
   SignProjectionEncoder(std::size_t input_dim, std::size_t output_dim,
                         core::Rng& rng);
 
+  EncoderKind kind() const noexcept override {
+    return EncoderKind::kSignProjection;
+  }
   std::size_t input_dim() const noexcept override { return bases_.cols(); }
   std::size_t output_dim() const noexcept override { return bases_.rows(); }
   void encode(std::span<const float> x, std::span<float> h) const override;
@@ -149,6 +159,7 @@ class IdLevelEncoder final : public Encoder {
   IdLevelEncoder(std::size_t input_dim, std::size_t output_dim,
                  core::Rng& rng, std::size_t num_levels = 32);
 
+  EncoderKind kind() const noexcept override { return EncoderKind::kIdLevel; }
   std::size_t input_dim() const noexcept override { return num_features_; }
   std::size_t output_dim() const noexcept override { return dims_; }
   void encode(std::span<const float> x, std::span<float> h) const override;
@@ -174,9 +185,6 @@ class IdLevelEncoder final : public Encoder {
   std::vector<float> id_;
   std::vector<float> level_;
 };
-
-/// Encoder families selectable through CyberHdConfig.
-enum class EncoderKind { kRbf, kSignProjection, kIdLevel };
 
 /// Printable name of an encoder kind.
 const char* to_string(EncoderKind kind) noexcept;

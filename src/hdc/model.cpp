@@ -19,6 +19,18 @@ void HdcModel::bundle(std::size_t cls, std::span<const float> h,
   core::axpy(weight, h, classes_.row(cls));
 }
 
+namespace {
+
+/// The one cosine-scoring expression shared by the per-sample and batch
+/// paths — sharing it is what makes their bit-identical contract hold.
+inline float cosine_score(std::span<const float> cls,
+                          std::span<const float> h, float hn,
+                          float cn) noexcept {
+  return (hn == 0.0f || cn == 0.0f) ? 0.0f : core::dot(cls, h) / (hn * cn);
+}
+
+}  // namespace
+
 void HdcModel::similarities(std::span<const float> h,
                             std::span<float> scores) const noexcept {
   assert(h.size() == dims());
@@ -26,9 +38,33 @@ void HdcModel::similarities(std::span<const float> h,
   const float hn = core::norm2(h);
   for (std::size_t c = 0; c < num_classes(); ++c) {
     const auto row = classes_.row(c);
-    const float cn = core::norm2(row);
-    scores[c] =
-        (hn == 0.0f || cn == 0.0f) ? 0.0f : core::dot(row, h) / (hn * cn);
+    scores[c] = cosine_score(row, h, hn, core::norm2(row));
+  }
+}
+
+void HdcModel::similarities_batch(const core::Matrix& h,
+                                  core::Matrix& scores,
+                                  core::ThreadPool* pool) const {
+  assert(h.cols() == dims());
+  scores.resize(h.rows(), num_classes());
+  std::vector<float> class_norms(num_classes());
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    class_norms[c] = core::norm2(classes_.row(c));
+  }
+  const auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto hi = h.row(i);
+      const float hn = core::norm2(hi);
+      auto out = scores.row(i);
+      for (std::size_t c = 0; c < num_classes(); ++c) {
+        out[c] = cosine_score(classes_.row(c), hi, hn, class_norms[c]);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(h.rows(), body, /*grain=*/32);
+  } else {
+    body(0, h.rows());
   }
 }
 

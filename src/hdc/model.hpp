@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/matrix.hpp"
+#include "core/thread_pool.hpp"
 
 namespace cyberhd::hdc {
 
@@ -45,6 +46,13 @@ class HdcModel {
   /// entries. Zero-norm classes score 0.
   void similarities(std::span<const float> h,
                     std::span<float> scores) const noexcept;
+
+  /// Row-wise similarities of a whole encoded batch: `scores` is resized to
+  /// h.rows() x num_classes(). Class norms are computed once and the sample
+  /// range optionally splits across `pool`. Each output row is bit-identical
+  /// to a similarities() call on that row.
+  void similarities_batch(const core::Matrix& h, core::Matrix& scores,
+                          core::ThreadPool* pool = nullptr) const;
 
   /// argmax-of-cosine classification of an encoded query.
   std::size_t predict_encoded(std::span<const float> h) const noexcept;

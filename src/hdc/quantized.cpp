@@ -1,7 +1,11 @@
 #include "hdc/quantized.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
+
+#include "core/kernels/kernels.hpp"
+#include "core/thread_pool.hpp"
 
 namespace cyberhd::hdc {
 
@@ -21,6 +25,27 @@ QuantizedHdcModel::QuantizedHdcModel(const HdcModel& model, int bits)
       levels_.push_back(core::quantize(model.class_vector(c), bits_));
     }
   }
+  resync();
+}
+
+void QuantizedHdcModel::resync() {
+  levels_i8_.clear();
+  level_sumsq_.clear();
+  if (bits_ <= 1 || bits_ > 8) return;
+  levels_i8_.reserve(levels_.size());
+  level_sumsq_.reserve(levels_.size());
+  for (const core::QuantizedVector& qv : levels_) {
+    std::vector<std::int8_t> mirror(qv.levels.size());
+    double sumsq = 0.0;
+    for (std::size_t i = 0; i < qv.levels.size(); ++i) {
+      // Levels at <= 8 bits live in [-127, 127]; the cast is lossless.
+      mirror[i] = static_cast<std::int8_t>(qv.levels[i]);
+      const double v = qv.levels[i];
+      sumsq += v * v;
+    }
+    levels_i8_.push_back(std::move(mirror));
+    level_sumsq_.push_back(sumsq);
+  }
 }
 
 std::size_t QuantizedHdcModel::num_classes() const noexcept {
@@ -36,11 +61,36 @@ void QuantizedHdcModel::similarities(std::span<const float> h,
     for (std::size_t c = 0; c < packed_.size(); ++c) {
       scores[c] = core::cosine_bipolar(q, packed_[c]);
     }
-  } else {
-    const core::QuantizedVector q = core::quantize(h, bits_);
-    for (std::size_t c = 0; c < levels_.size(); ++c) {
-      scores[c] = core::cosine_quantized(q, levels_[c]);
+    return;
+  }
+  const core::QuantizedVector q = core::quantize(h, bits_);
+  if (bits_ <= 8) {
+    // int8 fast path: SIMD integer dot against the cached class mirrors.
+    // Matches cosine_quantized() bit-for-bit — all intermediate sums are
+    // exact integers well inside double's mantissa, and the final
+    // dot / (sqrt(na) * sqrt(nb)) expression is identical.
+    const core::Kernels& kernels = core::active_kernels();
+    std::vector<std::int8_t> q8(q.levels.size());
+    double qn = 0.0;
+    for (std::size_t i = 0; i < q.levels.size(); ++i) {
+      q8[i] = static_cast<std::int8_t>(q.levels[i]);
+      const double v = q.levels[i];
+      qn += v * v;
     }
+    for (std::size_t c = 0; c < levels_i8_.size(); ++c) {
+      if (qn == 0.0 || level_sumsq_[c] == 0.0) {
+        scores[c] = 0.0f;
+        continue;
+      }
+      const double dot = static_cast<double>(kernels.quantized_dot_i8(
+          q8.data(), levels_i8_[c].data(), q8.size()));
+      scores[c] = static_cast<float>(
+          dot / (std::sqrt(qn) * std::sqrt(level_sumsq_[c])));
+    }
+    return;
+  }
+  for (std::size_t c = 0; c < levels_.size(); ++c) {
+    scores[c] = core::cosine_quantized(q, levels_[c]);
   }
 }
 
@@ -59,7 +109,7 @@ QuantizedCyberHd::QuantizedCyberHd(const CyberHdClassifier& trained,
                                    int bits)
     : encoder_(trained.encoder().clone()),
       model_(trained.model(), bits),
-      scratch_(trained.physical_dims(), 0.0f) {}
+      parallel_(trained.config().parallel) {}
 
 void QuantizedCyberHd::fit(const core::Matrix&, std::span<const int>,
                            std::size_t) {
@@ -69,8 +119,36 @@ void QuantizedCyberHd::fit(const core::Matrix&, std::span<const int>,
 }
 
 int QuantizedCyberHd::predict(std::span<const float> x) const {
-  encoder_->encode(x, scratch_);
-  return static_cast<int>(model_.predict_encoded(scratch_));
+  std::vector<float> encoded(encoder_->output_dim());
+  encoder_->encode(x, encoded);
+  return static_cast<int>(model_.predict_encoded(encoded));
+}
+
+void QuantizedCyberHd::scores(std::span<const float> x,
+                              std::span<float> out) const {
+  assert(out.size() == model_.num_classes());
+  std::vector<float> encoded(encoder_->output_dim());
+  encoder_->encode(x, encoded);
+  model_.similarities(encoded, out);
+}
+
+void QuantizedCyberHd::scores_batch(const core::Matrix& x,
+                                    core::Matrix& out) const {
+  core::ThreadPool* pool =
+      parallel_ ? &core::ThreadPool::global() : nullptr;
+  core::Matrix encoded;
+  encoder_->encode_batch(x, encoded, pool);
+  out.resize(x.rows(), model_.num_classes());
+  const auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      model_.similarities(encoded.row(i), out.row(i));
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(x.rows(), body, /*grain=*/32);
+  } else {
+    body(0, x.rows());
+  }
 }
 
 std::string QuantizedCyberHd::name() const {

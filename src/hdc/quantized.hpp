@@ -5,13 +5,16 @@
 // the fly at the same width. The 1-bit path packs bipolar vectors into
 // 64-bit words and scores with XOR/popcount — the representation whose
 // holographic redundancy gives the paper's 12.9x robustness advantage and
-// the FPGA its efficiency at low bitwidths.
+// the FPGA its efficiency at low bitwidths. Bitwidths 2..8 score through
+// the runtime-dispatched int8 dot kernel (core/kernels/) against cached
+// int8 mirrors of the class levels.
 //
 // The raw quantized storage is exposed so fault/bitflip.cpp can flip bits
 // *in the representation that would actually sit in deployed memory*.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -41,7 +44,7 @@ class QuantizedHdcModel {
 
   /// Cosine similarities of a float-encoded query against every class,
   /// computed entirely in the quantized domain (the query is quantized at
-  /// this model's bitwidth first).
+  /// this model's bitwidth first). Thread-safe for concurrent const calls.
   /// Preconditions: h.size() == dims(), scores.size() == num_classes().
   void similarities(std::span<const float> h,
                     std::span<float> scores) const;
@@ -53,10 +56,17 @@ class QuantizedHdcModel {
   /// bitwidth) — what the hardware model prices.
   std::size_t storage_bits() const noexcept;
 
+  /// Rebuild the scoring caches (int8 level mirrors + class norms) from the
+  /// raw class storage. Call after mutating level_classes() in place — the
+  /// fault injector does; in-place edits of packed_classes() need no resync
+  /// (the 1-bit path scores straight off the packed words).
+  void resync();
+
   // -- raw storage for fault injection --------------------------------------
   // Exactly one of the two stores is populated, selected by bits():
   // packed_classes() when bits() == 1, level_classes() when bits() > 1.
   // The other is empty — callers must branch on bits() before touching them.
+  // Writers of level_classes() must call resync() afterwards.
   /// Packed bipolar class vectors; only valid when bits() == 1.
   std::vector<core::PackedBits>& packed_classes() { return packed_; }
   const std::vector<core::PackedBits>& packed_classes() const {
@@ -73,6 +83,11 @@ class QuantizedHdcModel {
   std::size_t dims_;
   std::vector<core::PackedBits> packed_;        // bits == 1
   std::vector<core::QuantizedVector> levels_;   // bits > 1
+  // Scoring caches for bits in {2, 4, 8}: class levels mirrored as int8 for
+  // the SIMD dot, plus each class's sum of squared levels (exact integers
+  // held in double, matching cosine_quantized()'s accumulator).
+  std::vector<std::vector<std::int8_t>> levels_i8_;
+  std::vector<double> level_sumsq_;
 };
 
 /// End-to-end quantized classifier: a trained CyberHD's encoder plus its
@@ -82,12 +97,24 @@ class QuantizedCyberHd final : public core::Classifier {
  public:
   /// Snapshot a trained classifier at the given bitwidth. The encoder is
   /// cloned, so the source may be discarded or retrained afterwards.
+  /// Batch calls inherit the source's thread-pool preference
+  /// (config().parallel).
   QuantizedCyberHd(const CyberHdClassifier& trained, int bits);
 
   /// fit() is not supported: quantization is post-training by design.
   void fit(const core::Matrix& x, std::span<const int> y,
            std::size_t num_classes) override;
+  std::size_t num_classes() const noexcept override {
+    return model_.num_classes();
+  }
   int predict(std::span<const float> x) const override;
+  /// Quantized-domain cosine similarities of one raw sample.
+  void scores(std::span<const float> x, std::span<float> out) const override;
+  /// Batch path: one encode_batch pass over the tile, then quantized
+  /// scoring per row, split across the global thread pool. predict_batch
+  /// (from core::Classifier) rides this override.
+  void scores_batch(const core::Matrix& x,
+                    core::Matrix& out) const override;
   std::string name() const override;
 
   int bits() const noexcept { return model_.bits(); }
@@ -97,7 +124,7 @@ class QuantizedCyberHd final : public core::Classifier {
  private:
   std::unique_ptr<Encoder> encoder_;
   QuantizedHdcModel model_;
-  mutable std::vector<float> scratch_;
+  bool parallel_ = true;
 };
 
 }  // namespace cyberhd::hdc

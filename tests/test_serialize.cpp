@@ -157,5 +157,160 @@ TEST(ClassifierPersistence, RestoredModelCanRefit) {
   EXPECT_GT(restored.evaluate(t.x, t.y), 0.9);
 }
 
+// ---- round-trip hardening: every encoder family, drift, truncation ---------
+
+/// A small classifier trained with the given encoder family.
+CyberHdClassifier trained_with(EncoderKind kind) {
+  CyberHdConfig cfg = TrainedSmall::config();
+  cfg.encoder = kind;
+  CyberHdClassifier model(cfg);
+  core::Rng rng(9);
+  core::Matrix x(120, 3);
+  std::vector<int> y(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    const int cls = static_cast<int>(i % 3);
+    for (std::size_t f = 0; f < 3; ++f) {
+      x(i, f) = 0.3f * static_cast<float>(cls) +
+                static_cast<float>(rng.gaussian(0.0, 0.05));
+    }
+    y[i] = cls;
+  }
+  model.fit(x, y, 3);
+  return model;
+}
+
+class ClassifierRoundTrip : public ::testing::TestWithParam<EncoderKind> {};
+
+TEST_P(ClassifierRoundTrip, PredictsAndScoresIdentically) {
+  const CyberHdClassifier model = trained_with(GetParam());
+  std::stringstream buffer;
+  model.save(buffer);
+  const CyberHdClassifier restored = CyberHdClassifier::load(buffer);
+  EXPECT_EQ(restored.encoder().kind(), GetParam());
+  const auto probe = probe_input(3);
+  EXPECT_EQ(restored.predict(probe), model.predict(probe));
+  std::vector<float> s1(3), s2(3);
+  model.scores(probe, s1);
+  restored.scores(probe, s2);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST_P(ClassifierRoundTrip, EveryStrictPrefixIsRejected) {
+  const CyberHdClassifier model = trained_with(GetParam());
+  std::stringstream buffer;
+  model.save(buffer);
+  const std::string full = buffer.str();
+  // Sweep prefix lengths (every byte near the header, coarser through the
+  // payload): a truncated stream must never load silently.
+  const std::size_t step = std::max<std::size_t>(1, full.size() / 97);
+  for (std::size_t len = 0; len < full.size();
+       len += (len < 64 ? 1 : step)) {
+    std::stringstream truncated(full.substr(0, len));
+    EXPECT_THROW(CyberHdClassifier::load(truncated), std::runtime_error)
+        << "prefix of " << len << " / " << full.size() << " bytes";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ClassifierRoundTrip,
+                         ::testing::Values(EncoderKind::kRbf,
+                                           EncoderKind::kSignProjection,
+                                           EncoderKind::kIdLevel));
+
+class EncoderTruncation : public ::testing::TestWithParam<EncoderKind> {};
+
+TEST_P(EncoderTruncation, EveryStrictPrefixIsRejected) {
+  core::Rng rng(3);
+  const auto enc = make_encoder(GetParam(), 7, 48, rng);
+  std::stringstream buffer;
+  enc->serialize(buffer);
+  const std::string full = buffer.str();
+  const std::size_t step = std::max<std::size_t>(1, full.size() / 97);
+  for (std::size_t len = 0; len < full.size();
+       len += (len < 40 ? 1 : step)) {
+    std::stringstream truncated(full.substr(0, len));
+    EXPECT_THROW(deserialize_encoder(truncated), std::runtime_error)
+        << "prefix of " << len << " / " << full.size() << " bytes";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EncoderTruncation,
+                         ::testing::Values(EncoderKind::kRbf,
+                                           EncoderKind::kSignProjection,
+                                           EncoderKind::kIdLevel));
+
+namespace {
+
+/// Swap two little-endian u64 fields in a serialized byte string.
+std::string swap_u64_fields(std::string bytes, std::size_t off_a,
+                            std::size_t off_b) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::swap(bytes[off_a + i], bytes[off_b + i]);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+TEST(FieldOrderDrift, RbfSwappedMatrixShapeIsRejected) {
+  core::Rng rng(3);
+  const RbfEncoder enc(7, 48, rng);
+  std::stringstream buffer;
+  enc.serialize(buffer);
+  // Layout: tag(4) + lengthscale f32(4) + bases rows u64(8) + cols u64(8).
+  // Swapping rows/cols keeps the payload size consistent (48*7 == 7*48), so
+  // only the bias/rows cross-check can catch the drift.
+  const std::string drifted = swap_u64_fields(buffer.str(), 8, 16);
+  std::stringstream in(drifted);
+  try {
+    deserialize_encoder(in);
+    FAIL() << "swapped rows/cols fields must not deserialize";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("mismatch"), std::string::npos)
+        << "error should say what is inconsistent, got: " << e.what();
+  }
+}
+
+TEST(FieldOrderDrift, IdLevelSwappedDimsFieldsAreRejected) {
+  core::Rng rng(3);
+  const IdLevelEncoder enc(7, 48, rng);
+  std::stringstream buffer;
+  enc.serialize(buffer);
+  // Layout: tag(4) + num_features u64(4..) + dims u64(12..) + levels u64.
+  // num_features * dims survives the swap; the level-store size check is
+  // what must reject it.
+  const std::string drifted = swap_u64_fields(buffer.str(), 4, 12);
+  std::stringstream in(drifted);
+  EXPECT_THROW(deserialize_encoder(in), std::runtime_error);
+}
+
+TEST(FieldOrderDrift, ClassifierEncoderKindMismatchIsRejected) {
+  const TrainedSmall t;  // RBF encoder
+  std::stringstream buffer;
+  t.model.save(buffer);
+  std::string bytes = buffer.str();
+  // Layout: tag(4) + version u64(8) + dims u64(8) + encoder kind u64 @ 20.
+  // Claim the payload holds an ID/level encoder while the serialized bytes
+  // are an RBF one: load() must cross-check the deserialized kind.
+  bytes[20] = static_cast<char>(EncoderKind::kIdLevel);
+  std::stringstream in(bytes);
+  try {
+    CyberHdClassifier::load(in);
+    FAIL() << "encoder-kind drift must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("encoder kind"), std::string::npos)
+        << "error should name the drifted field, got: " << e.what();
+  }
+}
+
+TEST(FieldOrderDrift, ClassifierOutOfRangeEncoderKindIsRejected) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer);
+  std::string bytes = buffer.str();
+  bytes[20] = 9;  // no such EncoderKind
+  std::stringstream in(bytes);
+  EXPECT_THROW(CyberHdClassifier::load(in), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace cyberhd::hdc
