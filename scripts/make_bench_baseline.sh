@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Collect a committed benchmark baseline: run the bench suite via
+# run_benches.sh, then fold the emitted CSVs into one BENCH_<label>.json at
+# the repository root (the bench trajectory the ROADMAP tracks PR-to-PR).
+#
+#   scripts/make_bench_baseline.sh [build-dir] [label] [--quick]
+#
+# The micro-op suite is re-run at a longer min-time than the smoke pass so
+# the committed kernel/training numbers are stable; macro benches honor
+# --quick. CYBERHD_KERNELS (if set) pins the backend and is recorded in the
+# JSON metadata.
+set -eu
+
+BUILD_DIR="${1:-build}"
+LABEL="${2:-baseline}"
+QUICK="${3:-}"
+
+scripts/run_benches.sh "$BUILD_DIR" $QUICK
+
+MICRO="$BUILD_DIR/bench/bench_micro_ops"
+if [ -x "$MICRO" ]; then
+  echo "== bench_micro_ops (baseline pass, min_time=0.2)"
+  (cd "$BUILD_DIR/bench-results" && \
+   ../bench/bench_micro_ops --benchmark_format=csv \
+     --benchmark_min_time=0.2 > bench_micro_ops.csv)
+fi
+
+python3 - "$BUILD_DIR" "$LABEL" <<'PYEOF'
+import csv, json, os, platform, subprocess, sys, datetime
+
+build_dir, label = sys.argv[1], sys.argv[2]
+results_dir = os.path.join(build_dir, "bench-results")
+
+baseline = {
+    "label": label,
+    "collected_utc": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "host": {
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu_count": os.cpu_count(),
+        "kernels_env": os.environ.get("CYBERHD_KERNELS", "<auto>"),
+    },
+    "csv": {},
+}
+try:
+    baseline["host"]["cpu_model"] = next(
+        line.split(":", 1)[1].strip()
+        for line in open("/proc/cpuinfo")
+        if line.startswith("model name"))
+except (OSError, StopIteration):
+    pass
+
+for name in sorted(os.listdir(results_dir)):
+    if not name.endswith(".csv"):
+        continue
+    path = os.path.join(results_dir, name)
+    with open(path, newline="") as f:
+        # google-benchmark CSVs carry a context preamble before the header
+        # line; macro-bench CSVs start at the header directly.
+        lines = f.read().splitlines()
+    header_idx = next(
+        (i for i, line in enumerate(lines)
+         if line.startswith("name,") or ("," in line and i == 0)), None)
+    if header_idx is None:
+        continue
+    rows = list(csv.DictReader(lines[header_idx:]))
+    baseline["csv"][name] = rows
+
+out = f"BENCH_{label}.json"
+with open(out, "w") as f:
+    json.dump(baseline, f, indent=1)
+    f.write("\n")
+print(f"wrote {out} ({len(baseline['csv'])} csv tables)")
+PYEOF

@@ -17,15 +17,49 @@ bool cpu_supports_avx2() noexcept {
 #endif
 }
 
+bool cpu_supports_avx512() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // The avx512 table layers over avx2 kernels, so both feature families
+  // must be present (every AVX-512 CPU to date also has AVX2+FMA, but the
+  // check is cheap and keeps the contract explicit).
+  return cpu_supports_avx2() && __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq");
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx512_vpopcntdq() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return cpu_supports_avx512() &&
+         __builtin_cpu_supports("avx512vpopcntdq");
+#else
+  return false;
+#endif
+}
+
 namespace {
 
+/// The best backend the CPUID feature bits allow.
+const Kernels* best_supported_kernels() noexcept {
+  if (cpu_supports_avx512() && avx512_kernels() != nullptr) {
+    return avx512_kernels();
+  }
+  if (cpu_supports_avx2() && avx2_kernels() != nullptr) {
+    return avx2_kernels();
+  }
+  return &scalar_kernels();
+}
+
 const Kernels* select_kernels() noexcept {
-  const Kernels* chosen =
-      cpu_supports_avx2() ? avx2_kernels() : &scalar_kernels();
+  const Kernels* chosen = best_supported_kernels();
   // CYBERHD_KERNELS=scalar forces the portable backend (the CI leg that
-  // exercises it everywhere); =avx2 requests the SIMD backend explicitly.
-  // Requests this process cannot honor are reported on stderr rather than
-  // silently ignored, so benchmark runs never record the wrong backend.
+  // exercises it everywhere); =avx2/=avx512 request a SIMD backend
+  // explicitly. Requests this process cannot honor are reported on stderr
+  // rather than silently ignored (falling back to the best supported
+  // backend), so benchmark runs never record the wrong backend.
   if (const char* env = std::getenv("CYBERHD_KERNELS")) {
     if (std::strcmp(env, "scalar") == 0) {
       chosen = &scalar_kernels();
@@ -38,14 +72,25 @@ const Kernels* select_kernels() noexcept {
                      "host/build cannot run it; using scalar\n");
         chosen = &scalar_kernels();
       }
+    } else if (std::strcmp(env, "avx512") == 0) {
+      if (cpu_supports_avx512() && avx512_kernels() != nullptr) {
+        chosen = avx512_kernels();
+      } else {
+        chosen = best_supported_kernels();
+        std::fprintf(stderr,
+                     "cyberhd: CYBERHD_KERNELS=avx512 requested but this "
+                     "host/build cannot run it; using %s\n",
+                     chosen->name);
+      }
     } else {
       std::fprintf(stderr,
                    "cyberhd: unrecognized CYBERHD_KERNELS value \"%s\" "
-                   "(expected \"scalar\" or \"avx2\"); keeping \"%s\"\n",
-                   env, chosen != nullptr ? chosen->name : "scalar");
+                   "(expected \"scalar\", \"avx2\", or \"avx512\"); "
+                   "keeping \"%s\"\n",
+                   env, chosen->name);
     }
   }
-  return chosen != nullptr ? chosen : &scalar_kernels();
+  return chosen;
 }
 
 }  // namespace

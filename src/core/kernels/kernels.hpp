@@ -12,14 +12,19 @@
 //    CPUID. 8/16-lane float kernels, a vpshufb nibble-LUT popcount, a
 //    vpmaddwd int8 dot, and an 8-lane polynomial cosine for the fused RBF
 //    encode.
+//  * avx512 — AVX-512F 32-lane float kernels (dot, axpy, the blocked
+//    similarity tile) plus a VPOPCNTDQ popcount when the CPU has it;
+//    everything else (the polynomial cosine, the int8 dot) is inherited
+//    from the avx2 table, which any AVX-512 machine also runs.
 //
-// Selection happens exactly once (first call to active_kernels()):
-// AVX2+FMA hardware picks the avx2 table, everything else the scalar table.
-// The environment variable CYBERHD_KERNELS overrides the choice
-// ("scalar" forces the portable backend anywhere; "avx2" asks for the SIMD
-// backend and falls back to scalar when the CPU lacks it). The dispatch is
-// independent of the CYBERHD_NATIVE build flag: a portable -march=x86-64
-// binary still runs the AVX2 backend on capable hardware.
+// Selection happens exactly once (first call to active_kernels()): the
+// best table the CPUID feature bits allow — avx512, then avx2, then
+// scalar. The environment variable CYBERHD_KERNELS overrides the choice
+// ("scalar" forces the portable backend anywhere; "avx2"/"avx512" ask for
+// a SIMD backend and fall back to the best available when the CPU lacks
+// it). The dispatch is independent of the CYBERHD_NATIVE build flag: a
+// portable -march=x86-64 binary still runs the AVX2/AVX-512 backends on
+// capable hardware.
 //
 // Contracts shared by all backends:
 //  * integer kernels (xor_popcount_words, quantized_dot_i8) are exact —
@@ -54,6 +59,21 @@ struct Kernels {
   void (*mul_acc_f32)(const float* a, const float* b, float* acc,
                       std::size_t n);
 
+  /// Blocked similarity tile: raw dot products of a tile of encoded rows
+  /// against every class hypervector,
+  ///   out[r * num_classes + c] = dot(h + r * dims, classes + c * dims)
+  /// for r in [0, rows), c in [0, num_classes). `h` is a row-major
+  /// rows x dims tile, `classes` a row-major num_classes x dims block.
+  /// SIMD backends register-block over query rows so each class row is
+  /// loaded once per row block (class vectors stay cache-resident while the
+  /// tile streams), but every individual dot accumulates in exactly
+  /// dot_f32's order — each out entry is bit-identical to a per-pair
+  /// dot_f32 call on the same backend. This is the kernel behind
+  /// HdcModel::similarities_batch and the minibatch trainer.
+  void (*similarities_tile_f32)(const float* h, std::size_t rows,
+                                const float* classes, std::size_t num_classes,
+                                std::size_t dims, float* out);
+
   /// Fused RBF encode over contiguous base rows:
   ///   h[r] = cos(dot(bases + r * cols, x) + biases[r])   for r in [0, rows).
   /// `bases` is a row-major rows x cols block.
@@ -79,11 +99,26 @@ const Kernels& scalar_kernels() noexcept;
 /// CPU can run it — check cpu_supports_avx2() before calling it directly.
 const Kernels* avx2_kernels() noexcept;
 
+/// The AVX-512 backend (32-lane float kernels layered over the avx2 table,
+/// VPOPCNTDQ popcount when the CPU reports it), or nullptr when this binary
+/// was built for a non-x86 target. As with avx2_kernels(), a non-null
+/// return says the code exists — check cpu_supports_avx512() before
+/// calling it directly.
+const Kernels* avx512_kernels() noexcept;
+
 /// True when the running CPU reports AVX2 and FMA.
 bool cpu_supports_avx2() noexcept;
 
+/// True when the running CPU reports the AVX-512 foundation set this
+/// backend needs (F + DQ, plus the AVX2+FMA the inherited kernels use).
+bool cpu_supports_avx512() noexcept;
+
+/// True when the running CPU additionally reports AVX512VPOPCNTDQ (the
+/// vectorized 64-bit popcount; Ice Lake and newer).
+bool cpu_supports_avx512_vpopcntdq() noexcept;
+
 /// The backend selected for this process (CPUID once at first use;
-/// overridable via CYBERHD_KERNELS=scalar|avx2).
+/// overridable via CYBERHD_KERNELS=scalar|avx2|avx512).
 const Kernels& active_kernels() noexcept;
 
 }  // namespace cyberhd::core

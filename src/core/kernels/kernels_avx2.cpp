@@ -57,6 +57,72 @@ CYBERHD_AVX2 float dot_f32_avx2(const float* a, const float* b,
   return sum;
 }
 
+// Register-blocked similarity tile: 4 query rows advance together against
+// one class row, so each class load is amortized across 4 dots. Every dot
+// keeps its own (acc0, acc1) pair and walks dims in exactly dot_f32_avx2's
+// order — the out entries are bit-identical to per-pair dot_f32 calls,
+// which is the contract HdcModel::similarities_batch relies on.
+CYBERHD_AVX2 void similarities_tile_f32_avx2(const float* h, std::size_t rows,
+                                             const float* classes,
+                                             std::size_t num_classes,
+                                             std::size_t dims, float* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const float* h0 = h + (r + 0) * dims;
+    const float* h1 = h + (r + 1) * dims;
+    const float* h2 = h + (r + 2) * dims;
+    const float* h3 = h + (r + 3) * dims;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      const float* cls = classes + c * dims;
+      __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+      __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+      __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
+      __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
+      std::size_t i = 0;
+      for (; i + 16 <= dims; i += 16) {
+        const __m256 v0 = _mm256_loadu_ps(cls + i);
+        const __m256 v1 = _mm256_loadu_ps(cls + i + 8);
+        a00 = _mm256_fmadd_ps(_mm256_loadu_ps(h0 + i), v0, a00);
+        a01 = _mm256_fmadd_ps(_mm256_loadu_ps(h0 + i + 8), v1, a01);
+        a10 = _mm256_fmadd_ps(_mm256_loadu_ps(h1 + i), v0, a10);
+        a11 = _mm256_fmadd_ps(_mm256_loadu_ps(h1 + i + 8), v1, a11);
+        a20 = _mm256_fmadd_ps(_mm256_loadu_ps(h2 + i), v0, a20);
+        a21 = _mm256_fmadd_ps(_mm256_loadu_ps(h2 + i + 8), v1, a21);
+        a30 = _mm256_fmadd_ps(_mm256_loadu_ps(h3 + i), v0, a30);
+        a31 = _mm256_fmadd_ps(_mm256_loadu_ps(h3 + i + 8), v1, a31);
+      }
+      for (; i + 8 <= dims; i += 8) {
+        const __m256 v0 = _mm256_loadu_ps(cls + i);
+        a00 = _mm256_fmadd_ps(_mm256_loadu_ps(h0 + i), v0, a00);
+        a10 = _mm256_fmadd_ps(_mm256_loadu_ps(h1 + i), v0, a10);
+        a20 = _mm256_fmadd_ps(_mm256_loadu_ps(h2 + i), v0, a20);
+        a30 = _mm256_fmadd_ps(_mm256_loadu_ps(h3 + i), v0, a30);
+      }
+      float s0 = hsum8(_mm256_add_ps(a00, a01));
+      float s1 = hsum8(_mm256_add_ps(a10, a11));
+      float s2 = hsum8(_mm256_add_ps(a20, a21));
+      float s3 = hsum8(_mm256_add_ps(a30, a31));
+      for (; i < dims; ++i) {
+        const float v = cls[i];
+        s0 += h0[i] * v;
+        s1 += h1[i] * v;
+        s2 += h2[i] * v;
+        s3 += h3[i] * v;
+      }
+      out[(r + 0) * num_classes + c] = s0;
+      out[(r + 1) * num_classes + c] = s1;
+      out[(r + 2) * num_classes + c] = s2;
+      out[(r + 3) * num_classes + c] = s3;
+    }
+  }
+  for (; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] =
+          dot_f32_avx2(h + r * dims, classes + c * dims, dims);
+    }
+  }
+}
+
 CYBERHD_AVX2 void axpy_f32_avx2(float alpha, const float* x, float* y,
                                 std::size_t n) {
   const __m256 va = _mm256_set1_ps(alpha);
@@ -227,9 +293,14 @@ CYBERHD_AVX2 std::int64_t quantized_dot_i8_avx2(const std::int8_t* a,
 }
 
 constexpr Kernels kAvx2Kernels = {
-    "avx2",           dot_f32_avx2,         axpy_f32_avx2,
-    mul_acc_f32_avx2, cos_rbf_rows_avx2,    xor_popcount_words_avx2,
-    quantized_dot_i8_avx2,
+    .name = "avx2",
+    .dot_f32 = dot_f32_avx2,
+    .axpy_f32 = axpy_f32_avx2,
+    .mul_acc_f32 = mul_acc_f32_avx2,
+    .similarities_tile_f32 = similarities_tile_f32_avx2,
+    .cos_rbf_rows = cos_rbf_rows_avx2,
+    .xor_popcount_words = xor_popcount_words_avx2,
+    .quantized_dot_i8 = quantized_dot_i8_avx2,
 };
 
 }  // namespace

@@ -1,0 +1,204 @@
+// AVX-512 backend.
+//
+// Layered over the avx2 table: the 32-lane float kernels (dot, axpy,
+// mul_acc, the blocked similarity tile) and — when the CPU reports
+// AVX512VPOPCNTDQ — a vpopcntq popcount replace their avx2 counterparts,
+// while the polynomial cosine and the int8 dot are inherited unchanged
+// (every AVX-512 CPU also runs AVX2 code, and those two kernels gain
+// little from wider vectors relative to their avx2 forms).
+//
+// Compiled via per-function target attributes like the avx2 backend, so
+// the translation unit is safe inside a portable binary: nothing here
+// executes unless the runtime dispatcher saw the matching CPUID bits
+// (kernels.cpp). The popcount kernel carries its own vpopcntdq target and
+// is only wired into the table when cpu_supports_avx512_vpopcntdq() —
+// a Skylake-X class machine (AVX-512F but no VPOPCNTDQ) keeps the avx2
+// nibble-LUT popcount.
+//
+// Note on numerics: dot_f32 here reduces two 16-lane accumulators with
+// _mm512_reduce_add_ps, so float sums associate differently from both the
+// scalar and avx2 backends (tests bound the difference). Within this
+// backend, similarities_tile_f32 reproduces dot_f32's accumulation order
+// exactly — the bit-identical tile contract of kernels.hpp holds per
+// backend, as elsewhere.
+#include "core/kernels/kernels.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+// GCC 12's AVX-512 headers build some intrinsics on _mm512_undefined_*(),
+// which -Wuninitialized flags under -Werror (GCC PR105593). File-scoped
+// suppression; the warnings point inside avx512fintrin.h, not this code.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+#include <bit>
+
+#define CYBERHD_AVX512 __attribute__((target("avx512f,avx512dq,avx2,fma")))
+#define CYBERHD_AVX512_POPCNT \
+  __attribute__((target("avx512f,avx512vpopcntdq")))
+
+namespace cyberhd::core {
+namespace {
+
+CYBERHD_AVX512 float dot_f32_avx512(const float* a, const float* b,
+                                    std::size_t n) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+  }
+  float sum = _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+CYBERHD_AVX512 void axpy_f32_avx512(float alpha, const float* x, float* y,
+                                    std::size_t n) {
+  const __m512 va = _mm512_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 r =
+        _mm512_fmadd_ps(va, _mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i));
+    _mm512_storeu_ps(y + i, r);
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+CYBERHD_AVX512 void mul_acc_f32_avx512(const float* a, const float* b,
+                                       float* acc, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 r =
+        _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                        _mm512_loadu_ps(acc + i));
+    _mm512_storeu_ps(acc + i, r);
+  }
+  for (; i < n; ++i) acc[i] += a[i] * b[i];
+}
+
+// Register-blocked similarity tile, the AVX-512 sibling of the avx2
+// version: 4 query rows share each class-row load, and every dot keeps its
+// own (acc0, acc1) pair walking dims in dot_f32_avx512's exact order so
+// the per-pair bit-identity contract holds.
+CYBERHD_AVX512 void similarities_tile_f32_avx512(
+    const float* h, std::size_t rows, const float* classes,
+    std::size_t num_classes, std::size_t dims, float* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const float* h0 = h + (r + 0) * dims;
+    const float* h1 = h + (r + 1) * dims;
+    const float* h2 = h + (r + 2) * dims;
+    const float* h3 = h + (r + 3) * dims;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      const float* cls = classes + c * dims;
+      __m512 a00 = _mm512_setzero_ps(), a01 = _mm512_setzero_ps();
+      __m512 a10 = _mm512_setzero_ps(), a11 = _mm512_setzero_ps();
+      __m512 a20 = _mm512_setzero_ps(), a21 = _mm512_setzero_ps();
+      __m512 a30 = _mm512_setzero_ps(), a31 = _mm512_setzero_ps();
+      std::size_t i = 0;
+      for (; i + 32 <= dims; i += 32) {
+        const __m512 v0 = _mm512_loadu_ps(cls + i);
+        const __m512 v1 = _mm512_loadu_ps(cls + i + 16);
+        a00 = _mm512_fmadd_ps(_mm512_loadu_ps(h0 + i), v0, a00);
+        a01 = _mm512_fmadd_ps(_mm512_loadu_ps(h0 + i + 16), v1, a01);
+        a10 = _mm512_fmadd_ps(_mm512_loadu_ps(h1 + i), v0, a10);
+        a11 = _mm512_fmadd_ps(_mm512_loadu_ps(h1 + i + 16), v1, a11);
+        a20 = _mm512_fmadd_ps(_mm512_loadu_ps(h2 + i), v0, a20);
+        a21 = _mm512_fmadd_ps(_mm512_loadu_ps(h2 + i + 16), v1, a21);
+        a30 = _mm512_fmadd_ps(_mm512_loadu_ps(h3 + i), v0, a30);
+        a31 = _mm512_fmadd_ps(_mm512_loadu_ps(h3 + i + 16), v1, a31);
+      }
+      for (; i + 16 <= dims; i += 16) {
+        const __m512 v0 = _mm512_loadu_ps(cls + i);
+        a00 = _mm512_fmadd_ps(_mm512_loadu_ps(h0 + i), v0, a00);
+        a10 = _mm512_fmadd_ps(_mm512_loadu_ps(h1 + i), v0, a10);
+        a20 = _mm512_fmadd_ps(_mm512_loadu_ps(h2 + i), v0, a20);
+        a30 = _mm512_fmadd_ps(_mm512_loadu_ps(h3 + i), v0, a30);
+      }
+      float s0 = _mm512_reduce_add_ps(_mm512_add_ps(a00, a01));
+      float s1 = _mm512_reduce_add_ps(_mm512_add_ps(a10, a11));
+      float s2 = _mm512_reduce_add_ps(_mm512_add_ps(a20, a21));
+      float s3 = _mm512_reduce_add_ps(_mm512_add_ps(a30, a31));
+      for (; i < dims; ++i) {
+        const float v = cls[i];
+        s0 += h0[i] * v;
+        s1 += h1[i] * v;
+        s2 += h2[i] * v;
+        s3 += h3[i] * v;
+      }
+      out[(r + 0) * num_classes + c] = s0;
+      out[(r + 1) * num_classes + c] = s1;
+      out[(r + 2) * num_classes + c] = s2;
+      out[(r + 3) * num_classes + c] = s3;
+    }
+  }
+  for (; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] =
+          dot_f32_avx512(h + r * dims, classes + c * dims, dims);
+    }
+  }
+}
+
+CYBERHD_AVX512_POPCNT std::size_t xor_popcount_words_avx512(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_xor_si512(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(a + i)),
+        _mm512_loadu_si512(reinterpret_cast<const void*>(b + i)));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  std::size_t count =
+      static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    count += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return count;
+}
+
+/// Assembled once at first use: start from the avx2 table (cosine, int8
+/// dot), overlay the 32-lane float kernels, and take the VPOPCNTDQ
+/// popcount only when the CPU has it.
+const Kernels make_avx512_table() noexcept {
+  Kernels k = *avx2_kernels();
+  k.name = "avx512";
+  k.dot_f32 = dot_f32_avx512;
+  k.axpy_f32 = axpy_f32_avx512;
+  k.mul_acc_f32 = mul_acc_f32_avx512;
+  k.similarities_tile_f32 = similarities_tile_f32_avx512;
+  if (cpu_supports_avx512_vpopcntdq()) {
+    k.xor_popcount_words = xor_popcount_words_avx512;
+  }
+  return k;
+}
+
+}  // namespace
+
+const Kernels* avx512_kernels() noexcept {
+  static const Kernels table = make_avx512_table();
+  return &table;
+}
+
+}  // namespace cyberhd::core
+
+#else  // non-x86 or unsupported compiler: no AVX-512 backend in this binary.
+
+namespace cyberhd::core {
+const Kernels* avx512_kernels() noexcept { return nullptr; }
+}  // namespace cyberhd::core
+
+#endif

@@ -34,6 +34,21 @@ void mul_acc_f32_scalar(const float* a, const float* b, float* acc,
   for (std::size_t i = 0; i < n; ++i) acc[i] += a[i] * b[i];
 }
 
+void similarities_tile_f32_scalar(const float* h, std::size_t rows,
+                                  const float* classes,
+                                  std::size_t num_classes, std::size_t dims,
+                                  float* out) {
+  // Reference semantics: one dot per (row, class) pair, each in dot_f32's
+  // accumulation order. SIMD backends block over rows for locality but
+  // must reproduce exactly these per-pair values.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] =
+          dot_f32_scalar(h + r * dims, classes + c * dims, dims);
+    }
+  }
+}
+
 void cos_rbf_rows_scalar(const float* bases, std::size_t rows,
                          std::size_t cols, const float* x, const float* biases,
                          float* h) {
@@ -61,9 +76,14 @@ std::int64_t quantized_dot_i8_scalar(const std::int8_t* a,
 }
 
 constexpr Kernels kScalarKernels = {
-    "scalar",          dot_f32_scalar,           axpy_f32_scalar,
-    mul_acc_f32_scalar, cos_rbf_rows_scalar,     xor_popcount_words_scalar,
-    quantized_dot_i8_scalar,
+    .name = "scalar",
+    .dot_f32 = dot_f32_scalar,
+    .axpy_f32 = axpy_f32_scalar,
+    .mul_acc_f32 = mul_acc_f32_scalar,
+    .similarities_tile_f32 = similarities_tile_f32_scalar,
+    .cos_rbf_rows = cos_rbf_rows_scalar,
+    .xor_popcount_words = xor_popcount_words_scalar,
+    .quantized_dot_i8 = quantized_dot_i8_scalar,
 };
 
 }  // namespace

@@ -8,6 +8,55 @@
 
 namespace cyberhd::hdc {
 
+namespace {
+
+/// Centered re-bundle of freshly regenerated dimensions: double-precision
+/// class sums minus each class's share of the grand mean, written straight
+/// into the touched model columns. A raw bundle would hand the fresh
+/// dimensions mostly class-common mass — exactly what the variance
+/// criterion exists to remove. Shared by the in-memory and streamed regen
+/// paths so the arithmetic lives exactly once, which is what keeps their
+/// bit-identity contract honest.
+class RegenRebundle {
+ public:
+  RegenRebundle(std::size_t num_classes, std::span<const std::size_t> dims)
+      : dims_(dims),
+        class_sum_(num_classes * dims.size(), 0.0),
+        total_sum_(dims.size(), 0.0) {}
+
+  /// Accumulate one encoded row (only the regenerated entries are read).
+  void add_row(std::span<const float> h, std::size_t cls) {
+    const std::size_t nd = dims_.size();
+    for (std::size_t j = 0; j < nd; ++j) {
+      const double v = h[dims_[j]];
+      class_sum_[cls * nd + j] += v;
+      total_sum_[j] += v;
+    }
+  }
+
+  /// Write the centered values into the model's touched columns.
+  void apply(HdcModel& model, std::span<const int> labels) const {
+    const std::size_t nd = dims_.size();
+    std::vector<double> counts(model.num_classes(), 0.0);
+    for (const int y : labels) counts[static_cast<std::size_t>(y)] += 1.0;
+    const double inv_n = 1.0 / static_cast<double>(labels.size());
+    for (std::size_t c = 0; c < model.num_classes(); ++c) {
+      auto cv = model.class_vector(c);
+      for (std::size_t j = 0; j < nd; ++j) {
+        cv[dims_[j]] = static_cast<float>(
+            class_sum_[c * nd + j] - counts[c] * total_sum_[j] * inv_n);
+      }
+    }
+  }
+
+ private:
+  std::span<const std::size_t> dims_;
+  std::vector<double> class_sum_;
+  std::vector<double> total_sum_;
+};
+
+}  // namespace
+
 CyberHdClassifier::CyberHdClassifier(CyberHdConfig config)
     : config_(config) {
   if (config_.dims == 0) {
@@ -48,19 +97,31 @@ void CyberHdClassifier::fit(const core::Matrix& x, std::span<const int> y,
   core::ThreadPool* pool =
       config_.parallel ? &core::ThreadPool::global() : nullptr;
 
+  Trainer trainer(TrainerConfig{
+      .learning_rate = config_.learning_rate,
+      .similarity_weighted = config_.similarity_weighted_update,
+      .batch_size = config_.batch_size});
+
+  // Streamed fit: encode→train in O(tile x D) chunks instead of holding
+  // the n x D encoded training set. Engages only when the tile is actually
+  // smaller than the set — otherwise the in-memory path is strictly better
+  // (it encodes each sample once per fit, not once per epoch).
+  if (config_.train_tile_rows > 0 && config_.train_tile_rows < x.rows()) {
+    fit_streamed(x, y, num_classes, trainer, pool, train_rng, regen_rng);
+    return;
+  }
+
   // Step (A)/(B): encode the whole training set once, then bundle.
   core::Matrix encoded;
   encoder_->encode_batch(x, encoded, pool);
+  report_.peak_encode_rows = encoded.rows();
 
-  Trainer trainer(TrainerConfig{
-      .learning_rate = config_.learning_rate,
-      .similarity_weighted = config_.similarity_weighted_update});
-  trainer.initialize(model_, encoded, y);
+  trainer.initialize(model_, encoded, y, pool);
 
   const auto run_epochs = [&](std::size_t count) {
     for (std::size_t e = 0; e < count; ++e) {
       const EpochStats stats = trainer.train_epoch(model_, encoded, y,
-                                                   train_rng);
+                                                   train_rng, pool);
       report_.epoch_accuracy.push_back(stats.accuracy());
       ++report_.epochs;
     }
@@ -78,39 +139,115 @@ void CyberHdClassifier::fit(const core::Matrix& x, std::span<const int> y,
       if (!step.dims.empty()) {
         encoder_->encode_batch_dims(x, step.dims, encoded, pool);
         if (config_.rebundle_after_regen) {
-          // Centered re-bundle of the fresh dimensions: accumulate class
-          // sums, then remove the across-class common mode so the new
-          // dimensions start with exactly their discriminative content
-          // (a raw bundle would hand them mostly class-common mass, which
-          // the variance criterion exists to remove).
-          const std::size_t nd = step.dims.size();
-          std::vector<double> class_sum(num_classes * nd, 0.0);
-          std::vector<double> total_sum(nd, 0.0);
+          RegenRebundle rebundle(num_classes, step.dims);
           for (std::size_t i = 0; i < encoded.rows(); ++i) {
-            const auto h = encoded.row(i);
-            const auto cls = static_cast<std::size_t>(y[i]);
-            for (std::size_t j = 0; j < nd; ++j) {
-              const double v = h[step.dims[j]];
-              class_sum[cls * nd + j] += v;
-              total_sum[j] += v;
-            }
+            rebundle.add_row(encoded.row(i), static_cast<std::size_t>(y[i]));
           }
-          const auto counts = [&] {
-            std::vector<double> n(num_classes, 0.0);
-            for (std::size_t i = 0; i < encoded.rows(); ++i) {
-              n[static_cast<std::size_t>(y[i])] += 1.0;
-            }
-            return n;
-          }();
-          const double inv_n = 1.0 / static_cast<double>(encoded.rows());
-          for (std::size_t c = 0; c < num_classes; ++c) {
-            auto cv = model_.class_vector(c);
-            for (std::size_t j = 0; j < nd; ++j) {
-              cv[step.dims[j]] = static_cast<float>(
-                  class_sum[c * nd + j] - counts[c] * total_sum[j] * inv_n);
-            }
+          rebundle.apply(model_, y);
+        }
+      }
+    }
+  }
+  run_epochs(config_.final_epochs);
+  report_.effective_dims = regen_->effective_dims();
+}
+
+void CyberHdClassifier::fit_streamed(const core::Matrix& x,
+                                     std::span<const int> y,
+                                     std::size_t num_classes,
+                                     const Trainer& trainer,
+                                     core::ThreadPool* pool,
+                                     core::Rng& train_rng,
+                                     core::Rng& regen_rng) {
+  const std::size_t n = x.rows();
+  const std::size_t tile = config_.train_tile_rows;
+  report_.peak_encode_rows = tile;
+
+  // The one resident encode buffer — every phase refills it in place.
+  core::Matrix enc_tile(tile, config_.dims);
+  std::vector<int> tile_labels(tile);
+
+  // Run `op(i)` for i in [0, m), split across the pool. Per-row encodes
+  // are independent, so results never depend on the thread count.
+  const auto for_rows = [&](std::size_t m, auto&& op) {
+    const auto body = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) op(i);
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(m, body, /*grain=*/16);
+    } else {
+      body(0, m);
+    }
+  };
+  // Encode `m` samples picked by `pick` into the first m rows of enc_tile.
+  const auto encode_tile = [&](std::size_t m, auto&& pick) {
+    for_rows(m, [&](std::size_t i) {
+      encoder_->encode(x.row(pick(i)), enc_tile.row(i));
+    });
+  };
+
+  // One-shot bundling, tile by tile. The InitAccumulator routes rows into
+  // stripes by global index, so this produces the exact model the
+  // in-memory initialize() builds.
+  {
+    InitAccumulator acc(num_classes, config_.dims, n);
+    for (std::size_t t = 0; t < n; t += tile) {
+      const std::size_t m = std::min(tile, n - t);
+      encode_tile(m, [&](std::size_t i) { return t + i; });
+      acc.accumulate(enc_tile, y.subspan(t, m), 0, m, /*row_offset=*/t);
+    }
+    acc.finish(model_, trainer.config());
+  }
+
+  // One adaptive epoch: draw the same visit order train_epoch would, then
+  // gather-encode and train tile by tile. With batch_size == 1 this is
+  // bit-identical to the in-memory epoch (same order, same encodes, same
+  // update sequence); larger batches split at tile boundaries.
+  const auto run_streamed_epoch = [&]() {
+    const std::vector<std::size_t> order =
+        Trainer::epoch_order(n, train_rng, trainer.config().shuffle);
+    EpochStats stats;
+    stats.samples = n;
+    for (std::size_t t = 0; t < n; t += tile) {
+      const std::size_t m = std::min(tile, n - t);
+      encode_tile(m, [&](std::size_t i) { return order[t + i]; });
+      for (std::size_t i = 0; i < m; ++i) {
+        tile_labels[i] = y[order[t + i]];
+      }
+      trainer.train_tile(model_, enc_tile, {tile_labels.data(), m}, stats,
+                         pool);
+    }
+    report_.epoch_accuracy.push_back(stats.accuracy());
+    ++report_.epochs;
+  };
+  const auto run_epochs = [&](std::size_t count) {
+    for (std::size_t e = 0; e < count; ++e) run_streamed_epoch();
+  };
+
+  const bool regenerating =
+      config_.regen_rate > 0.0 && config_.regen_steps > 0;
+  if (regenerating) {
+    for (std::size_t s = 0; s < config_.regen_steps; ++s) {
+      run_epochs(config_.epochs_per_step);
+      const RegenStep step = regen_->step(model_, *encoder_, regen_rng);
+      report_.regenerated_per_step.push_back(step.dims.size());
+      if (!step.dims.empty() && config_.rebundle_after_regen) {
+        // Streamed centered re-bundle: recompute only the touched columns
+        // tile by tile (the next epochs would see them anyway — there is
+        // no cached encoded matrix to refresh) and feed the shared
+        // RegenRebundle in the same row order as the in-memory path.
+        RegenRebundle rebundle(num_classes, step.dims);
+        for (std::size_t t = 0; t < n; t += tile) {
+          const std::size_t m = std::min(tile, n - t);
+          for_rows(m, [&](std::size_t i) {
+            encoder_->encode_dims(x.row(t + i), step.dims, enc_tile.row(i));
+          });
+          for (std::size_t i = 0; i < m; ++i) {
+            rebundle.add_row(enc_tile.row(i),
+                             static_cast<std::size_t>(y[t + i]));
           }
         }
+        rebundle.apply(model_, y);
       }
     }
   }

@@ -72,6 +72,22 @@ struct CyberHdConfig {
   /// the adaptive epochs then refine. Disable to rely on adaptive updates
   /// alone, as an ablation.
   bool rebundle_after_regen = true;
+  /// Minibatch tile size of the adaptive trainer: score this many shuffled
+  /// samples against the frozen model in one blocked tile-kernel pass
+  /// (split across the thread pool), then apply their (1 - delta)-weighted
+  /// updates in visit order. 1 (the default) reproduces the classic
+  /// sample-at-a-time rule bit-exactly; larger tiles are the OnlineHD-style
+  /// minibatch approximation that trades a bounded score lag for
+  /// cache-tiled, thread-parallel training throughput.
+  std::size_t batch_size = 1;
+  /// Rows per encode→train chunk of fit(). 0 (the default) encodes the
+  /// whole training set up front — peak encode memory O(n x D). When > 0,
+  /// fit() streams: each phase (one-shot bundling, adaptive epochs, the
+  /// regeneration re-bundles) encodes `train_tile_rows` rows at a time
+  /// into one reused buffer, keeping peak encode memory at O(tile x D) at
+  /// the price of re-encoding every epoch. With batch_size == 1 the
+  /// streamed fit is bit-identical to the in-memory fit.
+  std::size_t train_tile_rows = 0;
   /// Seed for encoder sampling, shuffling, and regeneration.
   std::uint64_t seed = 0xc1beau;
   /// Encode batches on the global thread pool.
@@ -88,6 +104,10 @@ struct FitReport {
   std::size_t effective_dims = 0;
   /// Total adaptive epochs run.
   std::size_t epochs = 0;
+  /// Rows of the largest encoded buffer fit() held resident: the full
+  /// training-set row count on the in-memory path, `train_tile_rows` when
+  /// streaming — the observable for memory-bound deployments (and tests).
+  std::size_t peak_encode_rows = 0;
 };
 
 /// The paper's classifier. Also usable as a plain core::Classifier.
@@ -145,6 +165,15 @@ class CyberHdClassifier final : public core::Classifier {
   static CyberHdClassifier load_file(const std::string& path);
 
  private:
+  /// The streaming encode→train loop behind fit() when
+  /// config().train_tile_rows is set: every phase re-encodes tiles into one
+  /// reused O(tile x D) buffer instead of materializing the n x D encoded
+  /// training set.
+  void fit_streamed(const core::Matrix& x, std::span<const int> y,
+                    std::size_t num_classes, const Trainer& trainer,
+                    core::ThreadPool* pool, core::Rng& train_rng,
+                    core::Rng& regen_rng);
+
   CyberHdConfig config_;
   std::unique_ptr<Encoder> encoder_;
   HdcModel model_;

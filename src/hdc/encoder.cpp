@@ -88,6 +88,44 @@ void RbfEncoder::encode_dims(std::span<const float> x,
   }
 }
 
+void RbfEncoder::encode_batch_dims(const core::Matrix& x,
+                                   std::span<const std::size_t> dims,
+                                   core::Matrix& h,
+                                   core::ThreadPool* pool) const {
+  assert(x.cols() == input_dim());
+  assert(h.rows() == x.rows() && h.cols() == output_dim());
+  if (dims.empty() || x.rows() == 0) return;
+  // Gather the touched dimensions' private state once: a contiguous
+  // |dims| x F base block plus a bias vector. Each sample then refreshes
+  // in one fused kernel pass; cos_rbf_rows' rows=N == N x rows=1 contract
+  // keeps every value bit-identical to the per-dimension default.
+  const std::size_t nd = dims.size();
+  const std::size_t features = input_dim();
+  core::Matrix gathered_bases(nd, features);
+  std::vector<float> gathered_biases(nd);
+  for (std::size_t j = 0; j < nd; ++j) {
+    assert(dims[j] < output_dim());
+    const auto src = bases_.row(dims[j]);
+    std::copy(src.begin(), src.end(), gathered_bases.row(j).begin());
+    gathered_biases[j] = biases_[dims[j]];
+  }
+  const core::Kernels& k = core::active_kernels();
+  const auto body = [&](std::size_t begin, std::size_t end) {
+    std::vector<float> fresh(nd);
+    for (std::size_t i = begin; i < end; ++i) {
+      k.cos_rbf_rows(gathered_bases.data(), nd, features, x.row(i).data(),
+                     gathered_biases.data(), fresh.data());
+      auto row = h.row(i);
+      for (std::size_t j = 0; j < nd; ++j) row[dims[j]] = fresh[j];
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(x.rows(), body, /*grain=*/16);
+  } else {
+    body(0, x.rows());
+  }
+}
+
 void RbfEncoder::regenerate(std::span<const std::size_t> dims,
                             core::Rng& rng) {
   for (std::size_t d : dims) {

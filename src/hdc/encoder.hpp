@@ -76,9 +76,14 @@ class Encoder {
                     core::ThreadPool* pool = nullptr) const;
 
   /// Recompute columns `dims` of H for every row of X (after regeneration).
-  void encode_batch_dims(const core::Matrix& x,
-                         std::span<const std::size_t> dims, core::Matrix& h,
-                         core::ThreadPool* pool = nullptr) const;
+  /// The default loops encode_dims() row by row; families whose
+  /// per-dimension state can be gathered into one contiguous block (the
+  /// RBF encoder) override it to run each sample through a single fused
+  /// kernel call — per-value results are bit-identical either way.
+  virtual void encode_batch_dims(const core::Matrix& x,
+                                 std::span<const std::size_t> dims,
+                                 core::Matrix& h,
+                                 core::ThreadPool* pool = nullptr) const;
 };
 
 /// Random-Fourier-feature encoder: h_d = cos(b_d . x + c_d) with
@@ -101,6 +106,13 @@ class RbfEncoder final : public Encoder {
   void encode_dims(std::span<const float> x,
                    std::span<const std::size_t> dims,
                    std::span<float> h) const override;
+  /// Regeneration-refresh fast path: gathers the listed dimensions' bases
+  /// and biases into one contiguous block once, then fuses each sample's
+  /// refresh into a single cos_rbf_rows call (the default would issue
+  /// |dims| single-row kernel calls per sample).
+  void encode_batch_dims(const core::Matrix& x,
+                         std::span<const std::size_t> dims, core::Matrix& h,
+                         core::ThreadPool* pool = nullptr) const override;
   void regenerate(std::span<const std::size_t> dims,
                   core::Rng& rng) override;
   std::unique_ptr<Encoder> clone() const override;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "core/kernels/kernels.hpp"
 #include "core/stats.hpp"
 
 namespace cyberhd::hdc {
@@ -19,18 +20,6 @@ void HdcModel::bundle(std::size_t cls, std::span<const float> h,
   core::axpy(weight, h, classes_.row(cls));
 }
 
-namespace {
-
-/// The one cosine-scoring expression shared by the per-sample and batch
-/// paths — sharing it is what makes their bit-identical contract hold.
-inline float cosine_score(std::span<const float> cls,
-                          std::span<const float> h, float hn,
-                          float cn) noexcept {
-  return (hn == 0.0f || cn == 0.0f) ? 0.0f : core::dot(cls, h) / (hn * cn);
-}
-
-}  // namespace
-
 void HdcModel::similarities(std::span<const float> h,
                             std::span<float> scores) const noexcept {
   assert(h.size() == dims());
@@ -38,7 +27,7 @@ void HdcModel::similarities(std::span<const float> h,
   const float hn = core::norm2(h);
   for (std::size_t c = 0; c < num_classes(); ++c) {
     const auto row = classes_.row(c);
-    scores[c] = cosine_score(row, h, hn, core::norm2(row));
+    scores[c] = cosine_from_dot(core::dot(row, h), hn, core::norm2(row));
   }
 }
 
@@ -47,17 +36,33 @@ void HdcModel::similarities_batch(const core::Matrix& h,
                                   core::ThreadPool* pool) const {
   assert(h.cols() == dims());
   scores.resize(h.rows(), num_classes());
-  std::vector<float> class_norms(num_classes());
-  for (std::size_t c = 0; c < num_classes(); ++c) {
+  if (h.rows() == 0) return;
+  const std::size_t C = num_classes();
+  const std::size_t D = dims();
+  std::vector<float> class_norms(C);
+  for (std::size_t c = 0; c < C; ++c) {
     class_norms[c] = core::norm2(classes_.row(c));
   }
+  // Tile-internal blocking: each worker streams its row range through the
+  // register-blocked tile kernel in chunks small enough that the chunk's
+  // rows stay L2-resident for the norm pass right after the kernel pass
+  // (and the class-vector block stays cache-resident throughout). The
+  // kernel's per-dot accumulation equals dot_f32's, so cosine_from_dot on
+  // the raw dots reproduces similarities() bit-for-bit.
+  constexpr std::size_t kTileRows = 32;
+  const core::Kernels& k = core::active_kernels();
   const auto body = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto hi = h.row(i);
-      const float hn = core::norm2(hi);
-      auto out = scores.row(i);
-      for (std::size_t c = 0; c < num_classes(); ++c) {
-        out[c] = cosine_score(classes_.row(c), hi, hn, class_norms[c]);
+    for (std::size_t t = begin; t < end; t += kTileRows) {
+      const std::size_t rows = std::min(kTileRows, end - t);
+      float* out = scores.row(t).data();
+      k.similarities_tile_f32(h.row(t).data(), rows, classes_.data(), C, D,
+                              out);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float hn = core::norm2(h.row(t + r));
+        for (std::size_t c = 0; c < C; ++c) {
+          float& s = out[r * C + c];
+          s = cosine_from_dot(s, hn, class_norms[c]);
+        }
       }
     }
   };

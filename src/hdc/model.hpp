@@ -19,6 +19,17 @@ namespace cyberhd::hdc {
 /// Class-hypervector matrix (num_classes x dims) with cosine scoring.
 class HdcModel {
  public:
+  /// The one cosine-normalization expression every scoring path shares —
+  /// per-sample similarities(), the batched tile path, and the trainer's
+  /// minibatch scoring. Sharing it is what keeps their bit-identical
+  /// contract (and the zero-norm convention) in exactly one place.
+  static float cosine_from_dot(float dot, float query_norm,
+                               float class_norm) noexcept {
+    return (query_norm == 0.0f || class_norm == 0.0f)
+               ? 0.0f
+               : dot / (query_norm * class_norm);
+  }
+
   HdcModel() = default;
   /// Zero-initialized model for `num_classes` classes in `dims` dimensions.
   HdcModel(std::size_t num_classes, std::size_t dims);
@@ -48,9 +59,11 @@ class HdcModel {
                     std::span<float> scores) const noexcept;
 
   /// Row-wise similarities of a whole encoded batch: `scores` is resized to
-  /// h.rows() x num_classes(). Class norms are computed once and the sample
-  /// range optionally splits across `pool`. Each output row is bit-identical
-  /// to a similarities() call on that row.
+  /// h.rows() x num_classes(). Class norms are computed once, rows stream
+  /// through the register-blocked similarities_tile_f32 kernel in
+  /// cache-sized chunks (class vectors stay resident), and the sample range
+  /// optionally splits across `pool`. Each output row is bit-identical to a
+  /// similarities() call on that row, for any tile split or thread count.
   void similarities_batch(const core::Matrix& h, core::Matrix& scores,
                           core::ThreadPool* pool = nullptr) const;
 

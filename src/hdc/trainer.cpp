@@ -1,31 +1,90 @@
 #include "hdc/trainer.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <numeric>
 
+#include "core/kernels/kernels.hpp"
+
 namespace cyberhd::hdc {
 
-void Trainer::initialize(HdcModel& model, const core::Matrix& encoded,
-                         std::span<const int> labels) const {
-  assert(encoded.rows() == labels.size());
-  assert(encoded.cols() == model.dims());
-  std::vector<std::size_t> counts(model.num_classes(), 0);
-  for (std::size_t i = 0; i < encoded.rows(); ++i) {
+namespace {
+
+// Stripe sizing of the one-shot bundle: inputs under 2 * 512 rows stay
+// single-stripe (bit-identical to the historical sequential bundle into a
+// zero model); larger ones split into up to 16 fixed stripes so
+// initialize() parallelizes without the result depending on thread count.
+constexpr std::size_t kInitStripeMinRows = 512;
+constexpr std::size_t kInitMaxStripes = 16;
+
+}  // namespace
+
+// ---- InitAccumulator --------------------------------------------------------
+
+InitAccumulator::InitAccumulator(std::size_t num_classes, std::size_t dims,
+                                 std::size_t total_rows)
+    : total_rows_(total_rows) {
+  const std::size_t stripes = std::clamp<std::size_t>(
+      total_rows / kInitStripeMinRows, 1, kInitMaxStripes);
+  stripe_rows_ = std::max<std::size_t>(1, (total_rows + stripes - 1) / stripes);
+  stripe_sums_.assign(stripes, core::Matrix(num_classes, dims));
+  stripe_means_.assign(stripes, std::vector<double>(dims, 0.0));
+  stripe_counts_.assign(stripes, std::vector<std::size_t>(num_classes, 0));
+}
+
+std::size_t InitAccumulator::stripe_of(std::size_t global_row) const noexcept {
+  return std::min(global_row / stripe_rows_, num_stripes() - 1);
+}
+
+std::pair<std::size_t, std::size_t> InitAccumulator::stripe_range(
+    std::size_t s) const noexcept {
+  const std::size_t begin = s * stripe_rows_;
+  return {std::min(begin, total_rows_),
+          std::min(begin + stripe_rows_, total_rows_)};
+}
+
+void InitAccumulator::accumulate(const core::Matrix& encoded,
+                                 std::span<const int> labels,
+                                 std::size_t begin, std::size_t end,
+                                 std::size_t row_offset) {
+  assert(end <= encoded.rows() && end <= labels.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t s = stripe_of(row_offset + i);
     const int y = labels[i];
-    assert(y >= 0 && static_cast<std::size_t>(y) < model.num_classes());
-    model.bundle(static_cast<std::size_t>(y), encoded.row(i));
-    ++counts[static_cast<std::size_t>(y)];
+    assert(y >= 0 &&
+           static_cast<std::size_t>(y) < stripe_counts_[s].size());
+    const auto h = encoded.row(i);
+    core::axpy(1.0f, h, stripe_sums_[s].row(static_cast<std::size_t>(y)));
+    auto& mean = stripe_means_[s];
+    for (std::size_t d = 0; d < h.size(); ++d) mean[d] += h[d];
+    ++stripe_counts_[s][static_cast<std::size_t>(y)];
   }
-  if (config_.center_initialization && encoded.rows() > 0) {
-    // Grand-mean encoding, then subtract each class's share of it so class
-    // hypervectors start with purely discriminative content.
-    std::vector<double> mean(model.dims(), 0.0);
-    for (std::size_t i = 0; i < encoded.rows(); ++i) {
-      const auto h = encoded.row(i);
-      for (std::size_t d = 0; d < h.size(); ++d) mean[d] += h[d];
+}
+
+void InitAccumulator::finish(HdcModel& model, const TrainerConfig& config) {
+  const std::size_t num_classes = model.num_classes();
+  const std::size_t dims = model.dims();
+  for (std::size_t s = 0; s < num_stripes(); ++s) {
+    assert(stripe_sums_[s].rows() == num_classes &&
+           stripe_sums_[s].cols() == dims);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      core::axpy(1.0f, stripe_sums_[s].row(c), model.class_vector(c));
     }
-    const double inv_n = 1.0 / static_cast<double>(encoded.rows());
-    for (std::size_t c = 0; c < model.num_classes(); ++c) {
+  }
+  if (config.center_initialization && total_rows_ > 0) {
+    // Grand-mean encoding, then subtract each class's share of it so class
+    // hypervectors start with purely discriminative content. Stripes merge
+    // in index order, keeping the sums independent of how rows were fed in.
+    std::vector<double> mean(dims, 0.0);
+    std::vector<std::size_t> counts(num_classes, 0);
+    for (std::size_t s = 0; s < num_stripes(); ++s) {
+      for (std::size_t d = 0; d < dims; ++d) mean[d] += stripe_means_[s][d];
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        counts[c] += stripe_counts_[s][c];
+      }
+    }
+    const double inv_n = 1.0 / static_cast<double>(total_rows_);
+    for (std::size_t c = 0; c < num_classes; ++c) {
       auto cv = model.class_vector(c);
       const double share = static_cast<double>(counts[c]) * inv_n;
       for (std::size_t d = 0; d < cv.size(); ++d) {
@@ -35,59 +94,193 @@ void Trainer::initialize(HdcModel& model, const core::Matrix& encoded,
   }
 }
 
+// ---- Trainer ----------------------------------------------------------------
+
+void Trainer::initialize(HdcModel& model, const core::Matrix& encoded,
+                         std::span<const int> labels,
+                         core::ThreadPool* pool) const {
+  assert(encoded.rows() == labels.size());
+  assert(encoded.cols() == model.dims());
+  InitAccumulator acc(model.num_classes(), model.dims(), encoded.rows());
+  // One task per stripe: the partition is fixed by the row count, so the
+  // merged result is the same whichever worker handles which stripe.
+  const auto stripe_body = [&](std::size_t s_begin, std::size_t s_end) {
+    for (std::size_t s = s_begin; s < s_end; ++s) {
+      const auto [begin, end] = acc.stripe_range(s);
+      acc.accumulate(encoded, labels, begin, end, /*row_offset=*/0);
+    }
+  };
+  if (pool != nullptr && acc.num_stripes() > 1) {
+    pool->parallel_for(acc.num_stripes(), stripe_body, /*grain=*/1);
+  } else {
+    stripe_body(0, acc.num_stripes());
+  }
+  acc.finish(model, config_);
+}
+
+std::vector<std::size_t> Trainer::epoch_order(std::size_t n, core::Rng& rng,
+                                              bool shuffle) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (shuffle) rng.shuffle(order);
+  return order;
+}
+
+void Trainer::update_tile(HdcModel& model, const float* tile,
+                          std::size_t rows, const int* labels,
+                          EpochStats& stats, std::span<float> scores,
+                          std::span<float> class_norms,
+                          core::ThreadPool* pool) const {
+  const std::size_t num_classes = model.num_classes();
+  const std::size_t dims = model.dims();
+  assert(scores.size() >= rows * num_classes);
+  assert(class_norms.size() == num_classes);
+  const core::Kernels& k = core::active_kernels();
+  // Class norms once per tile — exactly the per-sample cadence when
+  // batch_size == 1, where this runs once per sample as similarities() did.
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    class_norms[c] = core::norm2(model.class_vector(c));
+  }
+  const float* classes = model.weights().data();
+  // Frozen-model scoring: every row's cosines depend only on the tile and
+  // the pre-update model, so the row range splits freely across workers;
+  // the per-dot kernel contract keeps results identical for any split.
+  // Sub-blocking keeps the block's rows L2-resident across the kernel pass
+  // and the immediately following norm pass (one cold read per row, not
+  // two) — at D = 10k a 16-row block is ~640 KB.
+  constexpr std::size_t kScoreBlock = 16;
+  const auto score_rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t b = begin; b < end; b += kScoreBlock) {
+      const std::size_t block = std::min(kScoreBlock, end - b);
+      k.similarities_tile_f32(tile + b * dims, block, classes, num_classes,
+                              dims, scores.data() + b * num_classes);
+      for (std::size_t r = b; r < b + block; ++r) {
+        const float hn = core::norm2({tile + r * dims, dims});
+        float* row_scores = scores.data() + r * num_classes;
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          row_scores[c] =
+              HdcModel::cosine_from_dot(row_scores[c], hn, class_norms[c]);
+        }
+      }
+    }
+  };
+  if (pool != nullptr && rows > 1) {
+    pool->parallel_for(rows, score_rows, /*grain=*/8);
+  } else {
+    score_rows(0, rows);
+  }
+  // Serial update pass in visit order — the adaptive rule itself stays
+  // sequential, so training is deterministic for every thread count.
+  const auto step_weight = [&](float score) {
+    return config_.similarity_weighted
+               ? config_.learning_rate * (1.0f - score)
+               : config_.learning_rate;
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::span<const float> h{tile + r * dims, dims};
+    const auto truth = static_cast<std::size_t>(labels[r]);
+    const std::span<const float> row_scores{scores.data() + r * num_classes,
+                                            num_classes};
+    const std::size_t pred = core::argmax(row_scores);
+    if (pred != truth) {
+      ++stats.mispredicted;
+      core::axpy(step_weight(row_scores[truth]), h,
+                 model.class_vector(truth));
+      core::axpy(-step_weight(row_scores[pred]), h, model.class_vector(pred));
+    } else if (config_.reinforce_correct) {
+      core::axpy(step_weight(row_scores[truth]), h,
+                 model.class_vector(truth));
+    }
+  }
+}
+
 EpochStats Trainer::train_epoch(HdcModel& model, const core::Matrix& encoded,
-                                std::span<const int> labels,
-                                core::Rng& rng) const {
+                                std::span<const int> labels, core::Rng& rng,
+                                core::ThreadPool* pool) const {
   assert(encoded.rows() == labels.size());
   assert(encoded.cols() == model.dims());
   const std::size_t n = encoded.rows();
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  if (config_.shuffle) rng.shuffle(order);
+  const std::size_t num_classes = model.num_classes();
+  const std::size_t dims = encoded.cols();
+  const std::vector<std::size_t> order =
+      epoch_order(n, rng, config_.shuffle);
 
   EpochStats stats;
   stats.samples = n;
-  std::vector<float> scores(model.num_classes());
-  for (std::size_t idx : order) {
-    const auto h = encoded.row(idx);
-    const auto truth = static_cast<std::size_t>(labels[idx]);
-    model.similarities(h, scores);
-    const std::size_t pred = core::argmax(scores);
-    const auto step_weight = [&](float score) {
-      return config_.similarity_weighted
-                 ? config_.learning_rate * (1.0f - score)
-                 : config_.learning_rate;
-    };
-    if (pred != truth) {
-      ++stats.mispredicted;
-      core::axpy(step_weight(scores[truth]), h, model.class_vector(truth));
-      core::axpy(-step_weight(scores[pred]), h, model.class_vector(pred));
-    } else if (config_.reinforce_correct) {
-      core::axpy(step_weight(scores[truth]), h, model.class_vector(truth));
+  if (n == 0) return stats;
+  // Clamp the tile to the data so scratch stays O(min(batch, n) x D).
+  const std::size_t batch =
+      std::min(std::max<std::size_t>(1, config_.batch_size), n);
+  std::vector<float> class_norms(num_classes);
+  std::vector<float> scores(batch * num_classes);
+  core::Matrix gathered;
+  std::vector<int> gathered_labels;
+  if (batch > 1) {
+    gathered.resize(batch, dims);
+    gathered_labels.resize(batch);
+  }
+  for (std::size_t t = 0; t < n; t += batch) {
+    const std::size_t m = std::min(batch, n - t);
+    if (batch == 1) {
+      // No gather: score the encoded row in place. One row through the
+      // tile kernel is the classic sequential rule, bit-exactly.
+      const std::size_t idx = order[t];
+      update_tile(model, encoded.row(idx).data(), 1, &labels[idx], stats,
+                  scores, class_norms, nullptr);
+    } else {
+      // Shuffled rows are scattered; gather the tile so the kernel streams
+      // one contiguous block (and the update pass reuses the hot copy).
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::size_t idx = order[t + j];
+        std::copy_n(encoded.row(idx).data(), dims, gathered.row(j).data());
+        gathered_labels[j] = labels[idx];
+      }
+      update_tile(model, gathered.data(), m, gathered_labels.data(), stats,
+                  scores, class_norms, pool);
     }
   }
   return stats;
 }
 
+void Trainer::train_tile(HdcModel& model, const core::Matrix& tile,
+                         std::span<const int> labels, EpochStats& stats,
+                         core::ThreadPool* pool) const {
+  const std::size_t n = labels.size();
+  assert(tile.rows() >= n);
+  assert(tile.cols() == model.dims());
+  if (n == 0) return;
+  const std::size_t num_classes = model.num_classes();
+  const std::size_t batch =
+      std::min(std::max<std::size_t>(1, config_.batch_size), n);
+  std::vector<float> class_norms(num_classes);
+  std::vector<float> scores(batch * num_classes);
+  for (std::size_t t = 0; t < n; t += batch) {
+    const std::size_t m = std::min(batch, n - t);
+    update_tile(model, tile.row(t).data(), m, labels.data() + t, stats,
+                scores, class_norms, m > 1 ? pool : nullptr);
+  }
+}
+
 EpochStats Trainer::train(HdcModel& model, const core::Matrix& encoded,
                           std::span<const int> labels, std::size_t epochs,
-                          core::Rng& rng) const {
+                          core::Rng& rng, core::ThreadPool* pool) const {
   EpochStats last;
   for (std::size_t e = 0; e < epochs; ++e) {
-    last = train_epoch(model, encoded, labels, rng);
+    last = train_epoch(model, encoded, labels, rng, pool);
   }
   return last;
 }
 
 double Trainer::evaluate(const HdcModel& model, const core::Matrix& encoded,
-                         std::span<const int> labels) {
+                         std::span<const int> labels,
+                         core::ThreadPool* pool) {
   assert(encoded.rows() == labels.size());
   if (encoded.rows() == 0) return 0.0;
+  core::Matrix scores;
+  model.similarities_batch(encoded, scores, pool);
   std::size_t correct = 0;
-  std::vector<float> scores(model.num_classes());
   for (std::size_t i = 0; i < encoded.rows(); ++i) {
-    model.similarities(encoded.row(i), scores);
-    if (core::argmax(scores) == static_cast<std::size_t>(labels[i])) {
+    if (core::argmax(scores.row(i)) == static_cast<std::size_t>(labels[i])) {
       ++correct;
     }
   }

@@ -8,14 +8,30 @@
 // so that common patterns (delta ~ 1) barely perturb the model while novel
 // patterns (delta ~ 0) move it strongly — the saturation-avoidance weighting
 // that lets HDC converge in few epochs.
+//
+// The engine is cache-tiled and thread-parallel:
+//  * Adaptive epochs run in minibatch tiles (TrainerConfig::batch_size):
+//    one register-blocked similarities_tile_f32 call scores a whole tile of
+//    shuffled samples against the frozen model — optionally split across a
+//    ThreadPool — then the (1 - delta)-weighted updates are applied
+//    sample-by-sample in visit order. batch_size = 1 reproduces the classic
+//    sample-at-a-time rule bit-exactly; larger tiles are the OnlineHD-style
+//    minibatch approximation (scores lag the updates by at most one tile).
+//  * One-shot initialize() bundles through fixed row stripes (a function of
+//    the row count only), each accumulated independently and merged in
+//    stripe order — so any thread count, and the streamed fit() path
+//    feeding tiles through InitAccumulator, produce bit-identical models.
+//  * evaluate() rides HdcModel::similarities_batch (the same tile kernel).
 #pragma once
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/matrix.hpp"
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "hdc/model.hpp"
 
 namespace cyberhd::hdc {
@@ -40,6 +56,13 @@ struct TrainerConfig {
   /// encoding direction, cosine similarities start near 1 for all classes,
   /// and the (1 - delta)-weighted updates crawl through a long plateau.
   bool center_initialization = true;
+  /// Minibatch tile size of the adaptive epoch: this many shuffled samples
+  /// are scored against the frozen model with one blocked tile-kernel call
+  /// before their updates are applied in visit order. 1 (the default, and
+  /// 0 is treated as 1) is the classic sequential rule, bit-exactly; larger
+  /// tiles trade a bounded score lag for tile-kernel throughput and
+  /// thread-parallel scoring.
+  std::size_t batch_size = 1;
 };
 
 /// Result of one training epoch.
@@ -54,6 +77,49 @@ struct EpochStats {
   }
 };
 
+/// Striped one-shot-bundling accumulator — the deterministic core behind
+/// Trainer::initialize and the streamed fit() path.
+///
+/// Rows are partitioned into fixed stripes by their *global* index (the
+/// partition depends only on the total row count), each stripe keeps its
+/// own float class sums and double mean sums, and finish() merges stripes
+/// in index order. Because the arithmetic never depends on which thread
+/// processed a stripe or on how tiles were sliced, initialize() over 1, 2,
+/// or 8 workers and a streamed tile-at-a-time accumulation all produce
+/// bit-identical models. With a single stripe (small inputs) the result is
+/// bit-identical to the historical sequential bundle-into-a-zero-model.
+class InitAccumulator {
+ public:
+  InitAccumulator(std::size_t num_classes, std::size_t dims,
+                  std::size_t total_rows);
+
+  std::size_t num_stripes() const noexcept { return stripe_sums_.size(); }
+  /// [begin, end) of global row indices covered by stripe `s`.
+  std::pair<std::size_t, std::size_t> stripe_range(
+      std::size_t s) const noexcept;
+
+  /// Bundle encoded rows [begin, end) of `encoded`, whose row i carries
+  /// global index row_offset + i. Safe to call concurrently for ranges
+  /// that touch disjoint stripes (Trainer::initialize parallelizes one
+  /// task per stripe); the streaming path calls it tile-by-tile.
+  void accumulate(const core::Matrix& encoded, std::span<const int> labels,
+                  std::size_t begin, std::size_t end,
+                  std::size_t row_offset);
+
+  /// Merge the stripes into `model` in stripe order and, when the config
+  /// asks for it, remove the across-class common mode.
+  void finish(HdcModel& model, const TrainerConfig& config);
+
+ private:
+  std::size_t stripe_of(std::size_t global_row) const noexcept;
+
+  std::size_t total_rows_;
+  std::size_t stripe_rows_;
+  std::vector<core::Matrix> stripe_sums_;              // per stripe: C x D
+  std::vector<std::vector<double>> stripe_means_;      // per stripe: D
+  std::vector<std::vector<std::size_t>> stripe_counts_;  // per stripe: C
+};
+
 /// Trains an HdcModel over pre-encoded data.
 class Trainer {
  public:
@@ -63,24 +129,58 @@ class Trainer {
 
   /// One-shot initialization: bundle every encoded sample into its class
   /// (the classic single-pass HDC "training"). The model must match
-  /// (num_classes x dims) of the data.
+  /// (num_classes x dims) of the data. Stripes split across `pool` when
+  /// given; the result is bit-identical for every thread count.
   void initialize(HdcModel& model, const core::Matrix& encoded,
-                  std::span<const int> labels) const;
+                  std::span<const int> labels,
+                  core::ThreadPool* pool = nullptr) const;
 
-  /// One adaptive epoch over the encoded data. Returns per-epoch stats.
+  /// One adaptive epoch over the encoded data, in minibatch tiles of
+  /// config().batch_size. Tile scoring splits across `pool` when given
+  /// (updates stay in visit order, so results are thread-count
+  /// independent). Returns per-epoch stats.
   EpochStats train_epoch(HdcModel& model, const core::Matrix& encoded,
-                         std::span<const int> labels, core::Rng& rng) const;
+                         std::span<const int> labels, core::Rng& rng,
+                         core::ThreadPool* pool = nullptr) const;
 
   /// Run `epochs` adaptive epochs; returns stats of the final epoch.
   EpochStats train(HdcModel& model, const core::Matrix& encoded,
                    std::span<const int> labels, std::size_t epochs,
-                   core::Rng& rng) const;
+                   core::Rng& rng, core::ThreadPool* pool = nullptr) const;
 
-  /// Accuracy of the model over an encoded set (no updates).
+  /// Apply the adaptive rule to one pre-encoded, pre-gathered tile (the
+  /// first `labels.size()` rows of `tile`), processed in sub-batches of
+  /// config().batch_size. Misprediction counts accumulate into `stats`
+  /// (`stats.samples` is the caller's bookkeeping). This is the streamed
+  /// fit() entry point: feeding a whole epoch through tiles whose rows
+  /// follow the epoch_order() sequence reproduces train_epoch bit-exactly
+  /// when the tile size is a multiple of batch_size.
+  void train_tile(HdcModel& model, const core::Matrix& tile,
+                  std::span<const int> labels, EpochStats& stats,
+                  core::ThreadPool* pool = nullptr) const;
+
+  /// The sample visit order of one epoch: [0, n) shuffled when `shuffle`.
+  /// Exposed so the streamed fit() path draws exactly the same sequence
+  /// from the same generator as train_epoch.
+  static std::vector<std::size_t> epoch_order(std::size_t n, core::Rng& rng,
+                                              bool shuffle);
+
+  /// Accuracy of the model over an encoded set (no updates). Rides
+  /// HdcModel::similarities_batch, so it scores at tile-kernel speed and
+  /// splits across `pool` when given.
   static double evaluate(const HdcModel& model, const core::Matrix& encoded,
-                         std::span<const int> labels);
+                         std::span<const int> labels,
+                         core::ThreadPool* pool = nullptr);
 
  private:
+  /// Score `rows` samples starting at `tile` (row-major rows x dims)
+  /// against the frozen model with one tile-kernel pass (optionally split
+  /// over `pool`), then apply the adaptive updates in row order.
+  void update_tile(HdcModel& model, const float* tile, std::size_t rows,
+                   const int* labels, EpochStats& stats,
+                   std::span<float> scores, std::span<float> class_norms,
+                   core::ThreadPool* pool) const;
+
   TrainerConfig config_;
 };
 

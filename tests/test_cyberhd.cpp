@@ -208,6 +208,91 @@ TEST(CyberHdClassifier, BaselineConfigDisablesRegeneration) {
   EXPECT_EQ(cfg.seed, 9u);
 }
 
+// ---- tiled / streaming training engine --------------------------------------
+
+TEST(CyberHdTiledTraining, StreamedFitIsBitIdenticalToInMemoryFit) {
+  // batch_size = 1 and a tile smaller than the dataset: the streamed
+  // encode→train path must rebuild the exact in-memory model (same epoch
+  // orders from the same generator, same per-row encodes, same updates).
+  const Blobs data(80);  // 240 rows
+  auto cfg = small_config();
+  CyberHdClassifier in_memory(cfg);
+  in_memory.fit(data.x, data.y, 3);
+  auto streamed_cfg = cfg;
+  streamed_cfg.train_tile_rows = 64;
+  CyberHdClassifier streamed(streamed_cfg);
+  streamed.fit(data.x, data.y, 3);
+  ASSERT_EQ(streamed.model().weights(), in_memory.model().weights());
+  EXPECT_EQ(streamed.last_fit_report().epochs,
+            in_memory.last_fit_report().epochs);
+  EXPECT_EQ(streamed.last_fit_report().epoch_accuracy,
+            in_memory.last_fit_report().epoch_accuracy);
+}
+
+TEST(CyberHdTiledTraining, StreamingBoundsPeakEncodeBuffer) {
+  // A dataset much larger than the configured tile: the resident encode
+  // buffer must stay at O(tile x D), not O(n x D).
+  const Blobs data(200);  // 600 rows
+  auto cfg = small_config();
+  cfg.regen_steps = 2;
+  cfg.final_epochs = 2;
+  cfg.train_tile_rows = 48;
+  CyberHdClassifier model(cfg);
+  model.fit(data.x, data.y, 3);
+  EXPECT_EQ(model.last_fit_report().peak_encode_rows, 48u);
+  EXPECT_GT(model.evaluate(data.x, data.y), 0.9);
+
+  auto dense_cfg = cfg;
+  dense_cfg.train_tile_rows = 0;
+  CyberHdClassifier dense(dense_cfg);
+  dense.fit(data.x, data.y, 3);
+  EXPECT_EQ(dense.last_fit_report().peak_encode_rows, data.x.rows());
+}
+
+TEST(CyberHdTiledTraining, OversizedTileFallsBackToInMemory) {
+  const Blobs data(40);  // 120 rows
+  auto cfg = small_config();
+  cfg.train_tile_rows = 4096;  // larger than the dataset
+  CyberHdClassifier tiled(cfg);
+  tiled.fit(data.x, data.y, 3);
+  EXPECT_EQ(tiled.last_fit_report().peak_encode_rows, data.x.rows());
+  CyberHdClassifier plain(small_config());
+  plain.fit(data.x, data.y, 3);
+  ASSERT_EQ(tiled.model().weights(), plain.model().weights());
+}
+
+TEST(CyberHdTiledTraining, MinibatchFitStaysAccurate) {
+  const Blobs data(100);
+  auto cfg = small_config();
+  CyberHdClassifier sequential(cfg);
+  sequential.fit(data.x, data.y, 3);
+  auto mb_cfg = cfg;
+  mb_cfg.batch_size = 32;
+  CyberHdClassifier minibatch(mb_cfg);
+  minibatch.fit(data.x, data.y, 3);
+  const double seq_acc = sequential.evaluate(data.x, data.y);
+  const double mb_acc = minibatch.evaluate(data.x, data.y);
+  EXPECT_NEAR(mb_acc, seq_acc, 0.01);
+  EXPECT_GT(mb_acc, 0.93);
+}
+
+TEST(CyberHdTiledTraining, StreamedMinibatchFitStaysAccurate) {
+  // Streaming and minibatching compose: regen retrain cycles ride the
+  // tiled path with sub-batched updates.
+  const Blobs data(100);
+  auto cfg = small_config();
+  CyberHdClassifier sequential(cfg);
+  sequential.fit(data.x, data.y, 3);
+  auto mb_cfg = cfg;
+  mb_cfg.batch_size = 16;
+  mb_cfg.train_tile_rows = 64;
+  CyberHdClassifier streamed(mb_cfg);
+  streamed.fit(data.x, data.y, 3);
+  EXPECT_EQ(streamed.last_fit_report().peak_encode_rows, 64u);
+  EXPECT_NEAR(streamed.evaluate(data.x, data.y),
+              sequential.evaluate(data.x, data.y), 0.02);
+}
+
 // Encoder-kind sweep: the facade learns blobs with every encoder family.
 class CyberHdEncoderSweep : public ::testing::TestWithParam<EncoderKind> {};
 

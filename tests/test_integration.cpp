@@ -81,6 +81,28 @@ TEST_F(PipelineTest, AllClassifiersClearTheFloor) {
   }
 }
 
+TEST_F(PipelineTest, MinibatchTrainingMatchesSequentialOnNids) {
+  // The acceptance bound of the tiled trainer: on the synthetic NIDS
+  // workload, minibatch fit() lands within half a point of the
+  // sample-at-a-time rule.
+  hdc::CyberHdConfig cfg;
+  cfg.dims = 256;
+  cfg.regen_steps = 10;
+  cfg.final_epochs = 6;
+  hdc::CyberHdClassifier sequential(cfg);
+  sequential.fit(split().train.x, split().train.y,
+                 split().train.num_classes);
+  const double seq_acc = sequential.evaluate(split().test.x, split().test.y);
+  auto mb_cfg = cfg;
+  mb_cfg.batch_size = 64;
+  hdc::CyberHdClassifier minibatch(mb_cfg);
+  minibatch.fit(split().train.x, split().train.y,
+                split().train.num_classes);
+  const double mb_acc = minibatch.evaluate(split().test.x, split().test.y);
+  EXPECT_NEAR(mb_acc, seq_acc, 0.005);
+  EXPECT_GT(mb_acc, 0.80);
+}
+
 TEST_F(PipelineTest, ConfusionMatrixOnTestSet) {
   hdc::CyberHdConfig cfg;
   cfg.dims = 256;

@@ -43,12 +43,18 @@ const core::Kernels* runnable_avx2() {
   return core::cpu_supports_avx2() ? core::avx2_kernels() : nullptr;
 }
 
+/// The AVX-512 backend when this host can run it, else nullptr.
+const core::Kernels* runnable_avx512() {
+  return core::cpu_supports_avx512() ? core::avx512_kernels() : nullptr;
+}
+
 TEST(KernelDispatch, ActiveBackendIsAlwaysValid) {
   const core::Kernels& k = core::active_kernels();
   ASSERT_NE(k.name, nullptr);
   ASSERT_NE(k.dot_f32, nullptr);
   ASSERT_NE(k.axpy_f32, nullptr);
   ASSERT_NE(k.mul_acc_f32, nullptr);
+  ASSERT_NE(k.similarities_tile_f32, nullptr);
   ASSERT_NE(k.cos_rbf_rows, nullptr);
   ASSERT_NE(k.xor_popcount_words, nullptr);
   ASSERT_NE(k.quantized_dot_i8, nullptr);
@@ -154,6 +160,97 @@ TEST(KernelParity, QuantizedDotI8BitExact) {
   for (auto& v : b) v = -128;
   EXPECT_EQ(scalar.quantized_dot_i8(a.data(), b.data(), big),
             avx2->quantized_dot_i8(a.data(), b.data(), big));
+}
+
+// ---- AVX-512 backend parity ------------------------------------------------
+
+TEST(KernelParity, Avx512FloatKernels) {
+  const core::Kernels* avx512 = runnable_avx512();
+  if (avx512 == nullptr) GTEST_SKIP() << "AVX-512 unavailable on this host";
+  const core::Kernels& scalar = core::scalar_kernels();
+  for (std::size_t n : kTailSizes) {
+    const auto a = gaussian_vec(n, 700 + n);
+    const auto b = gaussian_vec(n, 800 + n);
+    const float d_scalar = scalar.dot_f32(a.data(), b.data(), n);
+    const float d_avx512 = avx512->dot_f32(a.data(), b.data(), n);
+    double mag = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mag += std::abs(static_cast<double>(a[i]) * b[i]);
+    }
+    EXPECT_NEAR(d_scalar, d_avx512, 1e-6 * mag + 1e-6) << "dot n=" << n;
+
+    auto y1 = gaussian_vec(n, 810 + n);
+    auto y2 = y1;
+    scalar.axpy_f32(0.37f, a.data(), y1.data(), n);
+    avx512->axpy_f32(0.37f, a.data(), y2.data(), n);
+    auto acc1 = gaussian_vec(n, 820 + n);
+    auto acc2 = acc1;
+    scalar.mul_acc_f32(a.data(), b.data(), acc1.data(), n);
+    avx512->mul_acc_f32(a.data(), b.data(), acc2.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y1[i], y2[i], 1e-6f * (1.0f + std::abs(y1[i])))
+          << "axpy n=" << n << " i=" << i;
+      EXPECT_NEAR(acc1[i], acc2[i], 1e-6f * (1.0f + std::abs(acc1[i])))
+          << "mul_acc n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelParity, Avx512XorPopcountBitExact) {
+  const core::Kernels* avx512 = runnable_avx512();
+  if (avx512 == nullptr) GTEST_SKIP() << "AVX-512 unavailable on this host";
+  // Parity must hold whether the table carries the VPOPCNTDQ kernel or the
+  // inherited avx2 nibble-LUT (both are exact integer kernels).
+  const core::Kernels& scalar = core::scalar_kernels();
+  core::Rng rng(13);
+  for (std::size_t words :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{257}}) {
+    std::vector<std::uint64_t> a(words), b(words);
+    for (auto& w : a) w = rng.next_u64();
+    for (auto& w : b) w = rng.next_u64();
+    EXPECT_EQ(scalar.xor_popcount_words(a.data(), b.data(), words),
+              avx512->xor_popcount_words(a.data(), b.data(), words))
+        << "words=" << words;
+  }
+}
+
+// ---- the blocked similarity tile -------------------------------------------
+
+/// Every backend's tile kernel must reproduce its own dot_f32 per (row,
+/// class) pair bit-for-bit — the contract HdcModel::similarities_batch and
+/// the minibatch trainer build their "batching never changes results"
+/// guarantee on. Row counts straddle the 4-row register block, dims the
+/// SIMD widths and tails.
+TEST(KernelTile, MatchesPerPairDotBitExactly) {
+  std::vector<const core::Kernels*> backends = {&core::scalar_kernels()};
+  if (const core::Kernels* avx2 = runnable_avx2()) backends.push_back(avx2);
+  if (const core::Kernels* avx512 = runnable_avx512()) {
+    backends.push_back(avx512);
+  }
+  for (const core::Kernels* k : backends) {
+    for (std::size_t rows : {1u, 3u, 4u, 5u, 8u, 17u}) {
+      for (std::size_t classes : {1u, 2u, 3u, 10u}) {
+        for (std::size_t dims : {1u, 8u, 16u, 17u, 31u, 100u, 118u, 512u}) {
+          const auto h = gaussian_vec(rows * dims, 40 + rows * dims);
+          const auto cls = gaussian_vec(classes * dims, 50 + classes * dims);
+          std::vector<float> out(rows * classes, -1.0f);
+          k->similarities_tile_f32(h.data(), rows, cls.data(), classes, dims,
+                                   out.data());
+          for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < classes; ++c) {
+              EXPECT_EQ(out[r * classes + c],
+                        k->dot_f32(h.data() + r * dims,
+                                   cls.data() + c * dims, dims))
+                  << k->name << " rows=" << rows << " classes=" << classes
+                  << " dims=" << dims << " r=" << r << " c=" << c;
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 TEST(KernelParity, CosRbfRows) {

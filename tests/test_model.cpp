@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/matrix.hpp"
+#include "core/rng.hpp"
 
 namespace cyberhd::hdc {
 namespace {
@@ -143,6 +144,41 @@ TEST(HdcModel, LowestKClampsCount) {
 TEST(HdcModel, LowestKZero) {
   const std::vector<float> values = {1, 2};
   EXPECT_TRUE(HdcModel::lowest_k(values, 0).empty());
+}
+
+TEST(HdcModel, SimilaritiesBatchMatchesPerSampleAcrossTileBoundary) {
+  // 600 rows straddles the internal 32-row scoring tile (kTileRows in
+  // model.cpp) many times over: every row must still be bit-identical to a
+  // per-sample similarities() call.
+  const std::size_t n = 600, dims = 70, classes = 4;
+  core::Rng rng(5);
+  HdcModel model(classes, dims);
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::vector<float> h(dims);
+    core::fill_gaussian(rng, h.data(), dims, 0.0f, 1.0f);
+    model.bundle(c, h);
+  }
+  core::Matrix queries(n, dims);
+  core::fill_gaussian(rng, queries.data(), queries.size(), 0.0f, 1.0f);
+  core::Matrix batched;
+  model.similarities_batch(queries, batched);
+  ASSERT_EQ(batched.rows(), n);
+  ASSERT_EQ(batched.cols(), classes);
+  std::vector<float> single(classes);
+  for (std::size_t i = 0; i < n; ++i) {
+    model.similarities(queries.row(i), single);
+    for (std::size_t c = 0; c < classes; ++c) {
+      EXPECT_EQ(batched(i, c), single[c]) << "row " << i << " class " << c;
+    }
+  }
+}
+
+TEST(HdcModel, SimilaritiesBatchEmptyInput) {
+  HdcModel model(3, 16);
+  core::Matrix empty(0, 16), scores;
+  model.similarities_batch(empty, scores);
+  EXPECT_EQ(scores.rows(), 0u);
+  EXPECT_EQ(scores.cols(), 3u);
 }
 
 }  // namespace

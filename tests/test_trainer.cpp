@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <span>
 #include <vector>
 
 #include "core/matrix.hpp"
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "hdc/encoder.hpp"
 
 namespace cyberhd::hdc {
@@ -199,6 +203,210 @@ TEST(Trainer, EvaluateEmptyIsZero) {
   HdcModel model(2, 4);
   core::Matrix empty(0, 4);
   EXPECT_EQ(Trainer::evaluate(model, empty, {}), 0.0);
+}
+
+// ---- tiled-engine regression suite -----------------------------------------
+
+/// The pre-refactor sequential adaptive epoch, kept verbatim as the golden
+/// reference: shuffle, then per sample score via model.similarities() and
+/// apply the (1 - delta)-weighted updates immediately. The tiled trainer
+/// with batch_size == 1 must reproduce it bit-for-bit.
+EpochStats golden_sequential_epoch(const TrainerConfig& config,
+                                   HdcModel& model,
+                                   const core::Matrix& encoded,
+                                   std::span<const int> labels,
+                                   core::Rng& rng) {
+  const std::size_t n = encoded.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (config.shuffle) rng.shuffle(order);
+  EpochStats stats;
+  stats.samples = n;
+  std::vector<float> scores(model.num_classes());
+  for (std::size_t idx : order) {
+    const auto h = encoded.row(idx);
+    const auto truth = static_cast<std::size_t>(labels[idx]);
+    model.similarities(h, scores);
+    const std::size_t pred = core::argmax(scores);
+    const auto step_weight = [&](float score) {
+      return config.similarity_weighted
+                 ? config.learning_rate * (1.0f - score)
+                 : config.learning_rate;
+    };
+    if (pred != truth) {
+      ++stats.mispredicted;
+      core::axpy(step_weight(scores[truth]), h, model.class_vector(truth));
+      core::axpy(-step_weight(scores[pred]), h, model.class_vector(pred));
+    } else if (config.reinforce_correct) {
+      core::axpy(step_weight(scores[truth]), h, model.class_vector(truth));
+    }
+  }
+  return stats;
+}
+
+TEST(TrainerTiled, BatchSizeOneIsBitExactToSequentialRule) {
+  BlobFixture fixture(120, /*seed=*/43);
+  for (const bool weighted : {true, false}) {
+    for (const bool reinforce : {false, true}) {
+      TrainerConfig cfg;
+      cfg.learning_rate = 0.3f;
+      cfg.similarity_weighted = weighted;
+      cfg.reinforce_correct = reinforce;
+      Trainer trainer(cfg);
+      HdcModel tiled(2, fixture.dims), golden(2, fixture.dims);
+      trainer.initialize(tiled, fixture.encoded, fixture.labels);
+      trainer.initialize(golden, fixture.encoded, fixture.labels);
+      ASSERT_EQ(tiled.weights(), golden.weights());
+      core::Rng rng_tiled(47), rng_golden(47);
+      for (int e = 0; e < 3; ++e) {
+        const EpochStats t = trainer.train_epoch(tiled, fixture.encoded,
+                                                 fixture.labels, rng_tiled);
+        const EpochStats g = golden_sequential_epoch(
+            cfg, golden, fixture.encoded, fixture.labels, rng_golden);
+        EXPECT_EQ(t.samples, g.samples);
+        EXPECT_EQ(t.mispredicted, g.mispredicted)
+            << "weighted=" << weighted << " reinforce=" << reinforce
+            << " epoch " << e;
+        // Bit-exact: float-for-float identical class hypervectors.
+        ASSERT_EQ(tiled.weights(), golden.weights())
+            << "weighted=" << weighted << " reinforce=" << reinforce
+            << " epoch " << e;
+      }
+    }
+  }
+}
+
+TEST(TrainerTiled, MinibatchAccuracyTracksSequential) {
+  // The minibatch rule freezes scores for one tile, so it is an
+  // approximation — but on separable data it must land within a point of
+  // the sequential rule, and still converge.
+  BlobFixture fixture(200, /*seed=*/53);
+  const auto final_accuracy = [&](std::size_t batch) {
+    TrainerConfig cfg;
+    cfg.learning_rate = 0.3f;
+    cfg.batch_size = batch;
+    Trainer trainer(cfg);
+    HdcModel model(2, fixture.dims);
+    trainer.initialize(model, fixture.encoded, fixture.labels);
+    core::Rng rng(59);
+    trainer.train(model, fixture.encoded, fixture.labels, 5, rng);
+    return Trainer::evaluate(model, fixture.encoded, fixture.labels);
+  };
+  const double sequential = final_accuracy(1);
+  for (std::size_t batch : {8u, 32u, 128u}) {
+    const double minibatch = final_accuracy(batch);
+    EXPECT_NEAR(minibatch, sequential, 0.01) << "batch=" << batch;
+    EXPECT_GT(minibatch, 0.95) << "batch=" << batch;
+  }
+}
+
+TEST(TrainerTiled, MinibatchEpochCountsMispredictionsAgainstFrozenScores) {
+  // One tile covering the whole epoch: every sample is scored against the
+  // initialized model, so the stats must match evaluate() on that model.
+  BlobFixture fixture(60, /*seed=*/61);
+  TrainerConfig cfg;
+  cfg.batch_size = 1 << 20;  // one tile
+  cfg.shuffle = false;
+  Trainer trainer(cfg);
+  HdcModel model(2, fixture.dims);
+  trainer.initialize(model, fixture.encoded, fixture.labels);
+  const double acc_before =
+      Trainer::evaluate(model, fixture.encoded, fixture.labels);
+  core::Rng rng(67);
+  const EpochStats stats =
+      trainer.train_epoch(model, fixture.encoded, fixture.labels, rng);
+  EXPECT_DOUBLE_EQ(stats.accuracy(), acc_before);
+}
+
+TEST(TrainerTiled, InitializeIsBitIdenticalAcrossThreadCounts) {
+  // 4096 rows split into fixed stripes: pools of 1, 2, and 8 workers (and
+  // no pool at all) must build float-identical models.
+  const std::size_t n = 4096, dims = 64, classes = 3;
+  core::Rng rng(71);
+  core::Matrix encoded(n, dims);
+  core::fill_gaussian(rng, encoded.data(), encoded.size(), 0.0f, 1.0f);
+  std::vector<int> labels(n);
+  for (auto& y : labels) {
+    y = static_cast<int>(rng.next_below(classes));
+  }
+  Trainer trainer;
+  HdcModel reference(classes, dims);
+  trainer.initialize(reference, encoded, labels, /*pool=*/nullptr);
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    core::ThreadPool pool(workers);
+    HdcModel model(classes, dims);
+    trainer.initialize(model, encoded, labels, &pool);
+    ASSERT_EQ(model.weights(), reference.weights())
+        << workers << " workers";
+  }
+}
+
+TEST(TrainerTiled, ParallelEpochScoringIsDeterministic) {
+  // Minibatch scoring splits across the pool; updates stay serial — the
+  // trained model must not depend on the worker count.
+  BlobFixture fixture(150, /*seed=*/73);
+  const auto train_with = [&](core::ThreadPool* pool) {
+    TrainerConfig cfg;
+    cfg.batch_size = 32;
+    Trainer trainer(cfg);
+    HdcModel model(2, fixture.dims);
+    trainer.initialize(model, fixture.encoded, fixture.labels, pool);
+    core::Rng rng(79);
+    trainer.train(model, fixture.encoded, fixture.labels, 3, rng, pool);
+    return model;
+  };
+  const HdcModel serial = train_with(nullptr);
+  for (std::size_t workers : {2u, 8u}) {
+    core::ThreadPool pool(workers);
+    const HdcModel parallel = train_with(&pool);
+    ASSERT_EQ(parallel.weights(), serial.weights()) << workers << " workers";
+  }
+}
+
+TEST(TrainerTiled, EvaluatePoolMatchesSerial) {
+  BlobFixture fixture(100, /*seed=*/83);
+  HdcModel model(2, fixture.dims);
+  Trainer trainer;
+  trainer.initialize(model, fixture.encoded, fixture.labels);
+  core::ThreadPool pool(4);
+  EXPECT_DOUBLE_EQ(
+      Trainer::evaluate(model, fixture.encoded, fixture.labels),
+      Trainer::evaluate(model, fixture.encoded, fixture.labels, &pool));
+}
+
+TEST(TrainerTiled, TrainTileMatchesEpochOnPreGatheredOrder) {
+  // Feeding an epoch through train_tile in tile-sized chunks of the
+  // epoch_order sequence reproduces train_epoch exactly (tile a multiple
+  // of batch_size).
+  BlobFixture fixture(90, /*seed=*/89);
+  TrainerConfig cfg;
+  cfg.batch_size = 4;
+  Trainer trainer(cfg);
+  HdcModel whole(2, fixture.dims), tiled(2, fixture.dims);
+  trainer.initialize(whole, fixture.encoded, fixture.labels);
+  trainer.initialize(tiled, fixture.encoded, fixture.labels);
+  core::Rng rng_whole(97), rng_tiled(97);
+  const EpochStats whole_stats = trainer.train_epoch(
+      whole, fixture.encoded, fixture.labels, rng_whole);
+
+  const std::size_t n = fixture.encoded.rows();
+  const auto order = Trainer::epoch_order(n, rng_tiled, cfg.shuffle);
+  const std::size_t tile_rows = 16;  // multiple of batch_size
+  core::Matrix tile(tile_rows, fixture.dims);
+  std::vector<int> tile_labels(tile_rows);
+  EpochStats tiled_stats;
+  tiled_stats.samples = n;
+  for (std::size_t t = 0; t < n; t += tile_rows) {
+    const std::size_t m = std::min(tile_rows, n - t);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto src = fixture.encoded.row(order[t + i]);
+      std::copy(src.begin(), src.end(), tile.row(i).begin());
+      tile_labels[i] = fixture.labels[order[t + i]];
+    }
+    trainer.train_tile(tiled, tile, {tile_labels.data(), m}, tiled_stats);
+  }
+  EXPECT_EQ(tiled_stats.mispredicted, whole_stats.mispredicted);
+  ASSERT_EQ(tiled.weights(), whole.weights());
 }
 
 // Parameterized: training converges for a sweep of learning rates.
