@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
       hdc::RbfEncoder enc(data.train.x.cols(), cfg.dims, enc_rng2, ls);
       core::Matrix encoded;
       enc.encode_batch(data.train.x, encoded,
-                       &core::ThreadPool::global());
+                       core::ExecutionContext::process());
       hdc::HdcModel hd(k, cfg.dims);
       hdc::Trainer trainer(hdc::TrainerConfig{
           .learning_rate = cfg.learning_rate,
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
       trainer.train(hd, encoded, data.train.y, 30, train_rng);
       core::Matrix encoded_test;
       enc.encode_batch(data.test.x, encoded_test,
-                       &core::ThreadPool::global());
+                       core::ExecutionContext::process());
       no_center =
           hdc::Trainer::evaluate(hd, encoded_test, data.test.y);
     }

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/bitpack.hpp"
@@ -227,7 +228,7 @@ void BM_RbfEncodeBatchParallel(benchmark::State& state) {
   core::fill_gaussian(rng, x.data(), x.size(), 0.0f, 1.0f);
   core::Matrix h;
   for (auto _ : state) {
-    enc.encode_batch(x, h, &core::ThreadPool::global());
+    enc.encode_batch(x, h, core::ExecutionContext::process());
     benchmark::DoNotOptimize(h.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -373,8 +374,15 @@ void BM_TrainerEpoch(benchmark::State& state) {
   EpochFixture& f = EpochFixture::get();
   hdc::TrainerConfig cfg;
   cfg.learning_rate = 0.3f;
+  // range(0) is the minibatch size; 0 = auto (cache-derived by the
+  // execution context). The resolved value is reported in the run label
+  // (a column every google-benchmark CSV row carries — per-benchmark
+  // counters would abort the CSV reporter) so rows from hosts with
+  // different caches stay comparable.
   cfg.batch_size = static_cast<std::size_t>(state.range(0));
-  hdc::Trainer trainer(cfg);
+  hdc::Trainer trainer(cfg, core::ExecutionContext::process());
+  state.SetLabel("batch_rows=" + std::to_string(trainer.resolved_batch_size(
+                                     EpochFixture::kDims)));
   // Every iteration times the same workload: the first epoch after
   // initialization, from the same model and shuffle. Training the one
   // model across iterations would let updates decay to zero and make the
@@ -382,20 +390,54 @@ void BM_TrainerEpoch(benchmark::State& state) {
   hdc::HdcModel initialized(EpochFixture::kClasses, EpochFixture::kDims);
   trainer.initialize(initialized, f.encoded, f.labels);
   hdc::HdcModel model = initialized;
-  core::ThreadPool* pool = &core::ThreadPool::global();
   for (auto _ : state) {
     state.PauseTiming();
     model = initialized;
     core::Rng rng(43);
     state.ResumeTiming();
     const hdc::EpochStats stats =
-        trainer.train_epoch(model, f.encoded, f.labels, rng, pool);
+        trainer.train_epoch(model, f.encoded, f.labels, rng);
     benchmark::DoNotOptimize(stats.mispredicted);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(EpochFixture::kSamples));
 }
-BENCHMARK(BM_TrainerEpoch)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_TrainerEpoch)->Arg(0)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+/// The scoring-only bound of the minibatch epoch: labels are the model's
+/// own predictions, so the decision pass records zero updates and the
+/// epoch cost is gather + tile-kernel scoring + norms alone. Comparing
+/// BM_TrainerEpoch against this bound shows what the update pass costs —
+/// with the striped UpdateAccumulator replay it should sit within a few
+/// percent, i.e. the update pass no longer serializes the epoch.
+void BM_TrainerEpochScoringOnly(benchmark::State& state) {
+  EpochFixture& f = EpochFixture::get();
+  hdc::TrainerConfig cfg;
+  cfg.learning_rate = 0.3f;
+  cfg.batch_size = static_cast<std::size_t>(state.range(0));
+  hdc::Trainer trainer(cfg, core::ExecutionContext::process());
+  state.SetLabel("batch_rows=" + std::to_string(trainer.resolved_batch_size(
+                                     EpochFixture::kDims)));
+  hdc::HdcModel model(EpochFixture::kClasses, EpochFixture::kDims);
+  trainer.initialize(model, f.encoded, f.labels);
+  // Relabel every sample with the model's current prediction: the epoch
+  // then mispredicts nothing and applies no updates.
+  core::Matrix scores;
+  model.similarities_batch(f.encoded, scores);
+  std::vector<int> self_labels(EpochFixture::kSamples);
+  for (std::size_t i = 0; i < EpochFixture::kSamples; ++i) {
+    self_labels[i] = static_cast<int>(core::argmax(scores.row(i)));
+  }
+  for (auto _ : state) {
+    core::Rng rng(43);
+    const hdc::EpochStats stats =
+        trainer.train_epoch(model, f.encoded, self_labels, rng);
+    benchmark::DoNotOptimize(stats.mispredicted);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(EpochFixture::kSamples));
+}
+BENCHMARK(BM_TrainerEpochScoringOnly)->Arg(0);
 
 /// End-to-end fit() (encode, bundle, adaptive epochs, regen retrain
 /// cycles) at D = 10k. range(0) is the minibatch size; range(1) the
@@ -424,6 +466,14 @@ void BM_CyberHdFitTrain(benchmark::State& state) {
   cfg.seed = 13;
   cfg.batch_size = static_cast<std::size_t>(state.range(0));
   cfg.train_tile_rows = static_cast<std::size_t>(state.range(1));
+  // Report the batch size training actually used (batch_size == 0 is
+  // resolved from the cache topology by the execution context).
+  state.SetLabel(
+      "batch_rows=" +
+      std::to_string(cfg.batch_size != 0
+                         ? cfg.batch_size
+                         : core::ExecutionContext::process().train_batch_rows(
+                               cfg.dims)));
   for (auto _ : state) {
     hdc::CyberHdClassifier model(cfg);
     model.fit(train, y, 3);
@@ -439,7 +489,8 @@ void BM_CyberHdFitTrain(benchmark::State& state) {
 }
 BENCHMARK(BM_CyberHdFitTrain)
     ->Args({1, 0})     // per-sample rule, in-memory (the historical path)
-    ->Args({16, 0})    // L2-sized minibatch tiles at D = 10k
+    ->Args({0, 0})     // auto minibatch: cache-derived L2-sized tiles
+    ->Args({16, 0})    // pinned 16-row tiles (the old hand-tuned value)
     ->Args({64, 0})    // wider tiles (multi-core sweet spot)
     ->Args({16, 128})  // minibatch + streamed encode→train
     ->Unit(benchmark::kMillisecond);

@@ -3,7 +3,13 @@
 # run_benches.sh, then fold the emitted CSVs into one BENCH_<label>.json at
 # the repository root (the bench trajectory the ROADMAP tracks PR-to-PR).
 #
-#   scripts/make_bench_baseline.sh [build-dir] [label] [--quick]
+#   scripts/make_bench_baseline.sh [build-dir] [label] [--quick] [--check]
+#
+# With --check the script does not write a new baseline: it re-runs the
+# benches and fails (exit 1) if the CSV *schema* — the set of tables and
+# their column headers — drifted from the committed BENCH_<label>.json.
+# CI runs this as a smoke step so a bench edit that silently changes the
+# committed-baseline shape is caught in the PR that makes it.
 #
 # The micro-op suite is re-run at a longer min-time than the smoke pass so
 # the committed kernel/training numbers are stable; macro benches honor
@@ -11,25 +17,127 @@
 # JSON metadata.
 set -eu
 
-BUILD_DIR="${1:-build}"
-LABEL="${2:-baseline}"
-QUICK="${3:-}"
+BUILD_DIR=""
+LABEL=""
+QUICK=""
+CHECK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    --check) CHECK=1 ;;
+    --*) echo "unknown flag: $arg" >&2; exit 2 ;;
+    *)
+      if [ -z "$BUILD_DIR" ]; then BUILD_DIR="$arg"
+      elif [ -z "$LABEL" ]; then LABEL="$arg"
+      else echo "unexpected argument: $arg" >&2; exit 2
+      fi
+      ;;
+  esac
+done
+BUILD_DIR="${BUILD_DIR:-build}"
+LABEL="${LABEL:-baseline}"
 
 scripts/run_benches.sh "$BUILD_DIR" $QUICK
 
 MICRO="$BUILD_DIR/bench/bench_micro_ops"
+MICRO_PRESENT=0
 if [ -x "$MICRO" ]; then
-  echo "== bench_micro_ops (baseline pass, min_time=0.2)"
-  (cd "$BUILD_DIR/bench-results" && \
-   ../bench/bench_micro_ops --benchmark_format=csv \
-     --benchmark_min_time=0.2 > bench_micro_ops.csv)
+  MICRO_PRESENT=1
+  # Check mode only needs the CSV shape, and run_benches.sh already wrote
+  # bench_micro_ops.csv on its quick pass — don't run the suite twice.
+  if [ "$CHECK" != 1 ]; then
+    echo "== bench_micro_ops (baseline pass, min_time=0.2)"
+    (cd "$BUILD_DIR/bench-results" && \
+     ../bench/bench_micro_ops --benchmark_format=csv \
+       --benchmark_min_time=0.2 > bench_micro_ops.csv)
+  fi
 fi
 
-python3 - "$BUILD_DIR" "$LABEL" <<'PYEOF'
-import csv, json, os, platform, subprocess, sys, datetime
+CHECK="$CHECK" MICRO_PRESENT="$MICRO_PRESENT" \
+  python3 - "$BUILD_DIR" "$LABEL" <<'PYEOF'
+import csv, json, os, platform, sys, datetime
 
 build_dir, label = sys.argv[1], sys.argv[2]
+check_mode = os.environ.get("CHECK") == "1"
 results_dir = os.path.join(build_dir, "bench-results")
+
+def read_tables(directory):
+    """Map csv filename -> (header columns, rows) for every bench CSV."""
+    tables = {}
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".csv"):
+            continue
+        with open(os.path.join(directory, name), newline="") as f:
+            # google-benchmark CSVs carry a context preamble before the
+            # header line; macro-bench CSVs start at the header directly.
+            lines = f.read().splitlines()
+        header_idx = next(
+            (i for i, line in enumerate(lines)
+             if line.startswith("name,") or ("," in line and i == 0)), None)
+        if header_idx is None:
+            continue
+        rows = list(csv.DictReader(lines[header_idx:]))
+        header = lines[header_idx].split(",")
+        tables[name] = (header, rows)
+    return tables
+
+tables = read_tables(results_dir)
+
+if check_mode:
+    baseline_path = f"BENCH_{label}.json"
+    try:
+        with open(baseline_path) as f:
+            committed = json.load(f)
+    except OSError:
+        print(f"error: no committed baseline at {baseline_path}",
+              file=sys.stderr)
+        sys.exit(1)
+    micro_present = os.environ.get("MICRO_PRESENT") == "1"
+    drift = []
+    committed_tables = committed.get("csv", {})
+    # Headers recorded explicitly survive zero-row tables; older baselines
+    # without the csv_headers block fall back to the first data row.
+    committed_headers = committed.get("csv_headers", {})
+    for name in sorted(set(committed_tables) | set(tables)):
+        if name not in tables:
+            if name == "bench_micro_ops.csv" and not micro_present:
+                # Google Benchmark isn't installed on this host — the build
+                # intentionally skips the micro suite; not schema drift.
+                print(f"note: skipping {name} (bench_micro_ops not built)")
+                continue
+            drift.append(f"table {name} is in the baseline but was not "
+                         "produced by this run")
+            continue
+        if name not in committed_tables:
+            drift.append(f"table {name} is new (not in the baseline)")
+            continue
+        rows = committed_tables[name]
+        if name in committed_headers:
+            committed_cols = set(committed_headers[name])
+        elif rows:
+            committed_cols = set(rows[0].keys())
+        else:
+            continue  # pre-csv_headers baseline with a zero-row table
+        current_cols = set(tables[name][0])
+        if committed_cols != current_cols:
+            gone = committed_cols - current_cols
+            new = current_cols - committed_cols
+            detail = []
+            if gone:
+                detail.append("dropped columns " + ", ".join(sorted(gone)))
+            if new:
+                detail.append("added columns " + ", ".join(sorted(new)))
+            drift.append(f"table {name}: " + "; ".join(detail))
+    if drift:
+        print(f"schema drift against {baseline_path}:", file=sys.stderr)
+        for line in drift:
+            print(f"  - {line}", file=sys.stderr)
+        print("re-collect the baseline with scripts/make_bench_baseline.sh "
+              "if the drift is intentional", file=sys.stderr)
+        sys.exit(1)
+    print(f"schema check OK: {len(tables)} csv tables match "
+          f"{baseline_path}")
+    sys.exit(0)
 
 baseline = {
     "label": label,
@@ -40,8 +148,13 @@ baseline = {
         "system": platform.system(),
         "cpu_count": os.cpu_count(),
         "kernels_env": os.environ.get("CYBERHD_KERNELS", "<auto>"),
+        "l2_env": os.environ.get("CYBERHD_L2_BYTES", "<detected>"),
+        "threads_env": os.environ.get("CYBERHD_THREADS", "<hw>"),
     },
-    "csv": {},
+    "csv": {name: rows for name, (header, rows) in tables.items()},
+    # Headers recorded separately so the schema check still covers tables
+    # that happened to collect zero data rows.
+    "csv_headers": {name: header for name, (header, rows) in tables.items()},
 }
 try:
     baseline["host"]["cpu_model"] = next(
@@ -50,22 +163,6 @@ try:
         if line.startswith("model name"))
 except (OSError, StopIteration):
     pass
-
-for name in sorted(os.listdir(results_dir)):
-    if not name.endswith(".csv"):
-        continue
-    path = os.path.join(results_dir, name)
-    with open(path, newline="") as f:
-        # google-benchmark CSVs carry a context preamble before the header
-        # line; macro-bench CSVs start at the header directly.
-        lines = f.read().splitlines()
-    header_idx = next(
-        (i for i, line in enumerate(lines)
-         if line.startswith("name,") or ("," in line and i == 0)), None)
-    if header_idx is None:
-        continue
-    rows = list(csv.DictReader(lines[header_idx:]))
-    baseline["csv"][name] = rows
 
 out = f"BENCH_{label}.json"
 with open(out, "w") as f:

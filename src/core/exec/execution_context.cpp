@@ -1,0 +1,174 @@
+#include "core/exec/execution_context.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace cyberhd::core {
+
+namespace {
+
+/// Parse a positive byte count from an environment variable; 0 when unset
+/// or malformed. Accepts plain bytes plus k/K, m/M, g/G binary suffixes
+/// ("2m" == 2 MiB) so container launch scripts stay readable. The leading
+/// character must be a digit (strtoull would wrap "-1" to ULLONG_MAX);
+/// values above 1 TiB are treated as malformed, not as a cache model.
+std::size_t env_bytes(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw < '0' || *raw > '9') return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || value == 0) return 0;
+  std::size_t scale = 1;
+  if (end != nullptr && *end != '\0') {
+    if (end[1] != '\0') return 0;
+    switch (*end) {
+      case 'k': case 'K': scale = 1024; break;
+      case 'm': case 'M': scale = 1024 * 1024; break;
+      case 'g': case 'G': scale = 1024 * 1024 * 1024; break;
+      default: return 0;
+    }
+  }
+  constexpr std::size_t kMaxBytes = std::size_t{1} << 40;  // 1 TiB
+  if (value > kMaxBytes / scale) return 0;
+  return static_cast<std::size_t>(value) * scale;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+std::size_t sysconf_bytes(int name) {
+  const long v = ::sysconf(name);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+#endif
+
+/// Read one sysfs cache attribute ("64", "2048K") as bytes; 0 on failure.
+std::size_t sysfs_bytes(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  unsigned long long value = 0;
+  in >> value;
+  if (!in || value == 0) return 0;
+  char suffix = '\0';
+  in >> suffix;
+  if (suffix == 'K' || suffix == 'k') value *= 1024;
+  if (suffix == 'M' || suffix == 'm') value *= 1024 * 1024;
+  return static_cast<std::size_t>(value);
+}
+
+std::string sysfs_string(const std::string& path) {
+  std::ifstream in(path);
+  std::string s;
+  if (in) in >> s;
+  return s;
+}
+
+/// Walk /sys/devices/system/cpu/cpu0/cache/index*/ for the first data or
+/// unified cache of `level`; returns its size in bytes, 0 when absent.
+std::size_t sysfs_cache_size(int level) {
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int idx = 0; idx < 8; ++idx) {
+    const std::string dir = base + std::to_string(idx) + "/";
+    std::ifstream probe(dir + "level");
+    int l = 0;
+    if (!(probe >> l) || l != level) continue;
+    const std::string type = sysfs_string(dir + "type");
+    if (type == "Instruction") continue;
+    const std::size_t size = sysfs_bytes(dir + "size");
+    if (size > 0) return size;
+  }
+  return 0;
+}
+
+std::size_t sysfs_line_size() {
+  return sysfs_bytes(
+      "/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size");
+}
+
+std::size_t largest_pow2_at_most(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+CacheTopology CacheTopology::detect() {
+  CacheTopology topo;  // field initializers are the conservative fallback
+  std::size_t line = 0, l1d = 0, l2 = 0;
+#if defined(__unix__) || defined(__APPLE__)
+#ifdef _SC_LEVEL1_DCACHE_LINESIZE
+  line = sysconf_bytes(_SC_LEVEL1_DCACHE_LINESIZE);
+#endif
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+  l1d = sysconf_bytes(_SC_LEVEL1_DCACHE_SIZE);
+#endif
+#ifdef _SC_LEVEL2_CACHE_SIZE
+  l2 = sysconf_bytes(_SC_LEVEL2_CACHE_SIZE);
+#endif
+#endif
+  if (line == 0) line = sysfs_line_size();
+  if (l1d == 0) l1d = sysfs_cache_size(1);
+  if (l2 == 0) l2 = sysfs_cache_size(2);
+  // Containers often mask /sys and return 0 from sysconf; the env override
+  // wins over whatever detection produced so deployments can pin tiling.
+  if (const std::size_t env_l2 = env_bytes("CYBERHD_L2_BYTES"); env_l2 > 0) {
+    l2 = env_l2;
+  }
+  if (line > 0) topo.line_bytes = line;
+  if (l1d > 0) topo.l1d_bytes = l1d;
+  if (l2 > 0) topo.l2_bytes = l2;
+  return topo;
+}
+
+const CacheTopology& CacheTopology::detected() {
+  static const CacheTopology topo = detect();
+  return topo;
+}
+
+ExecutionContext::ExecutionContext(ThreadPool* pool, const Kernels* kernels,
+                                   CacheTopology cache)
+    : kernels_(kernels != nullptr ? kernels : &active_kernels()),
+      pool_(pool),
+      cache_(cache) {}
+
+const ExecutionContext& ExecutionContext::process() {
+  static const ExecutionContext ctx(&ThreadPool::global(), nullptr,
+                                    CacheTopology::detected());
+  return ctx;
+}
+
+const ExecutionContext& ExecutionContext::serial() {
+  static const ExecutionContext ctx(nullptr, nullptr,
+                                    CacheTopology::detected());
+  return ctx;
+}
+
+void ExecutionContext::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) const {
+  if (n == 0) return;
+  if (pool_ != nullptr) {
+    pool_->parallel_for(n, fn, grain);
+  } else {
+    fn(0, n);
+  }
+}
+
+std::size_t ExecutionContext::score_block_rows(
+    std::size_t dims) const noexcept {
+  if (dims == 0) return 1;
+  // One third of L2 for the streaming row block (the class block and the
+  // norm pass's re-read take the rest); power of two for stable blocking.
+  const std::size_t budget = cache_.l2_bytes / 3;
+  const std::size_t rows = budget / (dims * sizeof(float));
+  return std::clamp<std::size_t>(largest_pow2_at_most(std::max<std::size_t>(
+                                     1, rows)),
+                                 1, 64);
+}
+
+}  // namespace cyberhd::core

@@ -1,0 +1,116 @@
+// Unified execution policy: which kernels run, on which threads, tiled how.
+//
+// Before this layer existed, every stage carried its own ThreadPool* and its
+// own hand-tuned tile constants (a 16-row score block here, a 32-row
+// similarity tile there, batch_size = 16 "because 2 MB L2"). The
+// ExecutionContext gathers those three decisions into one value-semantic
+// object that is threaded through the trainer, the encoders, the model's
+// batch scorer, and the quantized deployment path:
+//
+//  * kernels() — the resolved SIMD backend (active_kernels() by default,
+//    injectable for tests);
+//  * pool()    — the worker pool, or nullptr for strictly serial execution
+//    (parallel_for() runs inline in that case, so call sites never branch);
+//  * cache()   — a model of the machine's cache hierarchy, read once from
+//    sysconf//sys, from which every tile and batch size is *derived* rather
+//    than hand-tuned: score_block_rows() sizes the L2-resident row block of
+//    the tile-kernel scoring passes, train_batch_rows() the default
+//    minibatch of the adaptive trainer.
+//
+// Determinism contract: for a fixed training configuration the context
+// never changes results. Tiling choices feed kernels whose outputs are
+// row-wise bit-identical for any block size, and the pool only splits
+// work whose merge order is fixed — so two contexts over the same kernels
+// compute bit-identical models regardless of worker count or cache model.
+// One deliberate carve-out: TrainerConfig::batch_size = 0 (auto) resolves
+// the *minibatch size* from the cache model, and minibatch training at
+// different batch sizes is a different (OnlineHD-style) update schedule —
+// pin batch_size explicitly when cross-host bit-reproducibility of the
+// trained model matters. Everything else (score blocks, worker counts) is
+// a throughput lever only (pin via CYBERHD_L2_BYTES / CYBERHD_THREADS for
+// cross-host reproducible *timing*).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/kernels/kernels.hpp"
+#include "core/thread_pool.hpp"
+
+namespace cyberhd::core {
+
+/// The cache hierarchy model the tiling derivations read. Detection order
+/// per field: CYBERHD_L2_BYTES env override (l2_bytes only, for containers
+/// whose /sys is masked), sysconf(_SC_LEVEL*_CACHE_*), the sysfs cache
+/// directory, then conservative defaults (64 B lines, 32 KiB L1d, 2 MiB L2).
+struct CacheTopology {
+  std::size_t line_bytes = 64;
+  std::size_t l1d_bytes = 32 * 1024;
+  std::size_t l2_bytes = 2 * 1024 * 1024;
+
+  /// Fresh detection (re-reads the environment; tests use this).
+  static CacheTopology detect();
+  /// Process-wide cached detection result.
+  static const CacheTopology& detected();
+};
+
+/// The execution policy threaded through training and batch inference.
+/// Cheap to copy (three pointers and a small struct); holders keep it by
+/// value. A default-constructed context is strictly serial.
+class ExecutionContext {
+ public:
+  /// Serial context: active kernels, no pool, detected topology.
+  ExecutionContext()
+      : ExecutionContext(nullptr, nullptr, CacheTopology::detected()) {}
+  /// Context over an explicit pool (nullptr = serial), active kernels.
+  explicit ExecutionContext(ThreadPool* pool)
+      : ExecutionContext(pool, nullptr, CacheTopology::detected()) {}
+  /// Fully explicit (tests inject kernels and cache models here).
+  /// kernels == nullptr resolves to active_kernels().
+  ExecutionContext(ThreadPool* pool, const Kernels* kernels,
+                   CacheTopology cache);
+
+  /// The process-default parallel context: global thread pool (sized by
+  /// hardware_concurrency, overridable via CYBERHD_THREADS), active
+  /// kernels, detected topology.
+  static const ExecutionContext& process();
+  /// The process-default serial context (no pool).
+  static const ExecutionContext& serial();
+
+  const Kernels& kernels() const noexcept { return *kernels_; }
+  ThreadPool* pool() const noexcept { return pool_; }
+  const CacheTopology& cache() const noexcept { return cache_; }
+  /// Workers available to parallel_for (1 when serial).
+  std::size_t workers() const noexcept {
+    return pool_ != nullptr ? pool_->num_threads() : 1;
+  }
+
+  /// Run fn(begin, end) over [0, n): split across the pool when one is
+  /// attached, inline otherwise. The single call site replaces the
+  /// `if (pool) pool->parallel_for(...) else body(0, n)` pattern.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 256) const;
+
+  /// Rows per L2-resident block of the tile-kernel scoring passes
+  /// (HdcModel::similarities_batch, the trainer's minibatch scoring): the
+  /// largest power of two whose row block fills at most a third of L2 —
+  /// one third each for the streaming rows, the class block, and slack —
+  /// clamped to [1, 64]. At D = 10k on a 2 MiB L2 this derives the 16 rows
+  /// that were previously hand-tuned.
+  std::size_t score_block_rows(std::size_t dims) const noexcept;
+
+  /// Default minibatch size of the adaptive trainer when
+  /// TrainerConfig::batch_size == 0 (auto): the L2 sweet spot is the same
+  /// block the scorer streams, so this equals score_block_rows().
+  std::size_t train_batch_rows(std::size_t dims) const noexcept {
+    return score_block_rows(dims);
+  }
+
+ private:
+  const Kernels* kernels_;
+  ThreadPool* pool_;
+  CacheTopology cache_;
+};
+
+}  // namespace cyberhd::core

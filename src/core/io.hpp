@@ -4,8 +4,14 @@
 // all numeric fields go through the u64/f32 helpers so the format is
 // identical across builds. Readers throw std::runtime_error on truncated
 // or malformed input.
+//
+// Checksummed sections (write_section / read_section) wrap a serialized
+// payload as tag | size | bytes | CRC32C, so loaders detect payload
+// corruption — not just structural drift — before parsing a single field.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <istream>
@@ -13,6 +19,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cyberhd::core::io {
@@ -66,6 +73,84 @@ inline void expect_tag(std::istream& in, const char (&tag)[5]) {
   if (!in || std::memcmp(buf, tag, 4) != 0) {
     throw std::runtime_error(std::string("bad tag, expected ") + tag);
   }
+}
+
+// ---- CRC32C + checksummed sections -----------------------------------------
+
+/// CRC32C (Castagnoli polynomial, reflected) over `n` bytes. Table-driven
+/// software implementation — portable, no SSE4.2 dependency; persistence
+/// is far from any hot path.
+inline std::uint32_t crc32c(const void* data, std::size_t n,
+                            std::uint32_t seed = 0) noexcept {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0x82f63b78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// Write one checksummed section: 4-byte tag, u64 payload size, payload
+/// bytes, u64 checksum word (CRC32C in the low 32 bits).
+inline void write_section(std::ostream& out, const char (&tag)[5],
+                          std::string_view payload) {
+  write_tag(out, tag);
+  write_u64(out, payload.size());
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  write_u64(out, crc32c(payload.data(), payload.size()));
+}
+
+/// Read one checksummed section written by write_section: verifies the
+/// tag, bounds the size, and recomputes the CRC before returning the
+/// payload bytes. Throws std::runtime_error naming the section on any
+/// mismatch — a corrupt payload never reaches a field parser.
+inline std::string read_section(std::istream& in, const char (&tag)[5]) {
+  expect_tag(in, tag);
+  const std::uint64_t size = read_u64(in);
+  // The size word sits outside the CRC, so a flipped bit in it must fail
+  // cleanly too: before allocating, bound the size by what the stream can
+  // actually supply (seekable streams — files and stringstreams, i.e.
+  // every loader path) so a corrupt size never triggers a multi-GiB
+  // allocation. Non-seekable streams fall back to the plausibility cap.
+  const std::istream::pos_type here = in.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type stream_end = in.tellg();
+    in.seekg(here);
+    if (!in || stream_end < here ||
+        size > static_cast<std::uint64_t>(stream_end - here)) {
+      throw std::runtime_error(std::string("truncated section ") + tag);
+    }
+  }
+  if (size > (1ULL << 33)) {
+    throw std::runtime_error(std::string("implausible size for section ") +
+                             tag);
+  }
+  std::string payload(static_cast<std::size_t>(size), '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  if (!in) {
+    throw std::runtime_error(std::string("truncated section ") + tag);
+  }
+  const std::uint64_t stored = read_u64(in);
+  const std::uint32_t computed = crc32c(payload.data(), payload.size());
+  if (stored != computed) {
+    throw std::runtime_error(
+        std::string("checksum mismatch in section ") + tag + " (stored " +
+        std::to_string(stored) + ", computed " + std::to_string(computed) +
+        ")");
+  }
+  return payload;
 }
 
 }  // namespace cyberhd::core::io

@@ -1,6 +1,7 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace cyberhd::core {
 
@@ -58,7 +59,22 @@ void ThreadPool::parallel_for(
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  // CYBERHD_THREADS pins the global pool's worker count (CI runs the
+  // determinism suites at a fixed width this way; deployments cap cores).
+  // Unset, empty, or malformed falls through to hardware_concurrency.
+  // Parsed digit-by-digit: strtoull would wrap "-1" to ULLONG_MAX and
+  // the constructor would then try to reserve 2^64 workers. Anything
+  // above 4096 workers is treated as malformed, not a real request.
+  static ThreadPool pool([] {
+    const char* env = std::getenv("CYBERHD_THREADS");
+    if (env == nullptr || *env == '\0') return std::size_t{0};
+    std::size_t v = 0;
+    for (const char* p = env; *p != '\0'; ++p) {
+      if (*p < '0' || *p > '9' || v > 4096) return std::size_t{0};
+      v = v * 10 + static_cast<std::size_t>(*p - '0');
+    }
+    return v <= 4096 ? v : std::size_t{0};
+  }());
   return pool;
 }
 

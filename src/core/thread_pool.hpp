@@ -43,7 +43,9 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t)>& fn,
                     std::size_t grain = 256);
 
-  /// Process-wide default pool (lazily constructed, hardware_concurrency).
+  /// Process-wide default pool (lazily constructed; hardware_concurrency,
+  /// or the CYBERHD_THREADS environment variable when set to a positive
+  /// integer — CI uses it to pin the worker count).
   static ThreadPool& global();
 
  private:

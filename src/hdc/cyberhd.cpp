@@ -1,61 +1,14 @@
 #include "hdc/cyberhd.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/io.hpp"
 
 namespace cyberhd::hdc {
-
-namespace {
-
-/// Centered re-bundle of freshly regenerated dimensions: double-precision
-/// class sums minus each class's share of the grand mean, written straight
-/// into the touched model columns. A raw bundle would hand the fresh
-/// dimensions mostly class-common mass — exactly what the variance
-/// criterion exists to remove. Shared by the in-memory and streamed regen
-/// paths so the arithmetic lives exactly once, which is what keeps their
-/// bit-identity contract honest.
-class RegenRebundle {
- public:
-  RegenRebundle(std::size_t num_classes, std::span<const std::size_t> dims)
-      : dims_(dims),
-        class_sum_(num_classes * dims.size(), 0.0),
-        total_sum_(dims.size(), 0.0) {}
-
-  /// Accumulate one encoded row (only the regenerated entries are read).
-  void add_row(std::span<const float> h, std::size_t cls) {
-    const std::size_t nd = dims_.size();
-    for (std::size_t j = 0; j < nd; ++j) {
-      const double v = h[dims_[j]];
-      class_sum_[cls * nd + j] += v;
-      total_sum_[j] += v;
-    }
-  }
-
-  /// Write the centered values into the model's touched columns.
-  void apply(HdcModel& model, std::span<const int> labels) const {
-    const std::size_t nd = dims_.size();
-    std::vector<double> counts(model.num_classes(), 0.0);
-    for (const int y : labels) counts[static_cast<std::size_t>(y)] += 1.0;
-    const double inv_n = 1.0 / static_cast<double>(labels.size());
-    for (std::size_t c = 0; c < model.num_classes(); ++c) {
-      auto cv = model.class_vector(c);
-      for (std::size_t j = 0; j < nd; ++j) {
-        cv[dims_[j]] = static_cast<float>(
-            class_sum_[c * nd + j] - counts[c] * total_sum_[j] * inv_n);
-      }
-    }
-  }
-
- private:
-  std::span<const std::size_t> dims_;
-  std::vector<double> class_sum_;
-  std::vector<double> total_sum_;
-};
-
-}  // namespace
 
 CyberHdClassifier::CyberHdClassifier(CyberHdConfig config)
     : config_(config) {
@@ -94,71 +47,71 @@ void CyberHdClassifier::fit(const core::Matrix& x, std::span<const int> y,
   regen_.emplace(config_.dims, config_.regen_rate,
                  config_.regen_anneal ? config_.regen_steps : 0);
 
-  core::ThreadPool* pool =
-      config_.parallel ? &core::ThreadPool::global() : nullptr;
-
   Trainer trainer(TrainerConfig{
-      .learning_rate = config_.learning_rate,
-      .similarity_weighted = config_.similarity_weighted_update,
-      .batch_size = config_.batch_size});
+                      .learning_rate = config_.learning_rate,
+                      .similarity_weighted = config_.similarity_weighted_update,
+                      .batch_size = config_.batch_size},
+                  exec());
+
+  // The schedule control flow lives exactly once, in the driver; the two
+  // fit paths below differ only in the phase callbacks they plug in.
+  const ScheduleDriver driver(
+      ScheduleConfig{.regen_rate = config_.regen_rate,
+                     .regen_steps = config_.regen_steps,
+                     .epochs_per_step = config_.epochs_per_step,
+                     .final_epochs = config_.final_epochs},
+      *regen_, model_, *encoder_, regen_rng);
 
   // Streamed fit: encode→train in O(tile x D) chunks instead of holding
   // the n x D encoded training set. Engages only when the tile is actually
   // smaller than the set — otherwise the in-memory path is strictly better
   // (it encodes each sample once per fit, not once per epoch).
   if (config_.train_tile_rows > 0 && config_.train_tile_rows < x.rows()) {
-    fit_streamed(x, y, num_classes, trainer, pool, train_rng, regen_rng);
-    return;
+    fit_streamed(x, y, num_classes, trainer, driver, train_rng);
+  } else {
+    fit_in_memory(x, y, num_classes, trainer, driver, train_rng);
   }
+}
 
-  // Step (A)/(B): encode the whole training set once, then bundle.
+void CyberHdClassifier::fit_in_memory(const core::Matrix& x,
+                                      std::span<const int> y,
+                                      std::size_t num_classes,
+                                      const Trainer& trainer,
+                                      const ScheduleDriver& driver,
+                                      core::Rng& train_rng) {
+  const core::ExecutionContext& exec_ctx = exec();
+  // Encode the whole training set once; every phase reads from it.
   core::Matrix encoded;
-  encoder_->encode_batch(x, encoded, pool);
+  encoder_->encode_batch(x, encoded, exec_ctx);
   report_.peak_encode_rows = encoded.rows();
 
-  trainer.initialize(model_, encoded, y, pool);
-
-  const auto run_epochs = [&](std::size_t count) {
-    for (std::size_t e = 0; e < count; ++e) {
-      const EpochStats stats = trainer.train_epoch(model_, encoded, y,
-                                                   train_rng, pool);
-      report_.epoch_accuracy.push_back(stats.accuracy());
-      ++report_.epochs;
+  SchedulePhases phases;
+  phases.bundle = [&] { trainer.initialize(model_, encoded, y); };
+  phases.run_epoch = [&] {
+    return trainer.train_epoch(model_, encoded, y, train_rng);
+  };
+  phases.refresh_dims = [&](std::span<const std::size_t> dims) {
+    // Refresh only the touched columns of the cached encoded matrix, then
+    // (when configured) re-bundle them into the model.
+    encoder_->encode_batch_dims(x, dims, encoded, exec_ctx);
+    if (config_.rebundle_after_regen) {
+      RegenRebundle rebundle(num_classes, dims);
+      for (std::size_t i = 0; i < encoded.rows(); ++i) {
+        rebundle.add_row(encoded.row(i), static_cast<std::size_t>(y[i]));
+      }
+      rebundle.apply(model_, y);
     }
   };
-
-  // Regeneration cycles: retrain, then drop-and-regenerate (steps D..H),
-  // then refresh only the touched columns of the encoded matrix.
-  const bool regenerating =
-      config_.regen_rate > 0.0 && config_.regen_steps > 0;
-  if (regenerating) {
-    for (std::size_t s = 0; s < config_.regen_steps; ++s) {
-      run_epochs(config_.epochs_per_step);
-      const RegenStep step = regen_->step(model_, *encoder_, regen_rng);
-      report_.regenerated_per_step.push_back(step.dims.size());
-      if (!step.dims.empty()) {
-        encoder_->encode_batch_dims(x, step.dims, encoded, pool);
-        if (config_.rebundle_after_regen) {
-          RegenRebundle rebundle(num_classes, step.dims);
-          for (std::size_t i = 0; i < encoded.rows(); ++i) {
-            rebundle.add_row(encoded.row(i), static_cast<std::size_t>(y[i]));
-          }
-          rebundle.apply(model_, y);
-        }
-      }
-    }
-  }
-  run_epochs(config_.final_epochs);
-  report_.effective_dims = regen_->effective_dims();
+  driver.run(report_, phases);
 }
 
 void CyberHdClassifier::fit_streamed(const core::Matrix& x,
                                      std::span<const int> y,
                                      std::size_t num_classes,
                                      const Trainer& trainer,
-                                     core::ThreadPool* pool,
-                                     core::Rng& train_rng,
-                                     core::Rng& regen_rng) {
+                                     const ScheduleDriver& driver,
+                                     core::Rng& train_rng) {
+  const core::ExecutionContext& exec_ctx = exec();
   const std::size_t n = x.rows();
   const std::size_t tile = config_.train_tile_rows;
   report_.peak_encode_rows = tile;
@@ -167,17 +120,15 @@ void CyberHdClassifier::fit_streamed(const core::Matrix& x,
   core::Matrix enc_tile(tile, config_.dims);
   std::vector<int> tile_labels(tile);
 
-  // Run `op(i)` for i in [0, m), split across the pool. Per-row encodes
-  // are independent, so results never depend on the thread count.
-  const auto for_rows = [&](std::size_t m, auto&& op) {
-    const auto body = [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) op(i);
-    };
-    if (pool != nullptr) {
-      pool->parallel_for(m, body, /*grain=*/16);
-    } else {
-      body(0, m);
-    }
+  // Run `op(i)` for i in [0, m), split across the context's pool. Per-row
+  // encodes are independent, so results never depend on the thread count.
+  const auto for_rows = [&, this](std::size_t m, auto&& op) {
+    exec_ctx.parallel_for(
+        m,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) op(i);
+        },
+        /*grain=*/16);
   };
   // Encode `m` samples picked by `pick` into the first m rows of enc_tile.
   const auto encode_tile = [&](std::size_t m, auto&& pick) {
@@ -186,10 +137,11 @@ void CyberHdClassifier::fit_streamed(const core::Matrix& x,
     });
   };
 
+  SchedulePhases phases;
   // One-shot bundling, tile by tile. The InitAccumulator routes rows into
   // stripes by global index, so this produces the exact model the
   // in-memory initialize() builds.
-  {
+  phases.bundle = [&] {
     InitAccumulator acc(num_classes, config_.dims, n);
     for (std::size_t t = 0; t < n; t += tile) {
       const std::size_t m = std::min(tile, n - t);
@@ -197,13 +149,12 @@ void CyberHdClassifier::fit_streamed(const core::Matrix& x,
       acc.accumulate(enc_tile, y.subspan(t, m), 0, m, /*row_offset=*/t);
     }
     acc.finish(model_, trainer.config());
-  }
-
+  };
   // One adaptive epoch: draw the same visit order train_epoch would, then
   // gather-encode and train tile by tile. With batch_size == 1 this is
   // bit-identical to the in-memory epoch (same order, same encodes, same
   // update sequence); larger batches split at tile boundaries.
-  const auto run_streamed_epoch = [&]() {
+  phases.run_epoch = [&] {
     const std::vector<std::size_t> order =
         Trainer::epoch_order(n, train_rng, trainer.config().shuffle);
     EpochStats stats;
@@ -214,45 +165,30 @@ void CyberHdClassifier::fit_streamed(const core::Matrix& x,
       for (std::size_t i = 0; i < m; ++i) {
         tile_labels[i] = y[order[t + i]];
       }
-      trainer.train_tile(model_, enc_tile, {tile_labels.data(), m}, stats,
-                         pool);
+      trainer.train_tile(model_, enc_tile, {tile_labels.data(), m}, stats);
     }
-    report_.epoch_accuracy.push_back(stats.accuracy());
-    ++report_.epochs;
+    return stats;
   };
-  const auto run_epochs = [&](std::size_t count) {
-    for (std::size_t e = 0; e < count; ++e) run_streamed_epoch();
-  };
-
-  const bool regenerating =
-      config_.regen_rate > 0.0 && config_.regen_steps > 0;
-  if (regenerating) {
-    for (std::size_t s = 0; s < config_.regen_steps; ++s) {
-      run_epochs(config_.epochs_per_step);
-      const RegenStep step = regen_->step(model_, *encoder_, regen_rng);
-      report_.regenerated_per_step.push_back(step.dims.size());
-      if (!step.dims.empty() && config_.rebundle_after_regen) {
-        // Streamed centered re-bundle: recompute only the touched columns
-        // tile by tile (the next epochs would see them anyway — there is
-        // no cached encoded matrix to refresh) and feed the shared
-        // RegenRebundle in the same row order as the in-memory path.
-        RegenRebundle rebundle(num_classes, step.dims);
-        for (std::size_t t = 0; t < n; t += tile) {
-          const std::size_t m = std::min(tile, n - t);
-          for_rows(m, [&](std::size_t i) {
-            encoder_->encode_dims(x.row(t + i), step.dims, enc_tile.row(i));
-          });
-          for (std::size_t i = 0; i < m; ++i) {
-            rebundle.add_row(enc_tile.row(i),
-                             static_cast<std::size_t>(y[t + i]));
-          }
-        }
-        rebundle.apply(model_, y);
+  phases.refresh_dims = [&](std::span<const std::size_t> dims) {
+    // Streamed centered re-bundle: recompute only the touched columns
+    // tile by tile (the next epochs would see them anyway — there is no
+    // cached encoded matrix to refresh) and feed the shared RegenRebundle
+    // in the same row order as the in-memory path.
+    if (!config_.rebundle_after_regen) return;
+    RegenRebundle rebundle(num_classes, dims);
+    for (std::size_t t = 0; t < n; t += tile) {
+      const std::size_t m = std::min(tile, n - t);
+      for_rows(m, [&](std::size_t i) {
+        encoder_->encode_dims(x.row(t + i), dims, enc_tile.row(i));
+      });
+      for (std::size_t i = 0; i < m; ++i) {
+        rebundle.add_row(enc_tile.row(i),
+                         static_cast<std::size_t>(y[t + i]));
       }
     }
-  }
-  run_epochs(config_.final_epochs);
-  report_.effective_dims = regen_->effective_dims();
+    rebundle.apply(model_, y);
+  };
+  driver.run(report_, phases);
 }
 
 int CyberHdClassifier::predict(std::span<const float> x) const {
@@ -274,11 +210,10 @@ void CyberHdClassifier::scores(std::span<const float> x,
 void CyberHdClassifier::scores_batch(const core::Matrix& x,
                                      core::Matrix& out) const {
   assert(encoder_ != nullptr && "scores_batch() before fit()");
-  core::ThreadPool* pool =
-      config_.parallel ? &core::ThreadPool::global() : nullptr;
+  const core::ExecutionContext& exec_ctx = exec();
   core::Matrix encoded;
-  encoder_->encode_batch(x, encoded, pool);
-  model_.similarities_batch(encoded, out, pool);
+  encoder_->encode_batch(x, encoded, exec_ctx);
+  model_.similarities_batch(encoded, out, exec_ctx);
 }
 
 std::string CyberHdClassifier::name() const {
@@ -320,32 +255,89 @@ CyberHdConfig baseline_hd_config(std::size_t dims, std::uint64_t seed) {
 // ---- persistence -------------------------------------------------------------
 
 namespace {
-constexpr std::uint64_t kFormatVersion = 1;
+
+// Version 2 (current): "CYHD" + version word, then three CRC32C-
+// checksummed sections — CFG0 (config + trained-state scalars), ENC0 (the
+// encoder payload), MDL0 (class-hypervector matrix). Version 1 is the
+// same field sequence without section framing or checksums; load()
+// still accepts it.
+constexpr std::uint64_t kFormatVersion = 2;
+
+/// The scalar header fields, shared between the v1 inline layout and the
+/// v2 CFG0 section (identical field order — v2 only adds framing).
+struct SavedHeader {
+  CyberHdConfig cfg;
+  std::uint64_t num_classes = 0;
+  std::uint64_t total_regenerated = 0;
+  std::uint64_t regen_steps_done = 0;
+};
+
+void write_header_fields(std::ostream& out, const SavedHeader& h) {
+  core::io::write_u64(out, h.cfg.dims);
+  core::io::write_u64(out, static_cast<std::uint64_t>(h.cfg.encoder));
+  core::io::write_f32(out, static_cast<float>(h.cfg.regen_rate));
+  core::io::write_u64(out, h.cfg.regen_steps);
+  core::io::write_u64(out, h.cfg.regen_anneal ? 1 : 0);
+  core::io::write_u64(out, h.cfg.epochs_per_step);
+  core::io::write_u64(out, h.cfg.final_epochs);
+  core::io::write_f32(out, h.cfg.learning_rate);
+  core::io::write_u64(out, h.cfg.seed);
+  core::io::write_u64(out, h.num_classes);
+  core::io::write_u64(out, h.total_regenerated);
+  core::io::write_u64(out, h.regen_steps_done);
 }
+
+SavedHeader read_header_fields(std::istream& in) {
+  SavedHeader h;
+  h.cfg.dims = core::io::read_u64(in);
+  const std::uint64_t encoder_kind = core::io::read_u64(in);
+  if (encoder_kind > static_cast<std::uint64_t>(EncoderKind::kIdLevel)) {
+    throw std::runtime_error("unknown encoder kind id " +
+                             std::to_string(encoder_kind));
+  }
+  h.cfg.encoder = static_cast<EncoderKind>(encoder_kind);
+  h.cfg.regen_rate = core::io::read_f32(in);
+  h.cfg.regen_steps = core::io::read_u64(in);
+  h.cfg.regen_anneal = core::io::read_u64(in) != 0;
+  h.cfg.epochs_per_step = core::io::read_u64(in);
+  h.cfg.final_epochs = core::io::read_u64(in);
+  h.cfg.learning_rate = core::io::read_f32(in);
+  h.cfg.seed = core::io::read_u64(in);
+  h.num_classes = core::io::read_u64(in);
+  h.total_regenerated = core::io::read_u64(in);
+  h.regen_steps_done = core::io::read_u64(in);
+  return h;
+}
+
+}  // namespace
 
 void CyberHdClassifier::save(std::ostream& out) const {
   assert(encoder_ != nullptr && "save() before fit()");
   core::io::write_tag(out, "CYHD");
   core::io::write_u64(out, kFormatVersion);
-  // Config (inference-relevant and refit-relevant fields).
-  core::io::write_u64(out, config_.dims);
-  core::io::write_u64(out, static_cast<std::uint64_t>(config_.encoder));
-  core::io::write_f32(out, static_cast<float>(config_.regen_rate));
-  core::io::write_u64(out, config_.regen_steps);
-  core::io::write_u64(out, config_.regen_anneal ? 1 : 0);
-  core::io::write_u64(out, config_.epochs_per_step);
-  core::io::write_u64(out, config_.final_epochs);
-  core::io::write_f32(out, config_.learning_rate);
-  core::io::write_u64(out, config_.seed);
-  // Trained state.
-  core::io::write_u64(out, num_classes_);
-  core::io::write_u64(out, regen_ ? regen_->total_regenerated() : 0);
-  core::io::write_u64(out, regen_ ? regen_->steps() : 0);
-  encoder_->serialize(out);
-  core::io::write_u64(out, model_.num_classes());
-  core::io::write_u64(out, model_.dims());
-  core::io::write_f32_array(
-      out, {model_.weights().data(), model_.weights().size()});
+  {
+    std::ostringstream cfg;
+    write_header_fields(
+        cfg, SavedHeader{.cfg = config_,
+                         .num_classes = num_classes_,
+                         .total_regenerated =
+                             regen_ ? regen_->total_regenerated() : 0,
+                         .regen_steps_done = regen_ ? regen_->steps() : 0});
+    core::io::write_section(out, "CFG0", cfg.str());
+  }
+  {
+    std::ostringstream enc;
+    encoder_->serialize(enc);
+    core::io::write_section(out, "ENC0", enc.str());
+  }
+  {
+    std::ostringstream mdl;
+    core::io::write_u64(mdl, model_.num_classes());
+    core::io::write_u64(mdl, model_.dims());
+    core::io::write_f32_array(
+        mdl, {model_.weights().data(), model_.weights().size()});
+    core::io::write_section(out, "MDL0", mdl.str());
+  }
 }
 
 void CyberHdClassifier::save_file(const std::string& path) const {
@@ -358,50 +350,55 @@ void CyberHdClassifier::save_file(const std::string& path) const {
 CyberHdClassifier CyberHdClassifier::load(std::istream& in) {
   core::io::expect_tag(in, "CYHD");
   const std::uint64_t version = core::io::read_u64(in);
-  if (version != kFormatVersion) {
+  if (version != 1 && version != 2) {
     throw std::runtime_error("unsupported CyberHD format version " +
                              std::to_string(version));
   }
-  CyberHdConfig cfg;
-  cfg.dims = core::io::read_u64(in);
-  const std::uint64_t encoder_kind = core::io::read_u64(in);
-  if (encoder_kind > static_cast<std::uint64_t>(EncoderKind::kIdLevel)) {
-    throw std::runtime_error("unknown encoder kind id " +
-                             std::to_string(encoder_kind));
-  }
-  cfg.encoder = static_cast<EncoderKind>(encoder_kind);
-  cfg.regen_rate = core::io::read_f32(in);
-  cfg.regen_steps = core::io::read_u64(in);
-  cfg.regen_anneal = core::io::read_u64(in) != 0;
-  cfg.epochs_per_step = core::io::read_u64(in);
-  cfg.final_epochs = core::io::read_u64(in);
-  cfg.learning_rate = core::io::read_f32(in);
-  cfg.seed = core::io::read_u64(in);
 
-  CyberHdClassifier model(cfg);
-  model.num_classes_ = core::io::read_u64(in);
-  const std::uint64_t total_regenerated = core::io::read_u64(in);
-  const std::uint64_t regen_steps_done = core::io::read_u64(in);
-  model.encoder_ = deserialize_encoder(in);
-  if (model.encoder_->kind() != cfg.encoder) {
-    throw std::runtime_error(
-        "encoder kind mismatch: config says " +
-        std::string(to_string(cfg.encoder)) + ", payload holds " +
-        std::string(to_string(model.encoder_->kind())));
+  // Shared assembly from parsed header + encoder + a stream positioned at
+  // the model payload; field semantics are identical across versions.
+  const auto assemble = [](SavedHeader h, std::unique_ptr<Encoder> enc,
+                           std::istream& mdl_in) -> CyberHdClassifier {
+    CyberHdClassifier model(h.cfg);
+    model.num_classes_ = h.num_classes;
+    if (enc->kind() != h.cfg.encoder) {
+      throw std::runtime_error(
+          "encoder kind mismatch: config says " +
+          std::string(to_string(h.cfg.encoder)) + ", payload holds " +
+          std::string(to_string(enc->kind())));
+    }
+    model.encoder_ = std::move(enc);
+    const std::uint64_t k = core::io::read_u64(mdl_in);
+    const std::uint64_t dims = core::io::read_u64(mdl_in);
+    const std::vector<float> weights = core::io::read_f32_array(mdl_in);
+    if (dims != h.cfg.dims || weights.size() != k * dims ||
+        model.encoder_->output_dim() != dims) {
+      throw std::runtime_error("inconsistent CyberHD payload");
+    }
+    model.model_ = HdcModel(k, dims);
+    std::copy(weights.begin(), weights.end(),
+              model.model_.weights().data());
+    model.regen_.emplace(h.cfg.dims, h.cfg.regen_rate,
+                         h.cfg.regen_anneal ? h.cfg.regen_steps : 0);
+    model.regen_->restore(h.total_regenerated, h.regen_steps_done);
+    return model;
+  };
+
+  if (version == 2) {
+    // Checksummed sections: each payload is CRC-verified before any field
+    // of it is parsed, so a flipped byte fails with a section-naming
+    // checksum error instead of deserializing garbage.
+    std::istringstream cfg_in(core::io::read_section(in, "CFG0"));
+    SavedHeader header = read_header_fields(cfg_in);
+    std::istringstream enc_in(core::io::read_section(in, "ENC0"));
+    std::unique_ptr<Encoder> enc = deserialize_encoder(enc_in);
+    std::istringstream mdl_in(core::io::read_section(in, "MDL0"));
+    return assemble(std::move(header), std::move(enc), mdl_in);
   }
-  const std::uint64_t k = core::io::read_u64(in);
-  const std::uint64_t dims = core::io::read_u64(in);
-  const std::vector<float> weights = core::io::read_f32_array(in);
-  if (dims != cfg.dims || weights.size() != k * dims ||
-      model.encoder_->output_dim() != dims) {
-    throw std::runtime_error("inconsistent CyberHD payload");
-  }
-  model.model_ = HdcModel(k, dims);
-  std::copy(weights.begin(), weights.end(), model.model_.weights().data());
-  model.regen_.emplace(cfg.dims, cfg.regen_rate,
-                       cfg.regen_anneal ? cfg.regen_steps : 0);
-  model.regen_->restore(total_regenerated, regen_steps_done);
-  return model;
+  // Version 1: the same fields inline, no checksums.
+  SavedHeader header = read_header_fields(in);
+  std::unique_ptr<Encoder> enc = deserialize_encoder(in);
+  return assemble(std::move(header), std::move(enc), in);
 }
 
 CyberHdClassifier CyberHdClassifier::load_file(const std::string& path) {

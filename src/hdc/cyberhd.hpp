@@ -7,6 +7,12 @@
 //   variance -> drop R% -> regenerate bases -> re-encode touched dims ] x N
 //   -> final adaptive epochs
 //
+// The schedule control flow lives once, in hdc::ScheduleDriver; fit()
+// plugs in either the in-memory phases (encode everything up front) or the
+// streamed phases (tile-at-a-time encode→train, O(tile x D) peak memory).
+// All parallelism and tiling policy flows through one
+// core::ExecutionContext selected by config().parallel.
+//
 // With `regen_rate == 0` (or `regen_steps == 0`) this degrades exactly to
 // the static-encoder baseline HDC the paper compares against.
 #pragma once
@@ -21,12 +27,13 @@
 #include <vector>
 
 #include "core/classifier.hpp"
+#include "core/exec/execution_context.hpp"
 #include "core/matrix.hpp"
 #include "core/rng.hpp"
-#include "core/thread_pool.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/model.hpp"
 #include "hdc/regen.hpp"
+#include "hdc/schedule.hpp"
 #include "hdc/trainer.hpp"
 
 namespace cyberhd::hdc {
@@ -73,12 +80,16 @@ struct CyberHdConfig {
   /// alone, as an ablation.
   bool rebundle_after_regen = true;
   /// Minibatch tile size of the adaptive trainer: score this many shuffled
-  /// samples against the frozen model in one blocked tile-kernel pass
-  /// (split across the thread pool), then apply their (1 - delta)-weighted
-  /// updates in visit order. 1 (the default) reproduces the classic
-  /// sample-at-a-time rule bit-exactly; larger tiles are the OnlineHD-style
-  /// minibatch approximation that trades a bounded score lag for
-  /// cache-tiled, thread-parallel training throughput.
+  /// samples against the frozen model in one blocked tile-kernel pass,
+  /// then replay their (1 - delta)-weighted updates through the
+  /// deterministic UpdateAccumulator — scoring and updates both split
+  /// across the thread pool, bit-identical for every worker count. 1 (the
+  /// default) reproduces the classic sample-at-a-time rule bit-exactly;
+  /// larger tiles are the OnlineHD-style minibatch approximation that
+  /// trades a bounded score lag for cache-tiled training throughput.
+  /// 0 = auto: the execution context derives the L2-resident sweet spot
+  /// from the machine's cache topology (pin it with CYBERHD_L2_BYTES for
+  /// cross-host comparable runs).
   std::size_t batch_size = 1;
   /// Rows per encode→train chunk of fit(). 0 (the default) encodes the
   /// whole training set up front — peak encode memory O(n x D). When > 0,
@@ -90,24 +101,9 @@ struct CyberHdConfig {
   std::size_t train_tile_rows = 0;
   /// Seed for encoder sampling, shuffling, and regeneration.
   std::uint64_t seed = 0xc1beau;
-  /// Encode batches on the global thread pool.
+  /// Run encode, scoring, and update passes on the process execution
+  /// context's thread pool; false pins everything to one thread.
   bool parallel = true;
-};
-
-/// Per-fit diagnostics: accuracy trajectory and the regeneration ledger.
-struct FitReport {
-  /// Training accuracy after each adaptive epoch, in order.
-  std::vector<double> epoch_accuracy;
-  /// Dimensions regenerated at each step.
-  std::vector<std::size_t> regenerated_per_step;
-  /// Final effective dimensionality D*.
-  std::size_t effective_dims = 0;
-  /// Total adaptive epochs run.
-  std::size_t epochs = 0;
-  /// Rows of the largest encoded buffer fit() held resident: the full
-  /// training-set row count on the in-memory path, `train_tile_rows` when
-  /// streaming — the observable for memory-bound deployments (and tests).
-  std::size_t peak_encode_rows = 0;
 };
 
 /// The paper's classifier. Also usable as a plain core::Classifier.
@@ -116,6 +112,14 @@ class CyberHdClassifier final : public core::Classifier {
   explicit CyberHdClassifier(CyberHdConfig config = {});
 
   const CyberHdConfig& config() const noexcept { return config_; }
+
+  /// The execution context this classifier's batch and training paths run
+  /// on: the process context (global pool) when config().parallel, the
+  /// serial context otherwise.
+  const core::ExecutionContext& exec() const noexcept {
+    return config_.parallel ? core::ExecutionContext::process()
+                            : core::ExecutionContext::serial();
+  }
 
   // core::Classifier ---------------------------------------------------------
   void fit(const core::Matrix& x, std::span<const int> y,
@@ -130,10 +134,10 @@ class CyberHdClassifier final : public core::Classifier {
               std::span<float> scores) const override;
 
   /// Batch inference: encode every row of `x` in one encode_batch pass
-  /// (split across the global thread pool when config().parallel) and score
-  /// the whole tile against the class hypervectors. Per-row results are
-  /// bit-identical to predict()/scores() on that row; predict_batch (from
-  /// core::Classifier) rides this override.
+  /// (split across the execution context's pool) and score the whole tile
+  /// against the class hypervectors. Per-row results are bit-identical to
+  /// predict()/scores() on that row; predict_batch (from core::Classifier)
+  /// rides this override.
   void scores_batch(const core::Matrix& x,
                     core::Matrix& out) const override;
 
@@ -154,25 +158,31 @@ class CyberHdClassifier final : public core::Classifier {
   void encode(std::span<const float> x, std::span<float> h) const;
 
   /// Persist the trained classifier (config, encoder, class hypervectors,
-  /// and the effective-D ledger) to a binary stream.
+  /// and the effective-D ledger) to a binary stream. Format version 2:
+  /// three CRC32C-checksummed sections (config, encoder, model), so
+  /// payload corruption is detected at load time.
   void save(std::ostream& out) const;
   /// Convenience: save to a file. Throws std::runtime_error on I/O error.
   void save_file(const std::string& path) const;
   /// Reconstruct a trained classifier from a stream written by save().
-  /// Throws std::runtime_error on malformed input.
+  /// Accepts both the checksummed version-2 format and the pre-checksum
+  /// version-1 layout. Throws std::runtime_error on malformed or corrupt
+  /// input (checksum failures name the offending section).
   static CyberHdClassifier load(std::istream& in);
   /// Convenience: load from a file.
   static CyberHdClassifier load_file(const std::string& path);
 
  private:
-  /// The streaming encode→train loop behind fit() when
-  /// config().train_tile_rows is set: every phase re-encodes tiles into one
-  /// reused O(tile x D) buffer instead of materializing the n x D encoded
-  /// training set.
+  /// Build the in-memory fit phases (whole training set encoded up front)
+  /// and run them through the ScheduleDriver.
+  void fit_in_memory(const core::Matrix& x, std::span<const int> y,
+                     std::size_t num_classes, const Trainer& trainer,
+                     const ScheduleDriver& driver, core::Rng& train_rng);
+  /// Build the streamed fit phases (tile-at-a-time encode→train in one
+  /// reused O(tile x D) buffer) and run them through the same driver.
   void fit_streamed(const core::Matrix& x, std::span<const int> y,
                     std::size_t num_classes, const Trainer& trainer,
-                    core::ThreadPool* pool, core::Rng& train_rng,
-                    core::Rng& regen_rng);
+                    const ScheduleDriver& driver, core::Rng& train_rng);
 
   CyberHdConfig config_;
   std::unique_ptr<Encoder> encoder_;

@@ -13,37 +13,33 @@
 namespace cyberhd::hdc {
 
 void Encoder::encode_batch(const core::Matrix& x, core::Matrix& h,
-                           core::ThreadPool* pool) const {
+                           const core::ExecutionContext& exec) const {
   assert(x.cols() == input_dim());
   h.resize(x.rows(), output_dim());
-  const auto body = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      encode(x.row(i), h.row(i));
-    }
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(x.rows(), body, /*grain=*/16);
-  } else {
-    body(0, x.rows());
-  }
+  exec.parallel_for(
+      x.rows(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          encode(x.row(i), h.row(i));
+        }
+      },
+      /*grain=*/16);
 }
 
 void Encoder::encode_batch_dims(const core::Matrix& x,
                                 std::span<const std::size_t> dims,
                                 core::Matrix& h,
-                                core::ThreadPool* pool) const {
+                                const core::ExecutionContext& exec) const {
   assert(x.cols() == input_dim());
   assert(h.rows() == x.rows() && h.cols() == output_dim());
-  const auto body = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      encode_dims(x.row(i), dims, h.row(i));
-    }
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(x.rows(), body, /*grain=*/16);
-  } else {
-    body(0, x.rows());
-  }
+  exec.parallel_for(
+      x.rows(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          encode_dims(x.row(i), dims, h.row(i));
+        }
+      },
+      /*grain=*/16);
 }
 
 // ---- RbfEncoder ------------------------------------------------------------
@@ -91,7 +87,7 @@ void RbfEncoder::encode_dims(std::span<const float> x,
 void RbfEncoder::encode_batch_dims(const core::Matrix& x,
                                    std::span<const std::size_t> dims,
                                    core::Matrix& h,
-                                   core::ThreadPool* pool) const {
+                                   const core::ExecutionContext& exec) const {
   assert(x.cols() == input_dim());
   assert(h.rows() == x.rows() && h.cols() == output_dim());
   if (dims.empty() || x.rows() == 0) return;
@@ -109,21 +105,20 @@ void RbfEncoder::encode_batch_dims(const core::Matrix& x,
     std::copy(src.begin(), src.end(), gathered_bases.row(j).begin());
     gathered_biases[j] = biases_[dims[j]];
   }
-  const core::Kernels& k = core::active_kernels();
-  const auto body = [&](std::size_t begin, std::size_t end) {
-    std::vector<float> fresh(nd);
-    for (std::size_t i = begin; i < end; ++i) {
-      k.cos_rbf_rows(gathered_bases.data(), nd, features, x.row(i).data(),
-                     gathered_biases.data(), fresh.data());
-      auto row = h.row(i);
-      for (std::size_t j = 0; j < nd; ++j) row[dims[j]] = fresh[j];
-    }
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(x.rows(), body, /*grain=*/16);
-  } else {
-    body(0, x.rows());
-  }
+  const core::Kernels& k = exec.kernels();
+  exec.parallel_for(
+      x.rows(),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<float> fresh(nd);
+        for (std::size_t i = begin; i < end; ++i) {
+          k.cos_rbf_rows(gathered_bases.data(), nd, features,
+                         x.row(i).data(), gathered_biases.data(),
+                         fresh.data());
+          auto row = h.row(i);
+          for (std::size_t j = 0; j < nd; ++j) row[dims[j]] = fresh[j];
+        }
+      },
+      /*grain=*/16);
 }
 
 void RbfEncoder::regenerate(std::span<const std::size_t> dims,

@@ -25,9 +25,9 @@
 #include <span>
 #include <vector>
 
+#include "core/exec/execution_context.hpp"
 #include "core/matrix.hpp"
 #include "core/rng.hpp"
-#include "core/thread_pool.hpp"
 
 namespace cyberhd::hdc {
 
@@ -70,10 +70,11 @@ class Encoder {
   virtual void serialize(std::ostream& out) const = 0;
 
   /// Encode every row of X into the matching row of H (resized to
-  /// X.rows() x output_dim()). When pool != nullptr the sample range is
-  /// split across its workers.
+  /// X.rows() x output_dim()). The sample range splits across the
+  /// context's pool when it has one.
   void encode_batch(const core::Matrix& x, core::Matrix& h,
-                    core::ThreadPool* pool = nullptr) const;
+                    const core::ExecutionContext& exec =
+                        core::ExecutionContext::serial()) const;
 
   /// Recompute columns `dims` of H for every row of X (after regeneration).
   /// The default loops encode_dims() row by row; families whose
@@ -83,7 +84,8 @@ class Encoder {
   virtual void encode_batch_dims(const core::Matrix& x,
                                  std::span<const std::size_t> dims,
                                  core::Matrix& h,
-                                 core::ThreadPool* pool = nullptr) const;
+                                 const core::ExecutionContext& exec =
+                                     core::ExecutionContext::serial()) const;
 };
 
 /// Random-Fourier-feature encoder: h_d = cos(b_d . x + c_d) with
@@ -112,7 +114,8 @@ class RbfEncoder final : public Encoder {
   /// |dims| single-row kernel calls per sample).
   void encode_batch_dims(const core::Matrix& x,
                          std::span<const std::size_t> dims, core::Matrix& h,
-                         core::ThreadPool* pool = nullptr) const override;
+                         const core::ExecutionContext& exec =
+                             core::ExecutionContext::serial()) const override;
   void regenerate(std::span<const std::size_t> dims,
                   core::Rng& rng) override;
   std::unique_ptr<Encoder> clone() const override;

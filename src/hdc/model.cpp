@@ -33,7 +33,7 @@ void HdcModel::similarities(std::span<const float> h,
 
 void HdcModel::similarities_batch(const core::Matrix& h,
                                   core::Matrix& scores,
-                                  core::ThreadPool* pool) const {
+                                  const core::ExecutionContext& exec) const {
   assert(h.cols() == dims());
   scores.resize(h.rows(), num_classes());
   if (h.rows() == 0) return;
@@ -46,14 +46,15 @@ void HdcModel::similarities_batch(const core::Matrix& h,
   // Tile-internal blocking: each worker streams its row range through the
   // register-blocked tile kernel in chunks small enough that the chunk's
   // rows stay L2-resident for the norm pass right after the kernel pass
-  // (and the class-vector block stays cache-resident throughout). The
-  // kernel's per-dot accumulation equals dot_f32's, so cosine_from_dot on
-  // the raw dots reproduces similarities() bit-for-bit.
-  constexpr std::size_t kTileRows = 32;
-  const core::Kernels& k = core::active_kernels();
+  // (and the class-vector block stays cache-resident throughout); the
+  // chunk size is derived from the machine's cache model, not hand-tuned.
+  // The kernel's per-dot accumulation equals dot_f32's, so cosine_from_dot
+  // on the raw dots reproduces similarities() bit-for-bit.
+  const std::size_t tile_rows = exec.score_block_rows(D);
+  const core::Kernels& k = exec.kernels();
   const auto body = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t t = begin; t < end; t += kTileRows) {
-      const std::size_t rows = std::min(kTileRows, end - t);
+    for (std::size_t t = begin; t < end; t += tile_rows) {
+      const std::size_t rows = std::min(tile_rows, end - t);
       float* out = scores.row(t).data();
       k.similarities_tile_f32(h.row(t).data(), rows, classes_.data(), C, D,
                               out);
@@ -66,11 +67,7 @@ void HdcModel::similarities_batch(const core::Matrix& h,
       }
     }
   };
-  if (pool != nullptr) {
-    pool->parallel_for(h.rows(), body, /*grain=*/32);
-  } else {
-    body(0, h.rows());
-  }
+  exec.parallel_for(h.rows(), body, /*grain=*/32);
 }
 
 std::size_t HdcModel::predict_encoded(

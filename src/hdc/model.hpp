@@ -11,8 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "core/exec/execution_context.hpp"
 #include "core/matrix.hpp"
-#include "core/thread_pool.hpp"
 
 namespace cyberhd::hdc {
 
@@ -61,11 +61,13 @@ class HdcModel {
   /// Row-wise similarities of a whole encoded batch: `scores` is resized to
   /// h.rows() x num_classes(). Class norms are computed once, rows stream
   /// through the register-blocked similarities_tile_f32 kernel in
-  /// cache-sized chunks (class vectors stay resident), and the sample range
-  /// optionally splits across `pool`. Each output row is bit-identical to a
-  /// similarities() call on that row, for any tile split or thread count.
+  /// cache-derived chunks (ExecutionContext::score_block_rows; class
+  /// vectors stay resident), and the sample range splits across the
+  /// context's pool. Each output row is bit-identical to a similarities()
+  /// call on that row, for any tile split or thread count.
   void similarities_batch(const core::Matrix& h, core::Matrix& scores,
-                          core::ThreadPool* pool = nullptr) const;
+                          const core::ExecutionContext& exec =
+                              core::ExecutionContext::serial()) const;
 
   /// argmax-of-cosine classification of an encoded query.
   std::size_t predict_encoded(std::span<const float> h) const noexcept;

@@ -4,8 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/exec/execution_context.hpp"
 #include "core/kernels/kernels.hpp"
-#include "core/thread_pool.hpp"
 
 namespace cyberhd::hdc {
 
@@ -109,7 +109,8 @@ QuantizedCyberHd::QuantizedCyberHd(const CyberHdClassifier& trained,
                                    int bits)
     : encoder_(trained.encoder().clone()),
       model_(trained.model(), bits),
-      parallel_(trained.config().parallel) {}
+      exec_(trained.config().parallel ? core::ExecutionContext::process()
+                                      : core::ExecutionContext::serial()) {}
 
 void QuantizedCyberHd::fit(const core::Matrix&, std::span<const int>,
                            std::size_t) {
@@ -134,21 +135,17 @@ void QuantizedCyberHd::scores(std::span<const float> x,
 
 void QuantizedCyberHd::scores_batch(const core::Matrix& x,
                                     core::Matrix& out) const {
-  core::ThreadPool* pool =
-      parallel_ ? &core::ThreadPool::global() : nullptr;
   core::Matrix encoded;
-  encoder_->encode_batch(x, encoded, pool);
+  encoder_->encode_batch(x, encoded, exec_);
   out.resize(x.rows(), model_.num_classes());
-  const auto body = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      model_.similarities(encoded.row(i), out.row(i));
-    }
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(x.rows(), body, /*grain=*/32);
-  } else {
-    body(0, x.rows());
-  }
+  exec_.parallel_for(
+      x.rows(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          model_.similarities(encoded.row(i), out.row(i));
+        }
+      },
+      /*grain=*/32);
 }
 
 std::string QuantizedCyberHd::name() const {

@@ -21,6 +21,7 @@
 
 #include "core/bitpack.hpp"
 #include "core/classifier.hpp"
+#include "core/exec/execution_context.hpp"
 #include "core/quantize.hpp"
 #include "hdc/cyberhd.hpp"
 #include "hdc/model.hpp"
@@ -97,8 +98,8 @@ class QuantizedCyberHd final : public core::Classifier {
  public:
   /// Snapshot a trained classifier at the given bitwidth. The encoder is
   /// cloned, so the source may be discarded or retrained afterwards.
-  /// Batch calls inherit the source's thread-pool preference
-  /// (config().parallel).
+  /// Batch calls inherit the source's execution context (the process
+  /// context when config().parallel, the serial one otherwise).
   QuantizedCyberHd(const CyberHdClassifier& trained, int bits);
 
   /// fit() is not supported: quantization is post-training by design.
@@ -111,8 +112,8 @@ class QuantizedCyberHd final : public core::Classifier {
   /// Quantized-domain cosine similarities of one raw sample.
   void scores(std::span<const float> x, std::span<float> out) const override;
   /// Batch path: one encode_batch pass over the tile, then quantized
-  /// scoring per row, split across the global thread pool. predict_batch
-  /// (from core::Classifier) rides this override.
+  /// scoring per row, split across the execution context's pool.
+  /// predict_batch (from core::Classifier) rides this override.
   void scores_batch(const core::Matrix& x,
                     core::Matrix& out) const override;
   std::string name() const override;
@@ -124,7 +125,7 @@ class QuantizedCyberHd final : public core::Classifier {
  private:
   std::unique_ptr<Encoder> encoder_;
   QuantizedHdcModel model_;
-  bool parallel_ = true;
+  core::ExecutionContext exec_;
 };
 
 }  // namespace cyberhd::hdc

@@ -17,6 +17,14 @@ namespace {
 constexpr std::size_t kInitStripeMinRows = 512;
 constexpr std::size_t kInitMaxStripes = 16;
 
+// Column striping of the update replay: boundaries are multiples of 16
+// floats (one full zmm vector, a whole number of ymm vectors and cache
+// lines), so every backend's axpy runs identical full-vector arithmetic
+// inside a stripe — the bit-identity precondition. Stripes below 512
+// columns aren't worth the dispatch.
+constexpr std::size_t kUpdateStripeAlign = 16;
+constexpr std::size_t kUpdateMinStripeCols = 512;
+
 }  // namespace
 
 // ---- InitAccumulator --------------------------------------------------------
@@ -94,27 +102,102 @@ void InitAccumulator::finish(HdcModel& model, const TrainerConfig& config) {
   }
 }
 
+// ---- UpdateAccumulator ------------------------------------------------------
+
+void UpdateAccumulator::collect(const float* tile, std::size_t rows,
+                                const int* labels,
+                                std::span<const float> scores,
+                                std::size_t num_classes, std::size_t dims,
+                                EpochStats& stats) {
+  assert(scores.size() >= rows * num_classes);
+  tile_ = tile;
+  dims_ = dims;
+  updates_.clear();
+  const auto step_weight = [&](float score) {
+    return config_.similarity_weighted
+               ? config_.learning_rate * (1.0f - score)
+               : config_.learning_rate;
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto truth = static_cast<std::size_t>(labels[r]);
+    const std::span<const float> row_scores{scores.data() + r * num_classes,
+                                            num_classes};
+    const std::size_t pred = core::argmax(row_scores);
+    if (pred != truth) {
+      ++stats.mispredicted;
+      // Truth before pred, matching the serial rule's axpy order (only the
+      // per-class subsequence order matters — the axpys touch different
+      // model rows — but keeping it identical costs nothing).
+      updates_.push_back({static_cast<std::uint32_t>(r),
+                          static_cast<std::uint32_t>(truth),
+                          step_weight(row_scores[truth])});
+      updates_.push_back({static_cast<std::uint32_t>(r),
+                          static_cast<std::uint32_t>(pred),
+                          -step_weight(row_scores[pred])});
+    } else if (config_.reinforce_correct) {
+      updates_.push_back({static_cast<std::uint32_t>(r),
+                          static_cast<std::uint32_t>(truth),
+                          step_weight(row_scores[truth])});
+    }
+  }
+}
+
+void UpdateAccumulator::apply(HdcModel& model,
+                              const core::ExecutionContext& exec,
+                              bool parallel) const {
+  if (updates_.empty()) return;
+  assert(model.dims() == dims_);
+  const std::size_t dims = dims_;
+  const core::Kernels& k = exec.kernels();
+  // Replay the whole update list restricted to columns [d0, d1): every
+  // class's updates land in visit order, and the 16-float boundary keeps
+  // each element's axpy arithmetic identical to a full-row call.
+  const auto replay = [&](std::size_t d0, std::size_t d1) {
+    for (const Update& u : updates_) {
+      k.axpy_f32(u.weight, tile_ + u.row * dims + d0,
+                 model.class_vector(u.cls).data() + d0, d1 - d0);
+    }
+  };
+  const std::size_t stripes =
+      std::min(exec.workers(),
+               std::max<std::size_t>(1, dims / kUpdateMinStripeCols));
+  if (!parallel || exec.pool() == nullptr || stripes <= 1) {
+    replay(0, dims);
+    return;
+  }
+  const std::size_t stripe_cols =
+      ((dims + stripes - 1) / stripes + kUpdateStripeAlign - 1) /
+      kUpdateStripeAlign * kUpdateStripeAlign;
+  exec.parallel_for(
+      stripes,
+      [&](std::size_t s_begin, std::size_t s_end) {
+        for (std::size_t s = s_begin; s < s_end; ++s) {
+          const std::size_t d0 = s * stripe_cols;
+          if (d0 >= dims) continue;
+          replay(d0, std::min(dims, d0 + stripe_cols));
+        }
+      },
+      /*grain=*/1);
+}
+
 // ---- Trainer ----------------------------------------------------------------
 
 void Trainer::initialize(HdcModel& model, const core::Matrix& encoded,
-                         std::span<const int> labels,
-                         core::ThreadPool* pool) const {
+                         std::span<const int> labels) const {
   assert(encoded.rows() == labels.size());
   assert(encoded.cols() == model.dims());
   InitAccumulator acc(model.num_classes(), model.dims(), encoded.rows());
   // One task per stripe: the partition is fixed by the row count, so the
   // merged result is the same whichever worker handles which stripe.
-  const auto stripe_body = [&](std::size_t s_begin, std::size_t s_end) {
-    for (std::size_t s = s_begin; s < s_end; ++s) {
-      const auto [begin, end] = acc.stripe_range(s);
-      acc.accumulate(encoded, labels, begin, end, /*row_offset=*/0);
-    }
-  };
-  if (pool != nullptr && acc.num_stripes() > 1) {
-    pool->parallel_for(acc.num_stripes(), stripe_body, /*grain=*/1);
-  } else {
-    stripe_body(0, acc.num_stripes());
-  }
+  exec_.parallel_for(
+      acc.num_stripes(),
+      [&](std::size_t s_begin, std::size_t s_end) {
+        for (std::size_t s = s_begin; s < s_end; ++s) {
+          const auto [begin, end] = acc.stripe_range(s);
+          acc.accumulate(encoded, labels, begin, end, /*row_offset=*/0);
+        }
+      },
+      /*grain=*/1);
   acc.finish(model, config_);
 }
 
@@ -130,12 +213,12 @@ void Trainer::update_tile(HdcModel& model, const float* tile,
                           std::size_t rows, const int* labels,
                           EpochStats& stats, std::span<float> scores,
                           std::span<float> class_norms,
-                          core::ThreadPool* pool) const {
+                          UpdateAccumulator& acc, bool parallel) const {
   const std::size_t num_classes = model.num_classes();
   const std::size_t dims = model.dims();
   assert(scores.size() >= rows * num_classes);
   assert(class_norms.size() == num_classes);
-  const core::Kernels& k = core::active_kernels();
+  const core::Kernels& k = exec_.kernels();
   // Class norms once per tile — exactly the per-sample cadence when
   // batch_size == 1, where this runs once per sample as similarities() did.
   for (std::size_t c = 0; c < num_classes; ++c) {
@@ -147,11 +230,11 @@ void Trainer::update_tile(HdcModel& model, const float* tile,
   // the per-dot kernel contract keeps results identical for any split.
   // Sub-blocking keeps the block's rows L2-resident across the kernel pass
   // and the immediately following norm pass (one cold read per row, not
-  // two) — at D = 10k a 16-row block is ~640 KB.
-  constexpr std::size_t kScoreBlock = 16;
+  // two); the block size is cache-derived, not hand-tuned.
+  const std::size_t score_block = exec_.score_block_rows(dims);
   const auto score_rows = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t b = begin; b < end; b += kScoreBlock) {
-      const std::size_t block = std::min(kScoreBlock, end - b);
+    for (std::size_t b = begin; b < end; b += score_block) {
+      const std::size_t block = std::min(score_block, end - b);
       k.similarities_tile_f32(tile + b * dims, block, classes, num_classes,
                               dims, scores.data() + b * num_classes);
       for (std::size_t r = b; r < b + block; ++r) {
@@ -164,39 +247,20 @@ void Trainer::update_tile(HdcModel& model, const float* tile,
       }
     }
   };
-  if (pool != nullptr && rows > 1) {
-    pool->parallel_for(rows, score_rows, /*grain=*/8);
+  if (parallel && rows > 1) {
+    exec_.parallel_for(rows, score_rows, /*grain=*/8);
   } else {
     score_rows(0, rows);
   }
-  // Serial update pass in visit order — the adaptive rule itself stays
-  // sequential, so training is deterministic for every thread count.
-  const auto step_weight = [&](float score) {
-    return config_.similarity_weighted
-               ? config_.learning_rate * (1.0f - score)
-               : config_.learning_rate;
-  };
-  for (std::size_t r = 0; r < rows; ++r) {
-    const std::span<const float> h{tile + r * dims, dims};
-    const auto truth = static_cast<std::size_t>(labels[r]);
-    const std::span<const float> row_scores{scores.data() + r * num_classes,
-                                            num_classes};
-    const std::size_t pred = core::argmax(row_scores);
-    if (pred != truth) {
-      ++stats.mispredicted;
-      core::axpy(step_weight(row_scores[truth]), h,
-                 model.class_vector(truth));
-      core::axpy(-step_weight(row_scores[pred]), h, model.class_vector(pred));
-    } else if (config_.reinforce_correct) {
-      core::axpy(step_weight(row_scores[truth]), h,
-                 model.class_vector(truth));
-    }
-  }
+  // Update pass: serial decision sweep over the frozen scores, then the
+  // striped replay — thread-parallel, deterministic for every worker count.
+  acc.collect(tile, rows, labels, scores, num_classes, dims, stats);
+  acc.apply(model, exec_, parallel);
 }
 
 EpochStats Trainer::train_epoch(HdcModel& model, const core::Matrix& encoded,
-                                std::span<const int> labels, core::Rng& rng,
-                                core::ThreadPool* pool) const {
+                                std::span<const int> labels,
+                                core::Rng& rng) const {
   assert(encoded.rows() == labels.size());
   assert(encoded.cols() == model.dims());
   const std::size_t n = encoded.rows();
@@ -209,10 +273,10 @@ EpochStats Trainer::train_epoch(HdcModel& model, const core::Matrix& encoded,
   stats.samples = n;
   if (n == 0) return stats;
   // Clamp the tile to the data so scratch stays O(min(batch, n) x D).
-  const std::size_t batch =
-      std::min(std::max<std::size_t>(1, config_.batch_size), n);
+  const std::size_t batch = std::min(resolved_batch_size(dims), n);
   std::vector<float> class_norms(num_classes);
   std::vector<float> scores(batch * num_classes);
+  UpdateAccumulator acc(config_);
   core::Matrix gathered;
   std::vector<int> gathered_labels;
   if (batch > 1) {
@@ -226,7 +290,7 @@ EpochStats Trainer::train_epoch(HdcModel& model, const core::Matrix& encoded,
       // tile kernel is the classic sequential rule, bit-exactly.
       const std::size_t idx = order[t];
       update_tile(model, encoded.row(idx).data(), 1, &labels[idx], stats,
-                  scores, class_norms, nullptr);
+                  scores, class_norms, acc, /*parallel=*/false);
     } else {
       // Shuffled rows are scattered; gather the tile so the kernel streams
       // one contiguous block (and the update pass reuses the hot copy).
@@ -236,48 +300,48 @@ EpochStats Trainer::train_epoch(HdcModel& model, const core::Matrix& encoded,
         gathered_labels[j] = labels[idx];
       }
       update_tile(model, gathered.data(), m, gathered_labels.data(), stats,
-                  scores, class_norms, pool);
+                  scores, class_norms, acc, /*parallel=*/true);
     }
   }
   return stats;
 }
 
 void Trainer::train_tile(HdcModel& model, const core::Matrix& tile,
-                         std::span<const int> labels, EpochStats& stats,
-                         core::ThreadPool* pool) const {
+                         std::span<const int> labels,
+                         EpochStats& stats) const {
   const std::size_t n = labels.size();
   assert(tile.rows() >= n);
   assert(tile.cols() == model.dims());
   if (n == 0) return;
   const std::size_t num_classes = model.num_classes();
-  const std::size_t batch =
-      std::min(std::max<std::size_t>(1, config_.batch_size), n);
+  const std::size_t batch = std::min(resolved_batch_size(tile.cols()), n);
   std::vector<float> class_norms(num_classes);
   std::vector<float> scores(batch * num_classes);
+  UpdateAccumulator acc(config_);
   for (std::size_t t = 0; t < n; t += batch) {
     const std::size_t m = std::min(batch, n - t);
     update_tile(model, tile.row(t).data(), m, labels.data() + t, stats,
-                scores, class_norms, m > 1 ? pool : nullptr);
+                scores, class_norms, acc, /*parallel=*/m > 1);
   }
 }
 
 EpochStats Trainer::train(HdcModel& model, const core::Matrix& encoded,
                           std::span<const int> labels, std::size_t epochs,
-                          core::Rng& rng, core::ThreadPool* pool) const {
+                          core::Rng& rng) const {
   EpochStats last;
   for (std::size_t e = 0; e < epochs; ++e) {
-    last = train_epoch(model, encoded, labels, rng, pool);
+    last = train_epoch(model, encoded, labels, rng);
   }
   return last;
 }
 
 double Trainer::evaluate(const HdcModel& model, const core::Matrix& encoded,
                          std::span<const int> labels,
-                         core::ThreadPool* pool) {
+                         const core::ExecutionContext& exec) {
   assert(encoded.rows() == labels.size());
   if (encoded.rows() == 0) return 0.0;
   core::Matrix scores;
-  model.similarities_batch(encoded, scores, pool);
+  model.similarities_batch(encoded, scores, exec);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < encoded.rows(); ++i) {
     if (core::argmax(scores.row(i)) == static_cast<std::size_t>(labels[i])) {

@@ -9,14 +9,19 @@
 // patterns (delta ~ 0) move it strongly — the saturation-avoidance weighting
 // that lets HDC converge in few epochs.
 //
-// The engine is cache-tiled and thread-parallel:
-//  * Adaptive epochs run in minibatch tiles (TrainerConfig::batch_size):
-//    one register-blocked similarities_tile_f32 call scores a whole tile of
-//    shuffled samples against the frozen model — optionally split across a
-//    ThreadPool — then the (1 - delta)-weighted updates are applied
-//    sample-by-sample in visit order. batch_size = 1 reproduces the classic
-//    sample-at-a-time rule bit-exactly; larger tiles are the OnlineHD-style
-//    minibatch approximation (scores lag the updates by at most one tile).
+// The engine is cache-tiled and thread-parallel, with every policy knob
+// (kernel backend, worker pool, tile sizes) supplied by one
+// core::ExecutionContext instead of scattered pool pointers and hand-tuned
+// constants:
+//  * Adaptive epochs run in minibatch tiles (TrainerConfig::batch_size;
+//    0 = auto, derived from the machine's L2 by the context): one
+//    register-blocked similarities_tile_f32 call scores a whole tile of
+//    shuffled samples against the frozen model — split across the context's
+//    pool — then the (1 - delta)-weighted updates replay through the
+//    UpdateAccumulator, also thread-parallel yet bit-identical for every
+//    worker count. batch_size = 1 reproduces the classic sample-at-a-time
+//    rule bit-exactly; larger tiles are the OnlineHD-style minibatch
+//    approximation (scores lag the updates by at most one tile).
 //  * One-shot initialize() bundles through fixed row stripes (a function of
 //    the row count only), each accumulated independently and merged in
 //    stripe order — so any thread count, and the streamed fit() path
@@ -25,13 +30,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "core/exec/execution_context.hpp"
 #include "core/matrix.hpp"
 #include "core/rng.hpp"
-#include "core/thread_pool.hpp"
 #include "hdc/model.hpp"
 
 namespace cyberhd::hdc {
@@ -58,10 +64,12 @@ struct TrainerConfig {
   bool center_initialization = true;
   /// Minibatch tile size of the adaptive epoch: this many shuffled samples
   /// are scored against the frozen model with one blocked tile-kernel call
-  /// before their updates are applied in visit order. 1 (the default, and
-  /// 0 is treated as 1) is the classic sequential rule, bit-exactly; larger
-  /// tiles trade a bounded score lag for tile-kernel throughput and
-  /// thread-parallel scoring.
+  /// before their updates are applied in visit order. 1 (the default) is
+  /// the classic sequential rule, bit-exactly; larger tiles trade a
+  /// bounded score lag for tile-kernel throughput and thread-parallel
+  /// scoring and updates. 0 = auto: the execution context derives the
+  /// L2-resident sweet spot from the cache topology
+  /// (ExecutionContext::train_batch_rows).
   std::size_t batch_size = 1;
 };
 
@@ -120,44 +128,106 @@ class InitAccumulator {
   std::vector<std::vector<std::size_t>> stripe_counts_;  // per stripe: C
 };
 
-/// Trains an HdcModel over pre-encoded data.
+/// Deterministic, thread-parallel application of one scored tile's
+/// adaptive updates — what removes the serial axpy pass that capped
+/// multi-core minibatch training.
+///
+/// collect() is the decision pass: serial and cheap (O(rows x classes)),
+/// it reads the frozen tile scores, counts mispredictions, and records the
+/// update list (row, class, step weight) in visit order. apply() replays
+/// that list over the model in column stripes split across the context's
+/// pool. Stripe boundaries are multiples of 16 floats, so every kernel
+/// backend's axpy runs full SIMD vectors inside a stripe with the scalar
+/// tail only at the true row end — the per-element arithmetic is exactly
+/// the full-row axpy's, which makes the striped replay bit-identical to
+/// the serial update rule for every worker count and stripe split.
+class UpdateAccumulator {
+ public:
+  explicit UpdateAccumulator(const TrainerConfig& config)
+      : config_(config) {}
+
+  /// Decision pass over one scored tile: `tile` holds `rows` encoded
+  /// samples (row-major rows x dims), `scores` their frozen cosine rows
+  /// (rows x num_classes). Mispredictions accumulate into `stats`; the
+  /// recorded update list replaces any previous one.
+  void collect(const float* tile, std::size_t rows, const int* labels,
+               std::span<const float> scores, std::size_t num_classes,
+               std::size_t dims, EpochStats& stats);
+
+  /// Replay the recorded updates onto `model`, columns striped across the
+  /// context's pool. Bit-identical to applying them serially in visit
+  /// order, for any worker count. `parallel = false` forces the serial
+  /// replay without the caller having to materialize a pool-less context
+  /// (the batch_size = 1 hot path takes it once per sample).
+  void apply(HdcModel& model, const core::ExecutionContext& exec,
+             bool parallel = true) const;
+
+  std::size_t num_updates() const noexcept { return updates_.size(); }
+
+ private:
+  struct Update {
+    std::uint32_t row;
+    std::uint32_t cls;
+    float weight;  // signed step: eta * (1 - delta), negated for the
+                   // mispredicted class
+  };
+
+  TrainerConfig config_;
+  const float* tile_ = nullptr;
+  std::size_t dims_ = 0;
+  std::vector<Update> updates_;
+};
+
+/// Trains an HdcModel over pre-encoded data. All parallelism and tiling
+/// policy comes from the ExecutionContext given at construction (the
+/// default is strictly serial).
 class Trainer {
  public:
-  explicit Trainer(TrainerConfig config = {}) : config_(config) {}
+  explicit Trainer(TrainerConfig config = {},
+                   const core::ExecutionContext& exec =
+                       core::ExecutionContext::serial())
+      : config_(config), exec_(exec) {}
 
   const TrainerConfig& config() const noexcept { return config_; }
+  const core::ExecutionContext& exec() const noexcept { return exec_; }
+
+  /// The minibatch size one epoch over `dims`-wide data actually uses:
+  /// config().batch_size, or the context's cache-derived
+  /// train_batch_rows(dims) when batch_size == 0 (auto). Benches report
+  /// this so CSV rows from different hosts stay comparable.
+  std::size_t resolved_batch_size(std::size_t dims) const noexcept {
+    return config_.batch_size != 0 ? config_.batch_size
+                                   : exec_.train_batch_rows(dims);
+  }
 
   /// One-shot initialization: bundle every encoded sample into its class
   /// (the classic single-pass HDC "training"). The model must match
-  /// (num_classes x dims) of the data. Stripes split across `pool` when
-  /// given; the result is bit-identical for every thread count.
+  /// (num_classes x dims) of the data. Stripes split across the context's
+  /// pool; the result is bit-identical for every thread count.
   void initialize(HdcModel& model, const core::Matrix& encoded,
-                  std::span<const int> labels,
-                  core::ThreadPool* pool = nullptr) const;
+                  std::span<const int> labels) const;
 
   /// One adaptive epoch over the encoded data, in minibatch tiles of
-  /// config().batch_size. Tile scoring splits across `pool` when given
-  /// (updates stay in visit order, so results are thread-count
-  /// independent). Returns per-epoch stats.
+  /// resolved_batch_size(). Tile scoring and the update replay split
+  /// across the context's pool (results are thread-count independent).
+  /// Returns per-epoch stats.
   EpochStats train_epoch(HdcModel& model, const core::Matrix& encoded,
-                         std::span<const int> labels, core::Rng& rng,
-                         core::ThreadPool* pool = nullptr) const;
+                         std::span<const int> labels, core::Rng& rng) const;
 
   /// Run `epochs` adaptive epochs; returns stats of the final epoch.
   EpochStats train(HdcModel& model, const core::Matrix& encoded,
                    std::span<const int> labels, std::size_t epochs,
-                   core::Rng& rng, core::ThreadPool* pool = nullptr) const;
+                   core::Rng& rng) const;
 
   /// Apply the adaptive rule to one pre-encoded, pre-gathered tile (the
   /// first `labels.size()` rows of `tile`), processed in sub-batches of
-  /// config().batch_size. Misprediction counts accumulate into `stats`
+  /// resolved_batch_size(). Misprediction counts accumulate into `stats`
   /// (`stats.samples` is the caller's bookkeeping). This is the streamed
   /// fit() entry point: feeding a whole epoch through tiles whose rows
   /// follow the epoch_order() sequence reproduces train_epoch bit-exactly
-  /// when the tile size is a multiple of batch_size.
+  /// when the tile size is a multiple of the batch size.
   void train_tile(HdcModel& model, const core::Matrix& tile,
-                  std::span<const int> labels, EpochStats& stats,
-                  core::ThreadPool* pool = nullptr) const;
+                  std::span<const int> labels, EpochStats& stats) const;
 
   /// The sample visit order of one epoch: [0, n) shuffled when `shuffle`.
   /// Exposed so the streamed fit() path draws exactly the same sequence
@@ -167,21 +237,24 @@ class Trainer {
 
   /// Accuracy of the model over an encoded set (no updates). Rides
   /// HdcModel::similarities_batch, so it scores at tile-kernel speed and
-  /// splits across `pool` when given.
+  /// splits across the context's pool.
   static double evaluate(const HdcModel& model, const core::Matrix& encoded,
                          std::span<const int> labels,
-                         core::ThreadPool* pool = nullptr);
+                         const core::ExecutionContext& exec =
+                             core::ExecutionContext::serial());
 
  private:
   /// Score `rows` samples starting at `tile` (row-major rows x dims)
-  /// against the frozen model with one tile-kernel pass (optionally split
-  /// over `pool`), then apply the adaptive updates in row order.
+  /// against the frozen model with one tile-kernel pass, then replay the
+  /// adaptive updates through the accumulator — both split across the
+  /// context's pool when `parallel`.
   void update_tile(HdcModel& model, const float* tile, std::size_t rows,
                    const int* labels, EpochStats& stats,
                    std::span<float> scores, std::span<float> class_norms,
-                   core::ThreadPool* pool) const;
+                   UpdateAccumulator& acc, bool parallel) const;
 
   TrainerConfig config_;
+  core::ExecutionContext exec_;
 };
 
 }  // namespace cyberhd::hdc

@@ -9,6 +9,8 @@
 
 #include "core/matrix.hpp"
 #include "core/rng.hpp"
+#include "hdc/regen.hpp"
+#include "hdc/trainer.hpp"
 
 namespace cyberhd::hdc {
 namespace {
@@ -291,6 +293,92 @@ TEST(CyberHdTiledTraining, StreamedMinibatchFitStaysAccurate) {
   EXPECT_EQ(streamed.last_fit_report().peak_encode_rows, 64u);
   EXPECT_NEAR(streamed.evaluate(data.x, data.y),
               sequential.evaluate(data.x, data.y), 0.02);
+}
+
+// ---- golden fit: the pre-ScheduleDriver control flow, replicated ------------
+
+/// The pre-refactor in-memory fit() loop at batch_size = 1, reconstructed
+/// verbatim from public APIs: same RNG forks, same encoder construction,
+/// same epoch/regen/rebundle sequence. The ScheduleDriver-based fit() must
+/// reproduce it bit-for-bit — this is the regression guard for the
+/// schedule-loop collapse.
+HdcModel golden_fit(const CyberHdConfig& cfg, const core::Matrix& x,
+                    std::span<const int> y, std::size_t num_classes) {
+  core::Rng rng(cfg.seed);
+  core::Rng encoder_rng = rng.fork(1);
+  core::Rng train_rng = rng.fork(2);
+  core::Rng regen_rng = rng.fork(3);
+
+  float lengthscale = cfg.lengthscale;
+  if (cfg.encoder == EncoderKind::kRbf && lengthscale <= 0.0f) {
+    core::Rng median_rng = rng.fork(4);
+    lengthscale = cfg.lengthscale_factor *
+                  median_heuristic_lengthscale(x, median_rng);
+  }
+  const auto encoder = make_encoder(cfg.encoder, x.cols(), cfg.dims,
+                                    encoder_rng, lengthscale);
+  HdcModel model(num_classes, cfg.dims);
+  RegenController regen(cfg.dims, cfg.regen_rate,
+                        cfg.regen_anneal ? cfg.regen_steps : 0);
+  Trainer trainer(TrainerConfig{
+      .learning_rate = cfg.learning_rate,
+      .similarity_weighted = cfg.similarity_weighted_update,
+      .batch_size = cfg.batch_size});
+
+  core::Matrix encoded;
+  encoder->encode_batch(x, encoded);
+  trainer.initialize(model, encoded, y);
+
+  const auto run_epochs = [&](std::size_t count) {
+    for (std::size_t e = 0; e < count; ++e) {
+      trainer.train_epoch(model, encoded, y, train_rng);
+    }
+  };
+  // The historical centered re-bundle of regenerated columns, through the
+  // same compiled RegenRebundle the library uses (duplicating the float
+  // arithmetic here would let per-TU codegen differences — e.g.
+  // -march=native FMA contraction in the library but not the test —
+  // masquerade as regressions).
+  const auto rebundle = [&](std::span<const std::size_t> dims) {
+    RegenRebundle rb(num_classes, dims);
+    for (std::size_t i = 0; i < encoded.rows(); ++i) {
+      rb.add_row(encoded.row(i), static_cast<std::size_t>(y[i]));
+    }
+    rb.apply(model, y);
+  };
+
+  if (cfg.regen_rate > 0.0 && cfg.regen_steps > 0) {
+    for (std::size_t s = 0; s < cfg.regen_steps; ++s) {
+      run_epochs(cfg.epochs_per_step);
+      const RegenStep step = regen.step(model, *encoder, regen_rng);
+      if (!step.dims.empty()) {
+        encoder->encode_batch_dims(x, step.dims, encoded);
+        if (cfg.rebundle_after_regen) rebundle(step.dims);
+      }
+    }
+  }
+  run_epochs(cfg.final_epochs);
+  return model;
+}
+
+TEST(CyberHdGoldenFit, ScheduleDriverFitIsBitIdenticalToPreRefactorLoop) {
+  const Blobs data(60);
+  auto cfg = small_config();  // batch_size = 1, parallel = false
+  const HdcModel golden = golden_fit(cfg, data.x, data.y, 3);
+  CyberHdClassifier model(cfg);
+  model.fit(data.x, data.y, 3);
+  ASSERT_EQ(model.model().weights(), golden.weights());
+}
+
+TEST(CyberHdGoldenFit, StaticBaselineMatchesGoldenLoopToo) {
+  const Blobs data(60);
+  auto cfg = small_config();
+  cfg.regen_rate = 0.0;
+  cfg.regen_steps = 0;
+  const HdcModel golden = golden_fit(cfg, data.x, data.y, 3);
+  CyberHdClassifier model(cfg);
+  model.fit(data.x, data.y, 3);
+  ASSERT_EQ(model.model().weights(), golden.weights());
 }
 
 // Encoder-kind sweep: the facade learns blobs with every encoder family.

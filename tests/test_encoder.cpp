@@ -211,9 +211,9 @@ TEST(EncoderBatch, MatchesSingleEncodes) {
   core::Rng data_rng(71);
   core::fill_uniform(data_rng, x.data(), x.size(), 0.0f, 1.0f);
   core::Matrix h_serial, h_parallel;
-  enc.encode_batch(x, h_serial, nullptr);
+  enc.encode_batch(x, h_serial);
   core::ThreadPool pool(4);
-  enc.encode_batch(x, h_parallel, &pool);
+  enc.encode_batch(x, h_parallel, core::ExecutionContext(&pool));
   EXPECT_EQ(h_serial, h_parallel);
   std::vector<float> one(48);
   enc.encode(x.row(7), one);

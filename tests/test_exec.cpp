@@ -1,0 +1,131 @@
+// Unit tests for core/exec: cache-topology detection (and its env
+// override), the cache-derived tile sizes, and the context's parallel_for
+// semantics.
+#include "core/exec/execution_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace cyberhd::core {
+namespace {
+
+TEST(CacheTopology, DetectionYieldsSaneValues) {
+  const CacheTopology topo = CacheTopology::detect();
+  EXPECT_GE(topo.line_bytes, 16u);
+  EXPECT_LE(topo.line_bytes, 1024u);
+  EXPECT_GE(topo.l1d_bytes, 4u * 1024);
+  EXPECT_GE(topo.l2_bytes, 64u * 1024);
+  EXPECT_GE(topo.l2_bytes, topo.l1d_bytes);
+}
+
+TEST(CacheTopology, DetectedIsCachedAndConsistent) {
+  const CacheTopology& a = CacheTopology::detected();
+  const CacheTopology& b = CacheTopology::detected();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(CacheTopology, EnvOverridePinsL2) {
+  ::setenv("CYBERHD_L2_BYTES", "1048576", 1);
+  EXPECT_EQ(CacheTopology::detect().l2_bytes, 1048576u);
+  ::setenv("CYBERHD_L2_BYTES", "4m", 1);
+  EXPECT_EQ(CacheTopology::detect().l2_bytes, 4u * 1024 * 1024);
+  ::setenv("CYBERHD_L2_BYTES", "512k", 1);
+  EXPECT_EQ(CacheTopology::detect().l2_bytes, 512u * 1024);
+  // Malformed values fall back to detection, never to zero — including
+  // negative numbers (which strtoull would wrap to ULLONG_MAX) and
+  // absurdly large "cache sizes".
+  for (const char* bad : {"banana", "-1", "-4096", "99999g", "1mm", ""}) {
+    ::setenv("CYBERHD_L2_BYTES", bad, 1);
+    const std::size_t l2 = CacheTopology::detect().l2_bytes;
+    EXPECT_GT(l2, 0u) << bad;
+    EXPECT_LT(l2, std::size_t{1} << 41) << bad;
+  }
+  ::unsetenv("CYBERHD_L2_BYTES");
+}
+
+TEST(ExecutionContext, SerialHasNoPoolProcessHasOne) {
+  EXPECT_EQ(ExecutionContext::serial().pool(), nullptr);
+  EXPECT_EQ(ExecutionContext::serial().workers(), 1u);
+  EXPECT_NE(ExecutionContext::process().pool(), nullptr);
+  EXPECT_GE(ExecutionContext::process().workers(), 1u);
+}
+
+TEST(ExecutionContext, DefaultConstructionIsSerialActiveKernels) {
+  const ExecutionContext ctx;
+  EXPECT_EQ(ctx.pool(), nullptr);
+  EXPECT_EQ(&ctx.kernels(), &active_kernels());
+}
+
+TEST(ExecutionContext, ParallelForRunsInlineWithoutPool) {
+  const ExecutionContext ctx;
+  std::vector<int> hits(100, 0);
+  ctx.parallel_for(100, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ExecutionContext, ParallelForCoversRangeExactlyOnPool) {
+  ThreadPool pool(4);
+  const ExecutionContext ctx(&pool);
+  std::vector<std::atomic<int>> hits(1000);
+  ctx.parallel_for(
+      1000,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      },
+      /*grain=*/16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExecutionContext, ScoreBlockRowsDerivesFromL2) {
+  // A 2 MiB L2 at D = 10240 must derive the 16-row block that used to be
+  // hand-tuned (2 MiB / 3 / 40 KiB ~ 17 -> pow2 16).
+  const CacheTopology two_mb{.line_bytes = 64,
+                             .l1d_bytes = 32 * 1024,
+                             .l2_bytes = 2 * 1024 * 1024};
+  const ExecutionContext ctx(nullptr, nullptr, two_mb);
+  EXPECT_EQ(ctx.score_block_rows(10240), 16u);
+  // Small hypervectors hit the 64-row cap.
+  EXPECT_EQ(ctx.score_block_rows(512), 64u);
+  // Huge hypervectors degrade gracefully to one row, never zero.
+  EXPECT_EQ(ctx.score_block_rows(100'000'000), 1u);
+  // A smaller L2 derives a smaller block.
+  const CacheTopology one_mb{.line_bytes = 64,
+                             .l1d_bytes = 32 * 1024,
+                             .l2_bytes = 1024 * 1024};
+  const ExecutionContext small(nullptr, nullptr, one_mb);
+  EXPECT_EQ(small.score_block_rows(10240), 8u);
+}
+
+TEST(ExecutionContext, ScoreBlockRowsIsMonotonicInDims) {
+  const ExecutionContext ctx;
+  std::size_t prev = ctx.score_block_rows(64);
+  for (std::size_t dims : {128u, 512u, 2048u, 10240u, 65536u}) {
+    const std::size_t rows = ctx.score_block_rows(dims);
+    EXPECT_LE(rows, prev) << dims;
+    EXPECT_GE(rows, 1u) << dims;
+    prev = rows;
+  }
+}
+
+TEST(ExecutionContext, TrainBatchRowsMatchesScoreBlock) {
+  const ExecutionContext ctx;
+  for (std::size_t dims : {512u, 4096u, 10240u}) {
+    EXPECT_EQ(ctx.train_batch_rows(dims), ctx.score_block_rows(dims));
+  }
+}
+
+TEST(ExecutionContext, InjectedKernelsAreUsed) {
+  const ExecutionContext ctx(nullptr, &scalar_kernels(),
+                             CacheTopology::detected());
+  EXPECT_EQ(&ctx.kernels(), &scalar_kernels());
+}
+
+}  // namespace
+}  // namespace cyberhd::core

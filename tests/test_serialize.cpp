@@ -1,11 +1,15 @@
-// Tests for model persistence: encoder round trips for every family and
-// full classifier save/load equivalence.
+// Tests for model persistence: encoder round trips for every family, full
+// classifier save/load equivalence, CRC32C payload-corruption rejection,
+// and back-compat with the pre-checksum version-1 layout.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <vector>
 
+#include "core/io.hpp"
 #include "core/matrix.hpp"
 #include "core/rng.hpp"
 #include "hdc/cyberhd.hpp"
@@ -249,6 +253,47 @@ std::string swap_u64_fields(std::string bytes, std::size_t off_a,
   return bytes;
 }
 
+/// One checksummed section of a version-2 CYHD stream, located by byte
+/// offsets into the serialized string.
+struct SectionSpan {
+  std::string tag;
+  std::size_t payload_offset = 0;
+  std::size_t payload_size = 0;
+  std::size_t crc_offset = 0;
+};
+
+std::uint64_t read_le_u64(const std::string& bytes, std::size_t off) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes.data() + off, sizeof(v));
+  return v;
+}
+
+/// Walk the v2 framing ("CYHD" + version word, then tag|size|payload|crc
+/// sections) and return the section spans.
+std::vector<SectionSpan> parse_sections(const std::string& bytes) {
+  std::vector<SectionSpan> sections;
+  std::size_t off = 4 + 8;  // tag + version word
+  while (off + 12 <= bytes.size()) {
+    SectionSpan s;
+    s.tag = bytes.substr(off, 4);
+    s.payload_size = read_le_u64(bytes, off + 4);
+    s.payload_offset = off + 12;
+    s.crc_offset = s.payload_offset + s.payload_size;
+    sections.push_back(s);
+    off = s.crc_offset + 8;
+  }
+  return sections;
+}
+
+/// Recompute and patch a section's stored CRC after tampering with its
+/// payload — for drift tests that must reach the field cross-checks
+/// *behind* the checksum layer.
+void fix_section_crc(std::string& bytes, const SectionSpan& s) {
+  const std::uint64_t crc = cyberhd::core::io::crc32c(
+      bytes.data() + s.payload_offset, s.payload_size);
+  std::memcpy(bytes.data() + s.crc_offset, &crc, sizeof(crc));
+}
+
 }  // namespace
 
 TEST(FieldOrderDrift, RbfSwappedMatrixShapeIsRejected) {
@@ -288,10 +333,16 @@ TEST(FieldOrderDrift, ClassifierEncoderKindMismatchIsRejected) {
   std::stringstream buffer;
   t.model.save(buffer);
   std::string bytes = buffer.str();
-  // Layout: tag(4) + version u64(8) + dims u64(8) + encoder kind u64 @ 20.
-  // Claim the payload holds an ID/level encoder while the serialized bytes
-  // are an RBF one: load() must cross-check the deserialized kind.
-  bytes[20] = static_cast<char>(EncoderKind::kIdLevel);
+  // v2 layout: the encoder-kind u64 sits at offset 8 of the CFG0 section
+  // payload (after dims). Claim the payload holds an ID/level encoder
+  // while the serialized encoder is an RBF one — and re-seal the section
+  // checksum, so the *cross-check* (not the CRC) must catch the drift.
+  const auto sections = parse_sections(bytes);
+  ASSERT_GE(sections.size(), 3u);
+  ASSERT_EQ(sections[0].tag, "CFG0");
+  bytes[sections[0].payload_offset + 8] =
+      static_cast<char>(EncoderKind::kIdLevel);
+  fix_section_crc(bytes, sections[0]);
   std::stringstream in(bytes);
   try {
     CyberHdClassifier::load(in);
@@ -307,9 +358,158 @@ TEST(FieldOrderDrift, ClassifierOutOfRangeEncoderKindIsRejected) {
   std::stringstream buffer;
   t.model.save(buffer);
   std::string bytes = buffer.str();
-  bytes[20] = 9;  // no such EncoderKind
+  const auto sections = parse_sections(bytes);
+  ASSERT_GE(sections.size(), 1u);
+  bytes[sections[0].payload_offset + 8] = 9;  // no such EncoderKind
+  fix_section_crc(bytes, sections[0]);
   std::stringstream in(bytes);
   EXPECT_THROW(CyberHdClassifier::load(in), std::runtime_error);
+}
+
+// ---- checksummed sections: corruption rejection + v1 back-compat -----------
+
+TEST(ChecksummedFormat, SaveWritesThreeSections) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer);
+  const std::string bytes = buffer.str();
+  EXPECT_EQ(bytes.substr(0, 4), "CYHD");
+  EXPECT_EQ(read_le_u64(bytes, 4), 2u);  // format version
+  const auto sections = parse_sections(bytes);
+  ASSERT_EQ(sections.size(), 3u);
+  EXPECT_EQ(sections[0].tag, "CFG0");
+  EXPECT_EQ(sections[1].tag, "ENC0");
+  EXPECT_EQ(sections[2].tag, "MDL0");
+  // The sections tile the stream exactly.
+  EXPECT_EQ(sections.back().crc_offset + 8, bytes.size());
+}
+
+TEST(ChecksummedFormat, FlippedPayloadByteInEverySectionIsRejected) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer);
+  const std::string clean = buffer.str();
+  const auto sections = parse_sections(clean);
+  ASSERT_EQ(sections.size(), 3u);
+  for (const SectionSpan& s : sections) {
+    ASSERT_GT(s.payload_size, 0u) << s.tag;
+    // Sweep flip positions across the payload: first, last, and a spread
+    // of interior bytes. CRC32C detects every single-byte error, so each
+    // tampered stream must fail with an error naming the section.
+    std::vector<std::size_t> positions = {0, s.payload_size - 1};
+    const std::size_t step = std::max<std::size_t>(1, s.payload_size / 13);
+    for (std::size_t p = step; p < s.payload_size; p += step) {
+      positions.push_back(p);
+    }
+    for (const std::size_t pos : positions) {
+      std::string tampered = clean;
+      tampered[s.payload_offset + pos] ^= 0x40;
+      std::stringstream in(tampered);
+      try {
+        CyberHdClassifier::load(in);
+        FAIL() << "flipped byte " << pos << " of section " << s.tag
+               << " must not load";
+      } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+                  std::string::npos)
+            << s.tag << " byte " << pos << ": " << e.what();
+        EXPECT_NE(std::string(e.what()).find(s.tag), std::string::npos)
+            << "error should name the section, got: " << e.what();
+      }
+    }
+  }
+}
+
+TEST(ChecksummedFormat, CorruptSizeWordIsRejectedWithoutHugeAllocation) {
+  // The size word sits outside the CRC; a flipped high bit must fail as a
+  // truncated/implausible section, bounded by the actual stream length —
+  // never as a multi-GiB allocation attempt.
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer);
+  const std::string clean = buffer.str();
+  const auto sections = parse_sections(clean);
+  ASSERT_EQ(sections.size(), 3u);
+  for (const SectionSpan& s : sections) {
+    const std::size_t size_offset = s.payload_offset - 8;
+    for (const std::size_t byte : {0u, 3u, 7u}) {  // low, mid, high bits
+      std::string tampered = clean;
+      tampered[size_offset + byte] ^= 0x80;
+      std::stringstream in(tampered);
+      EXPECT_THROW(CyberHdClassifier::load(in), std::runtime_error)
+          << s.tag << " size byte " << byte;
+    }
+  }
+}
+
+TEST(ChecksummedFormat, TamperedChecksumWordIsRejected) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer);
+  std::string bytes = buffer.str();
+  const auto sections = parse_sections(bytes);
+  ASSERT_EQ(sections.size(), 3u);
+  bytes[sections[1].crc_offset] ^= 0x01;
+  std::stringstream in(bytes);
+  EXPECT_THROW(CyberHdClassifier::load(in), std::runtime_error);
+}
+
+namespace {
+
+/// Write the pre-checksum version-1 layout (the exact field sequence PR 3
+/// emitted) from a trained classifier's public state — the fixture for
+/// the back-compat contract.
+void save_v1_layout(const CyberHdClassifier& model, std::ostream& out) {
+  namespace io = cyberhd::core::io;
+  const CyberHdConfig& cfg = model.config();
+  io::write_tag(out, "CYHD");
+  io::write_u64(out, 1);  // format version
+  io::write_u64(out, cfg.dims);
+  io::write_u64(out, static_cast<std::uint64_t>(cfg.encoder));
+  io::write_f32(out, static_cast<float>(cfg.regen_rate));
+  io::write_u64(out, cfg.regen_steps);
+  io::write_u64(out, cfg.regen_anneal ? 1 : 0);
+  io::write_u64(out, cfg.epochs_per_step);
+  io::write_u64(out, cfg.final_epochs);
+  io::write_f32(out, cfg.learning_rate);
+  io::write_u64(out, cfg.seed);
+  io::write_u64(out, model.num_classes());
+  io::write_u64(out, model.effective_dims() - model.physical_dims());
+  io::write_u64(out, model.last_fit_report().regenerated_per_step.size());
+  model.encoder().serialize(out);
+  io::write_u64(out, model.model().num_classes());
+  io::write_u64(out, model.model().dims());
+  io::write_f32_array(out, {model.model().weights().data(),
+                            model.model().weights().size()});
+}
+
+}  // namespace
+
+TEST(ChecksummedFormat, ChecksumLessV1FilesStillLoad) {
+  const TrainedSmall t;
+  std::stringstream v1;
+  save_v1_layout(t.model, v1);
+  const CyberHdClassifier restored = CyberHdClassifier::load(v1);
+  EXPECT_EQ(restored.effective_dims(), t.model.effective_dims());
+  EXPECT_EQ(restored.num_classes(), t.model.num_classes());
+  for (std::size_t i = 0; i < t.x.rows(); i += 5) {
+    EXPECT_EQ(restored.predict(t.x.row(i)), t.model.predict(t.x.row(i)));
+  }
+  std::vector<float> s1(3), s2(3);
+  t.model.scores(t.x.row(0), s1);
+  restored.scores(t.x.row(0), s2);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(ChecksummedFormat, V1AndV2RestoreTheSameModel) {
+  const TrainedSmall t;
+  std::stringstream v1, v2;
+  save_v1_layout(t.model, v1);
+  t.model.save(v2);
+  const CyberHdClassifier from_v1 = CyberHdClassifier::load(v1);
+  const CyberHdClassifier from_v2 = CyberHdClassifier::load(v2);
+  EXPECT_EQ(from_v1.model().weights(), from_v2.model().weights());
+  EXPECT_EQ(from_v1.effective_dims(), from_v2.effective_dims());
 }
 
 }  // namespace

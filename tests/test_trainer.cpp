@@ -329,30 +329,33 @@ TEST(TrainerTiled, InitializeIsBitIdenticalAcrossThreadCounts) {
   for (auto& y : labels) {
     y = static_cast<int>(rng.next_below(classes));
   }
-  Trainer trainer;
+  Trainer serial_trainer;
   HdcModel reference(classes, dims);
-  trainer.initialize(reference, encoded, labels, /*pool=*/nullptr);
+  serial_trainer.initialize(reference, encoded, labels);
   for (std::size_t workers : {1u, 2u, 8u}) {
     core::ThreadPool pool(workers);
+    Trainer trainer({}, core::ExecutionContext(&pool));
     HdcModel model(classes, dims);
-    trainer.initialize(model, encoded, labels, &pool);
+    trainer.initialize(model, encoded, labels);
     ASSERT_EQ(model.weights(), reference.weights())
         << workers << " workers";
   }
 }
 
 TEST(TrainerTiled, ParallelEpochScoringIsDeterministic) {
-  // Minibatch scoring splits across the pool; updates stay serial — the
-  // trained model must not depend on the worker count.
+  // Minibatch scoring and the update replay both split across the pool —
+  // the trained model must not depend on the worker count.
   BlobFixture fixture(150, /*seed=*/73);
   const auto train_with = [&](core::ThreadPool* pool) {
     TrainerConfig cfg;
     cfg.batch_size = 32;
-    Trainer trainer(cfg);
+    Trainer trainer(cfg, pool != nullptr
+                             ? core::ExecutionContext(pool)
+                             : core::ExecutionContext::serial());
     HdcModel model(2, fixture.dims);
-    trainer.initialize(model, fixture.encoded, fixture.labels, pool);
+    trainer.initialize(model, fixture.encoded, fixture.labels);
     core::Rng rng(79);
-    trainer.train(model, fixture.encoded, fixture.labels, 3, rng, pool);
+    trainer.train(model, fixture.encoded, fixture.labels, 3, rng);
     return model;
   };
   const HdcModel serial = train_with(nullptr);
@@ -371,7 +374,8 @@ TEST(TrainerTiled, EvaluatePoolMatchesSerial) {
   core::ThreadPool pool(4);
   EXPECT_DOUBLE_EQ(
       Trainer::evaluate(model, fixture.encoded, fixture.labels),
-      Trainer::evaluate(model, fixture.encoded, fixture.labels, &pool));
+      Trainer::evaluate(model, fixture.encoded, fixture.labels,
+                        core::ExecutionContext(&pool)));
 }
 
 TEST(TrainerTiled, TrainTileMatchesEpochOnPreGatheredOrder) {
@@ -407,6 +411,162 @@ TEST(TrainerTiled, TrainTileMatchesEpochOnPreGatheredOrder) {
   }
   EXPECT_EQ(tiled_stats.mispredicted, whole_stats.mispredicted);
   ASSERT_EQ(tiled.weights(), whole.weights());
+}
+
+// ---- UpdateAccumulator: parallel update replay -----------------------------
+
+/// The serial adaptive update rule, verbatim: given frozen scores for a
+/// tile, apply the (1 - delta)-weighted axpys sample by sample in visit
+/// order. The UpdateAccumulator's striped replay must match bit-for-bit.
+void serial_update_rule(const TrainerConfig& cfg, HdcModel& model,
+                        const core::Matrix& tile,
+                        std::span<const int> labels,
+                        const core::Matrix& scores, EpochStats& stats) {
+  const auto step_weight = [&](float score) {
+    return cfg.similarity_weighted ? cfg.learning_rate * (1.0f - score)
+                                   : cfg.learning_rate;
+  };
+  for (std::size_t r = 0; r < tile.rows(); ++r) {
+    const auto h = tile.row(r);
+    const auto truth = static_cast<std::size_t>(labels[r]);
+    const auto row_scores = scores.row(r);
+    const std::size_t pred = core::argmax(row_scores);
+    if (pred != truth) {
+      ++stats.mispredicted;
+      core::axpy(step_weight(row_scores[truth]), h,
+                 model.class_vector(truth));
+      core::axpy(-step_weight(row_scores[pred]), h,
+                 model.class_vector(pred));
+    } else if (cfg.reinforce_correct) {
+      core::axpy(step_weight(row_scores[truth]), h,
+                 model.class_vector(truth));
+    }
+  }
+}
+
+/// A random scored tile at striping-relevant dimensionality (several
+/// 16-float-aligned column stripes engage on multi-worker pools).
+struct UpdateFixture {
+  static constexpr std::size_t kRows = 64;
+  static constexpr std::size_t kDims = 2048;
+  static constexpr std::size_t kClasses = 5;
+  core::Matrix tile{kRows, kDims};
+  core::Matrix scores{kRows, kClasses};
+  core::Matrix initial{kClasses, kDims};
+  std::vector<int> labels = std::vector<int>(kRows);
+
+  UpdateFixture() {
+    core::Rng rng(101);
+    core::fill_gaussian(rng, tile.data(), tile.size(), 0.0f, 1.0f);
+    core::fill_uniform(rng, scores.data(), scores.size(), -1.0f, 1.0f);
+    core::fill_gaussian(rng, initial.data(), initial.size(), 0.0f, 1.0f);
+    for (auto& y : labels) y = static_cast<int>(rng.next_below(kClasses));
+  }
+
+  HdcModel fresh_model() const {
+    HdcModel m(kClasses, kDims);
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      std::copy(initial.row(c).begin(), initial.row(c).end(),
+                m.class_vector(c).begin());
+    }
+    return m;
+  }
+};
+
+TEST(UpdateAccumulator, BitIdenticalAcrossWorkersAndVsSerialRule) {
+  const UpdateFixture f;
+  for (const bool weighted : {true, false}) {
+    for (const bool reinforce : {false, true}) {
+      TrainerConfig cfg;
+      cfg.learning_rate = 0.3f;
+      cfg.similarity_weighted = weighted;
+      cfg.reinforce_correct = reinforce;
+
+      HdcModel golden = f.fresh_model();
+      EpochStats golden_stats;
+      serial_update_rule(cfg, golden, f.tile, f.labels, f.scores,
+                         golden_stats);
+      ASSERT_GT(golden_stats.mispredicted, 0u);  // the fixture must bite
+
+      for (std::size_t workers : {1u, 2u, 8u}) {
+        core::ThreadPool pool(workers);
+        const core::ExecutionContext ctx(&pool);
+        HdcModel model = f.fresh_model();
+        EpochStats stats;
+        UpdateAccumulator acc(cfg);
+        acc.collect(f.tile.data(), f.tile.rows(), f.labels.data(),
+                    {f.scores.data(), f.scores.size()},
+                    UpdateFixture::kClasses, UpdateFixture::kDims, stats);
+        acc.apply(model, ctx);
+        EXPECT_EQ(stats.mispredicted, golden_stats.mispredicted)
+            << workers << " workers";
+        ASSERT_EQ(model.weights(), golden.weights())
+            << "weighted=" << weighted << " reinforce=" << reinforce
+            << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(UpdateAccumulator, SerialContextMatchesPooledContexts) {
+  const UpdateFixture f;
+  TrainerConfig cfg;
+  cfg.learning_rate = 0.5f;
+  UpdateAccumulator acc(cfg);
+  HdcModel serial_model = f.fresh_model();
+  EpochStats stats;
+  acc.collect(f.tile.data(), f.tile.rows(), f.labels.data(),
+              {f.scores.data(), f.scores.size()}, UpdateFixture::kClasses,
+              UpdateFixture::kDims, stats);
+  acc.apply(serial_model, core::ExecutionContext::serial());
+  core::ThreadPool pool(4);
+  HdcModel pooled_model = f.fresh_model();
+  acc.apply(pooled_model, core::ExecutionContext(&pool));
+  ASSERT_EQ(pooled_model.weights(), serial_model.weights());
+}
+
+TEST(UpdateAccumulator, MinibatchEpochIsBitIdenticalAcrossWorkerCounts) {
+  // End-to-end: a minibatch epoch at striping-relevant dimensionality must
+  // train the exact same model on 1, 2, and 8 workers as serially — the
+  // scoring split and the update replay are both in play here.
+  const std::size_t n = 256, dims = 2048, classes = 4;
+  core::Rng rng(103);
+  core::Matrix encoded(n, dims);
+  core::fill_gaussian(rng, encoded.data(), encoded.size(), 0.0f, 1.0f);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(i % classes);
+    encoded(i, 0) += 2.0f * static_cast<float>(labels[i]);
+  }
+  const auto train_with = [&](const core::ExecutionContext& ctx) {
+    TrainerConfig cfg;
+    cfg.learning_rate = 0.3f;
+    cfg.batch_size = 64;
+    Trainer trainer(cfg, ctx);
+    HdcModel model(classes, dims);
+    trainer.initialize(model, encoded, labels);
+    core::Rng train_rng(107);
+    trainer.train(model, encoded, labels, 3, train_rng);
+    return model;
+  };
+  const HdcModel serial = train_with(core::ExecutionContext::serial());
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    core::ThreadPool pool(workers);
+    const HdcModel parallel = train_with(core::ExecutionContext(&pool));
+    ASSERT_EQ(parallel.weights(), serial.weights())
+        << workers << " workers";
+  }
+}
+
+TEST(UpdateAccumulator, AutoBatchResolvesFromContext) {
+  TrainerConfig cfg;
+  cfg.batch_size = 0;  // auto
+  const Trainer trainer(cfg, core::ExecutionContext::serial());
+  EXPECT_EQ(trainer.resolved_batch_size(10240),
+            core::ExecutionContext::serial().train_batch_rows(10240));
+  TrainerConfig pinned;
+  pinned.batch_size = 7;
+  EXPECT_EQ(Trainer(pinned).resolved_batch_size(10240), 7u);
 }
 
 // Parameterized: training converges for a sweep of learning rates.
