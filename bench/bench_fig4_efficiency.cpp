@@ -39,6 +39,15 @@ Timing measure(core::Classifier& model, const bench::PreparedData& data) {
   model.fit(data.train.x, data.train.y, data.train.num_classes);
   t.train_s = timer.seconds();
 
+  // This bench compares per-sample vs batch *encode* pipelines across
+  // models; fit() default-arms the serving encode cache, which would put
+  // all-miss hashing/insert overhead (and the lazy ring allocation) inside
+  // the timed batch pass over a fresh test tile. Pin it off — the cache's
+  // own numbers live in BM_ServingThroughput.
+  if (auto* hd = dynamic_cast<hdc::CyberHdClassifier*>(&model)) {
+    hd->set_encode_cache(0);
+  }
+
   const auto rows = static_cast<double>(data.test.x.rows());
 
   // Per-sample loop.

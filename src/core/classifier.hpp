@@ -3,15 +3,21 @@
 // and examples can sweep over heterogeneous models uniformly.
 //
 // Inference is exposed at two granularities: per-sample (predict/scores)
-// and batched over the rows of a Matrix (predict_batch/scores_batch). The
-// batch entry points have looping defaults, so every model supports them;
-// models with an amortizable encode stage (CyberHD and its quantized
-// snapshots) override them to encode a whole tile at once and split the
-// work across the thread pool. Per-row results are identical between the
-// two granularities — batching is a throughput optimization, never a
-// semantics change.
+// and batched over the rows of a Matrix (predict_batch/scores_batch).
+//
+// scores_batch is a *staged driver*, not a virtual: it walks the input in
+// sub-batches the model plans (preferred_batch_rows — CyberHD derives it
+// from the shared-L3 topology via ExecutionContext::plan_serving) and
+// hands each block to the virtual scores_block hook. Models with an
+// amortizable encode stage (CyberHD and its quantized snapshots) override
+// scores_block to run the block through their stage-split pipeline
+// (cached encode, then tile scoring); everything else inherits the
+// looping default. Per-row results are identical between the per-sample
+// and batched granularities for any block split — batching is a
+// throughput optimization, never a semantics change.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <span>
@@ -58,13 +64,37 @@ class Classifier {
   }
 
   /// Scores for every row of `x`; `out` is resized to
-  /// x.rows() x num_classes(). Default loops scores(); batch-capable models
-  /// override.
-  virtual void scores_batch(const Matrix& x, Matrix& out) const {
+  /// x.rows() x num_classes(). The staged driver: walks the rows in
+  /// preferred_batch_rows() blocks and scores each through scores_block(),
+  /// so a planner-aware model processes one cache-resident sub-batch at a
+  /// time end-to-end instead of materializing whole-batch intermediates.
+  void scores_batch(const Matrix& x, Matrix& out) const {
     out.resize(x.rows(), num_classes());
-    for (std::size_t i = 0; i < x.rows(); ++i) {
+    const std::size_t block = std::max<std::size_t>(
+        1, preferred_batch_rows(x));
+    for (std::size_t t = 0; t < x.rows(); t += block) {
+      scores_block(x, t, std::min(t + block, x.rows()), out);
+    }
+  }
+
+  /// Score rows [begin, end) of `x` into the matching rows of `out` (`out`
+  /// is already sized to x.rows() x num_classes()). The default loops
+  /// scores(); pipeline-capable models override with their staged path.
+  virtual void scores_block(const Matrix& x, std::size_t begin,
+                            std::size_t end, Matrix& out) const {
+    assert(end <= x.rows() && end <= out.rows());
+    for (std::size_t i = begin; i < end; ++i) {
       scores(x.row(i), out.row(i));
     }
+  }
+
+  /// How many rows of `x` one scores_block call should cover. The default
+  /// (everything at once) preserves the historical single-pass behavior;
+  /// models whose intermediates are large — an encoded HDC block is
+  /// D / F times bigger than its input rows — override this with a
+  /// cache-topology-derived plan.
+  virtual std::size_t preferred_batch_rows(const Matrix& x) const {
+    return x.rows();
   }
 
   /// Short human-readable model name for reports.

@@ -89,6 +89,45 @@ std::size_t sysfs_line_size() {
       "/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size");
 }
 
+/// Count the CPUs in a sysfs shared_cpu_list string ("0-7,16-23"); 0 when
+/// the file is absent or unparseable.
+std::size_t count_cpu_list(const std::string& list) {
+  std::size_t count = 0;
+  const char* p = list.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long first = std::strtol(p, &end, 10);
+    if (end == p || first < 0) return 0;
+    long last = first;
+    p = end;
+    if (*p == '-') {
+      last = std::strtol(p + 1, &end, 10);
+      if (end == p + 1 || last < first) return 0;
+      p = end;
+    }
+    count += static_cast<std::size_t>(last - first + 1);
+    if (*p == ',') ++p;
+  }
+  return count;
+}
+
+/// CPUs sharing cpu0's level-3 cache per sysfs; 0 when undetectable.
+std::size_t sysfs_l3_shared_cpus() {
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int idx = 0; idx < 8; ++idx) {
+    const std::string dir = base + std::to_string(idx) + "/";
+    std::ifstream probe(dir + "level");
+    int l = 0;
+    if (!(probe >> l) || l != 3) continue;
+    if (sysfs_string(dir + "type") == "Instruction") continue;
+    std::ifstream in(dir + "shared_cpu_list");
+    std::string list;
+    if (in) in >> list;
+    return count_cpu_list(list);
+  }
+  return 0;
+}
+
 std::size_t largest_pow2_at_most(std::size_t v) noexcept {
   std::size_t p = 1;
   while (p * 2 <= v) p *= 2;
@@ -99,7 +138,7 @@ std::size_t largest_pow2_at_most(std::size_t v) noexcept {
 
 CacheTopology CacheTopology::detect() {
   CacheTopology topo;  // field initializers are the conservative fallback
-  std::size_t line = 0, l1d = 0, l2 = 0;
+  std::size_t line = 0, l1d = 0, l2 = 0, l3 = 0, online_cpus = 0;
 #if defined(__unix__) || defined(__APPLE__)
 #ifdef _SC_LEVEL1_DCACHE_LINESIZE
   line = sysconf_bytes(_SC_LEVEL1_DCACHE_LINESIZE);
@@ -110,18 +149,38 @@ CacheTopology CacheTopology::detect() {
 #ifdef _SC_LEVEL2_CACHE_SIZE
   l2 = sysconf_bytes(_SC_LEVEL2_CACHE_SIZE);
 #endif
+#ifdef _SC_LEVEL3_CACHE_SIZE
+  l3 = sysconf_bytes(_SC_LEVEL3_CACHE_SIZE);
+#endif
+#ifdef _SC_NPROCESSORS_ONLN
+  online_cpus = sysconf_bytes(_SC_NPROCESSORS_ONLN);
+#endif
 #endif
   if (line == 0) line = sysfs_line_size();
   if (l1d == 0) l1d = sysfs_cache_size(1);
   if (l2 == 0) l2 = sysfs_cache_size(2);
+  if (l3 == 0) l3 = sysfs_cache_size(3);
   // Containers often mask /sys and return 0 from sysconf; the env override
   // wins over whatever detection produced so deployments can pin tiling.
   if (const std::size_t env_l2 = env_bytes("CYBERHD_L2_BYTES"); env_l2 > 0) {
     l2 = env_l2;
   }
+  if (const std::size_t env_l3 = env_bytes("CYBERHD_L3_BYTES"); env_l3 > 0) {
+    l3 = env_l3;
+  }
   if (line > 0) topo.line_bytes = line;
   if (l1d > 0) topo.l1d_bytes = l1d;
   if (l2 > 0) topo.l2_bytes = l2;
+  if (l3 > 0) topo.l3_bytes = l3;
+  // Shared-L3 domains: how many CPU groups each see their own last-level
+  // cache. cpu0's shared_cpu_list says how many CPUs share one L3; the
+  // online count divided by that (rounded up) is the domain count. When
+  // either read fails — masked /sys, exotic topologies — one domain is the
+  // safe model (the serving plan degrades to a single sub-batch stream).
+  const std::size_t per_domain = sysfs_l3_shared_cpus();
+  if (per_domain > 0 && online_cpus > per_domain) {
+    topo.l3_domains = (online_cpus + per_domain - 1) / per_domain;
+  }
   return topo;
 }
 
@@ -169,6 +228,28 @@ std::size_t ExecutionContext::score_block_rows(
   return std::clamp<std::size_t>(largest_pow2_at_most(std::max<std::size_t>(
                                      1, rows)),
                                  1, 64);
+}
+
+std::size_t ExecutionContext::serving_block_rows(
+    std::size_t dims) const noexcept {
+  const std::size_t floor_rows = score_block_rows(dims);
+  if (dims == 0) return floor_rows;
+  // One third of the shared L3 for the encoded sub-batch (scores, inputs,
+  // and slack take the rest); power of two, never below the L2 scoring
+  // tile this block feeds, capped where batching stops paying.
+  const std::size_t budget = cache_.l3_bytes / 3;
+  const std::size_t rows = budget / (dims * sizeof(float));
+  return std::clamp<std::size_t>(
+      largest_pow2_at_most(std::max<std::size_t>(1, rows)), floor_rows,
+      4096);
+}
+
+ServingPlan ExecutionContext::plan_serving(std::size_t dims) const noexcept {
+  ServingPlan plan;
+  plan.block_rows = serving_block_rows(dims);
+  plan.domains = std::max<std::size_t>(1, cache_.l3_domains);
+  plan.batch_rows = plan.block_rows * plan.domains;
+  return plan;
 }
 
 }  // namespace cyberhd::core

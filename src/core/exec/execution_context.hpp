@@ -40,18 +40,48 @@
 namespace cyberhd::core {
 
 /// The cache hierarchy model the tiling derivations read. Detection order
-/// per field: CYBERHD_L2_BYTES env override (l2_bytes only, for containers
-/// whose /sys is masked), sysconf(_SC_LEVEL*_CACHE_*), the sysfs cache
-/// directory, then conservative defaults (64 B lines, 32 KiB L1d, 2 MiB L2).
+/// per field: CYBERHD_L2_BYTES / CYBERHD_L3_BYTES env overrides (for
+/// containers whose /sys is masked), sysconf(_SC_LEVEL*_CACHE_*), the sysfs
+/// cache directory, then conservative defaults (64 B lines, 32 KiB L1d,
+/// 2 MiB L2, 8 MiB L3, one shared-L3 domain).
 struct CacheTopology {
   std::size_t line_bytes = 64;
   std::size_t l1d_bytes = 32 * 1024;
   std::size_t l2_bytes = 2 * 1024 * 1024;
+  /// Last-level cache size. Per-core caches (L1/L2) size the training and
+  /// scoring tiles; the shared L3 sizes the *serving* sub-batches — the
+  /// unit of work a batch of flows moves through the encode→score pipeline
+  /// in, so a sub-batch's encoded rows are still LLC-resident when the
+  /// scoring stage streams them.
+  std::size_t l3_bytes = 8 * 1024 * 1024;
+  /// Number of distinct shared-L3 CPU domains (multi-CCD and multi-socket
+  /// parts have several; each gets its own sub-batch in the serving plan).
+  /// Derived from how many online CPUs share cpu0's L3 per the sysfs
+  /// shared_cpu_list; 1 when that is unreadable.
+  std::size_t l3_domains = 1;
 
   /// Fresh detection (re-reads the environment; tests use this).
   static CacheTopology detect();
   /// Process-wide cached detection result.
   static const CacheTopology& detected();
+};
+
+/// How ExecutionContext::plan_serving splits a serving batch: each of the
+/// machine's shared-L3 domains works one `block_rows`-row, L3-resident
+/// sub-batch at a time, so one driver iteration covers `batch_rows` rows.
+/// The per-domain residency is approximate, not enforced: parallel_for
+/// hands every worker one contiguous chunk and splits the encode and
+/// score stages of a block identically, so each worker revisits in stage
+/// 2 the ~block_rows-per-domain range it encoded in stage 1 — but workers
+/// are not pinned to domains. Explicit domain-affine dispatch (and a NUMA
+/// model above it) is the next placement step (see ROADMAP).
+struct ServingPlan {
+  /// Rows per L3-resident sub-batch (one in flight per L3 domain).
+  std::size_t block_rows = 1;
+  /// Shared-L3 CPU domains contributing a sub-batch each.
+  std::size_t domains = 1;
+  /// Rows one pipeline iteration covers: block_rows * domains.
+  std::size_t batch_rows = 1;
 };
 
 /// The execution policy threaded through training and batch inference.
@@ -106,6 +136,21 @@ class ExecutionContext {
   std::size_t train_batch_rows(std::size_t dims) const noexcept {
     return score_block_rows(dims);
   }
+
+  /// Rows per L3-resident sub-batch of the serving pipeline: the largest
+  /// power of two whose encoded block (rows x dims floats) fills at most a
+  /// third of the shared L3 — one third each for the encoded rows, the
+  /// score/output traffic, and slack — exactly how score_block_rows derives
+  /// L2 tiles. Clamped to [score_block_rows(dims), 4096]: a sub-batch never
+  /// drops below the L2 scoring tile (the stage it feeds), and never grows
+  /// past the point where batching stops amortizing anything.
+  std::size_t serving_block_rows(std::size_t dims) const noexcept;
+
+  /// The serving split for a batch of `dims`-wide encoded rows: one
+  /// serving_block_rows sub-batch per shared-L3 domain. The stage-split
+  /// scores_batch drivers walk their input in batch_rows chunks, encoding
+  /// then scoring each chunk while it is still L3-resident.
+  ServingPlan plan_serving(std::size_t dims) const noexcept;
 
  private:
   const Kernels* kernels_;

@@ -8,8 +8,15 @@
 // Checksummed sections (write_section / read_section) wrap a serialized
 // payload as tag | size | bytes | CRC32C, so loaders detect payload
 // corruption — not just structural drift — before parsing a single field.
+//
+// For payloads too large to buffer (a D x classes model beyond RAM), the
+// chunked section streambufs frame the same logical bytes as a sequence of
+// fixed-size chunks, each carrying its own CRC32C, terminated by a zero
+// length word — writer and reader both hold one chunk of memory, and a
+// flipped byte still fails with an error naming the section.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
@@ -18,6 +25,7 @@
 #include <ostream>
 #include <span>
 #include <stdexcept>
+#include <streambuf>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -75,6 +83,16 @@ inline void expect_tag(std::istream& in, const char (&tag)[5]) {
   }
 }
 
+/// Read and return the next 4-byte tag (loaders that accept more than one
+/// section layout branch on it, then parse the matching body — no seeking,
+/// so non-seekable streams keep working).
+inline std::string read_tag(std::istream& in) {
+  char buf[4];
+  in.read(buf, 4);
+  if (!in) throw std::runtime_error("truncated stream (tag)");
+  return std::string(buf, 4);
+}
+
 // ---- CRC32C + checksummed sections -----------------------------------------
 
 /// CRC32C (Castagnoli polynomial, reflected) over `n` bytes. Table-driven
@@ -111,12 +129,14 @@ inline void write_section(std::ostream& out, const char (&tag)[5],
   write_u64(out, crc32c(payload.data(), payload.size()));
 }
 
-/// Read one checksummed section written by write_section: verifies the
-/// tag, bounds the size, and recomputes the CRC before returning the
-/// payload bytes. Throws std::runtime_error naming the section on any
-/// mismatch — a corrupt payload never reaches a field parser.
-inline std::string read_section(std::istream& in, const char (&tag)[5]) {
-  expect_tag(in, tag);
+/// Read the size | payload | CRC body of a checksummed section whose tag
+/// has already been consumed (read_section wraps this; loaders that
+/// branched on read_tag() call it directly). Bounds the size and
+/// recomputes the CRC before returning the payload bytes; throws
+/// std::runtime_error naming the section on any mismatch — a corrupt
+/// payload never reaches a field parser.
+inline std::string read_section_body(std::istream& in,
+                                     const std::string& tag) {
   const std::uint64_t size = read_u64(in);
   // The size word sits outside the CRC, so a flipped bit in it must fail
   // cleanly too: before allocating, bound the size by what the stream can
@@ -152,5 +172,147 @@ inline std::string read_section(std::istream& in, const char (&tag)[5]) {
   }
   return payload;
 }
+
+/// Read one checksummed section written by write_section: verifies the
+/// expected tag, then parses the body (see read_section_body).
+inline std::string read_section(std::istream& in, const char (&tag)[5]) {
+  expect_tag(in, tag);
+  return read_section_body(in, tag);
+}
+
+// ---- chunked sections: streaming CRC32C framing ----------------------------
+
+/// Largest chunk size a chunked section may declare (a corrupt header word
+/// must never turn into a multi-GiB chunk-buffer allocation).
+inline constexpr std::size_t kMaxSectionChunkBytes = std::size_t{1} << 28;
+
+/// Output streambuf that frames everything written through it as
+/// fixed-size CRC32C-checksummed chunks: [u64 n | n bytes | u64 crc]...,
+/// closed by a zero length word (finish()). Memory is bounded by one
+/// chunk regardless of the logical payload size — the writer side of the
+/// "model bigger than RAM" persistence path.
+class ChunkedSectionWriter final : public std::streambuf {
+ public:
+  ChunkedSectionWriter(std::ostream& out, std::size_t chunk_bytes)
+      : out_(out), buf_(chunk_bytes) {
+    setp(buf_.data(), buf_.data() + buf_.size());
+  }
+  ChunkedSectionWriter(const ChunkedSectionWriter&) = delete;
+  ChunkedSectionWriter& operator=(const ChunkedSectionWriter&) = delete;
+
+  /// Flush the partial chunk and write the terminator. Must be called
+  /// exactly once, after the last byte.
+  void finish() {
+    flush_chunk();
+    write_u64(out_, 0);
+  }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    flush_chunk();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+ private:
+  void flush_chunk() {
+    const std::size_t n = static_cast<std::size_t>(pptr() - pbase());
+    if (n > 0) {
+      write_u64(out_, n);
+      out_.write(pbase(), static_cast<std::streamsize>(n));
+      write_u64(out_, crc32c(pbase(), n));
+    }
+    setp(buf_.data(), buf_.data() + buf_.size());
+  }
+
+  std::ostream& out_;
+  std::vector<char> buf_;
+};
+
+/// Input streambuf over a chunk sequence written by ChunkedSectionWriter:
+/// each underflow pulls the next chunk, bounds its size, and verifies its
+/// CRC before serving a single byte — a corrupt chunk throws a
+/// std::runtime_error naming `tag` instead of reaching any field parser.
+/// After the zero terminator the buf reports EOF and finished() is true;
+/// a stream that ends without a terminator throws (so a truncated tail
+/// can never load silently).
+class ChunkedSectionReader final : public std::streambuf {
+ public:
+  ChunkedSectionReader(std::istream& in, std::string tag,
+                       std::size_t chunk_bytes)
+      : in_(in), tag_(std::move(tag)) {
+    if (chunk_bytes == 0 || chunk_bytes > kMaxSectionChunkBytes) {
+      throw std::runtime_error("implausible chunk size in section " + tag_);
+    }
+    // Bound the chunk buffer by what the stream can actually supply, so a
+    // corrupt chunk-size header never allocates past the file itself.
+    const std::istream::pos_type here = in_.tellg();
+    if (here != std::istream::pos_type(-1)) {
+      in_.seekg(0, std::ios::end);
+      const std::istream::pos_type end = in_.tellg();
+      in_.seekg(here);
+      if (in_ && end >= here) {
+        chunk_bytes = std::min<std::size_t>(
+            chunk_bytes, static_cast<std::size_t>(end - here));
+      }
+    }
+    buf_.resize(std::max<std::size_t>(1, chunk_bytes));
+  }
+  ChunkedSectionReader(const ChunkedSectionReader&) = delete;
+  ChunkedSectionReader& operator=(const ChunkedSectionReader&) = delete;
+
+  /// True once the zero terminator has been consumed cleanly.
+  bool finished() const noexcept { return done_; }
+
+ protected:
+  int_type underflow() override {
+    if (done_) return traits_type::eof();
+    const std::uint64_t n = read_word("chunk length");
+    if (n == 0) {
+      done_ = true;
+      return traits_type::eof();
+    }
+    if (n > buf_.size()) {
+      throw std::runtime_error("oversized chunk in section " + tag_);
+    }
+    in_.read(buf_.data(), static_cast<std::streamsize>(n));
+    if (!in_) {
+      throw std::runtime_error("truncated chunk in section " + tag_);
+    }
+    const std::uint64_t stored = read_word("chunk checksum");
+    const std::uint32_t computed =
+        crc32c(buf_.data(), static_cast<std::size_t>(n));
+    if (stored != computed) {
+      throw std::runtime_error(
+          "checksum mismatch in section " + tag_ + " (chunk " +
+          std::to_string(chunk_index_) + ", stored " +
+          std::to_string(stored) + ", computed " + std::to_string(computed) +
+          ")");
+    }
+    ++chunk_index_;
+    setg(buf_.data(), buf_.data(), buf_.data() + n);
+    return traits_type::to_int_type(buf_[0]);
+  }
+
+ private:
+  std::uint64_t read_word(const char* what) {
+    std::uint64_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!in_) {
+      throw std::runtime_error(std::string("truncated section ") + tag_ +
+                               " (" + what + ")");
+    }
+    return v;
+  }
+
+  std::istream& in_;
+  std::string tag_;
+  std::vector<char> buf_;
+  std::size_t chunk_index_ = 0;
+  bool done_ = false;
+};
 
 }  // namespace cyberhd::core::io

@@ -71,6 +71,10 @@ void CyberHdClassifier::fit(const core::Matrix& x, std::span<const int> y,
   } else {
     fit_in_memory(x, y, num_classes, trainer, driver, train_rng);
   }
+
+  // (Re)fitting replaces the encoder, so every cached encoding is stale;
+  // re-arm the serving cache at the env-configured capacity.
+  set_encode_cache(EncodeCache::capacity_from_env());
 }
 
 void CyberHdClassifier::fit_in_memory(const core::Matrix& x,
@@ -207,13 +211,47 @@ void CyberHdClassifier::scores(std::span<const float> x,
   model_.similarities(encoded, out);
 }
 
-void CyberHdClassifier::scores_batch(const core::Matrix& x,
+std::size_t CyberHdClassifier::preferred_batch_rows(
+    const core::Matrix&) const {
+  return exec().plan_serving(config_.dims).batch_rows;
+}
+
+EncodedBatch CyberHdClassifier::encode_block(const core::Matrix& x,
+                                             std::size_t begin,
+                                             std::size_t end,
+                                             core::Matrix& storage) const {
+  assert(encoder_ != nullptr && "encode_block() before fit()");
+  return encode_block_cached(*encoder_, encode_cache_.get(), x, begin, end,
+                             storage, exec());
+}
+
+void CyberHdClassifier::scores_encoded(const EncodedBatch& h,
+                                       core::Matrix& out) const {
+  model_.similarities_batch(h, out, exec());
+}
+
+void CyberHdClassifier::scores_block(const core::Matrix& x,
+                                     std::size_t begin, std::size_t end,
                                      core::Matrix& out) const {
   assert(encoder_ != nullptr && "scores_batch() before fit()");
-  const core::ExecutionContext& exec_ctx = exec();
-  core::Matrix encoded;
-  encoder_->encode_batch(x, encoded, exec_ctx);
-  model_.similarities_batch(encoded, out, exec_ctx);
+  // Stage 1: encode the block (cache hits replayed, misses encoded across
+  // the pool). Stage 2: stream the still-L3-resident view through the
+  // tile scorer, writing straight into the block's rows of `out`. The
+  // staging buffer is thread_local so the driver's block loop reuses one
+  // allocation per calling thread without breaking const-concurrency.
+  thread_local core::Matrix staging;
+  const EncodedBatch encoded = encode_block(x, begin, end, staging);
+  if (encoded.empty()) return;
+  model_.similarities_into(encoded, out.row(begin).data(), exec());
+}
+
+void CyberHdClassifier::set_encode_cache(std::size_t capacity_rows) {
+  if (capacity_rows == 0 || encoder_ == nullptr) {
+    encode_cache_.reset();
+    return;
+  }
+  encode_cache_ = std::make_unique<EncodeCache>(
+      encoder_->input_dim(), encoder_->output_dim(), capacity_rows);
 }
 
 std::string CyberHdClassifier::name() const {
@@ -256,11 +294,14 @@ CyberHdConfig baseline_hd_config(std::size_t dims, std::uint64_t seed) {
 
 namespace {
 
-// Version 2 (current): "CYHD" + version word, then three CRC32C-
-// checksummed sections — CFG0 (config + trained-state scalars), ENC0 (the
-// encoder payload), MDL0 (class-hypervector matrix). Version 1 is the
-// same field sequence without section framing or checksums; load()
-// still accepts it.
+// Version 2 (current): "CYHD" + version word, then CRC32C-checksummed
+// sections — CFG0 (config + trained-state scalars), ENC0 (the encoder
+// payload), and the class-hypervector matrix as either MDL0 (one
+// buffered section) or MDLC (the same logical bytes streamed through
+// fixed-size checksummed chunks; chosen when the payload outgrows the
+// chunk size, so writer memory stays bounded). Version 1 is the same
+// field sequence without section framing or checksums; load() still
+// accepts everything.
 constexpr std::uint64_t kFormatVersion = 2;
 
 /// The scalar header fields, shared between the v1 inline layout and the
@@ -311,8 +352,13 @@ SavedHeader read_header_fields(std::istream& in) {
 
 }  // namespace
 
-void CyberHdClassifier::save(std::ostream& out) const {
+void CyberHdClassifier::save(std::ostream& out,
+                             std::size_t model_chunk_bytes) const {
   assert(encoder_ != nullptr && "save() before fit()");
+  if (model_chunk_bytes == 0 ||
+      model_chunk_bytes > core::io::kMaxSectionChunkBytes) {
+    throw std::invalid_argument("save(): model_chunk_bytes out of range");
+  }
   core::io::write_tag(out, "CYHD");
   core::io::write_u64(out, kFormatVersion);
   {
@@ -330,14 +376,33 @@ void CyberHdClassifier::save(std::ostream& out) const {
     encoder_->serialize(enc);
     core::io::write_section(out, "ENC0", enc.str());
   }
-  {
+  // Model payload (identical logical bytes in both layouts):
+  //   u64 num_classes | u64 dims | u64 count | count f32 weights.
+  const std::size_t payload_bytes =
+      3 * sizeof(std::uint64_t) + model_.weights().size() * sizeof(float);
+  if (payload_bytes <= model_chunk_bytes) {
     std::ostringstream mdl;
     core::io::write_u64(mdl, model_.num_classes());
     core::io::write_u64(mdl, model_.dims());
     core::io::write_f32_array(
         mdl, {model_.weights().data(), model_.weights().size()});
     core::io::write_section(out, "MDL0", mdl.str());
+    return;
   }
+  // Chunked layout: the weights stream straight out of the model through
+  // one chunk-sized buffer — nothing proportional to D x classes is ever
+  // materialized on the way to disk.
+  core::io::write_tag(out, "MDLC");
+  core::io::write_u64(out, model_chunk_bytes);
+  core::io::ChunkedSectionWriter writer(out, model_chunk_bytes);
+  std::ostream chunked(&writer);
+  core::io::write_u64(chunked, model_.num_classes());
+  core::io::write_u64(chunked, model_.dims());
+  core::io::write_u64(chunked, model_.weights().size());
+  chunked.write(
+      reinterpret_cast<const char*>(model_.weights().data()),
+      static_cast<std::streamsize>(model_.weights().size() * sizeof(float)));
+  writer.finish();
 }
 
 void CyberHdClassifier::save_file(const std::string& path) const {
@@ -370,17 +435,34 @@ CyberHdClassifier CyberHdClassifier::load(std::istream& in) {
     model.encoder_ = std::move(enc);
     const std::uint64_t k = core::io::read_u64(mdl_in);
     const std::uint64_t dims = core::io::read_u64(mdl_in);
-    const std::vector<float> weights = core::io::read_f32_array(mdl_in);
-    if (dims != h.cfg.dims || weights.size() != k * dims ||
-        model.encoder_->output_dim() != dims) {
+    const std::uint64_t count = core::io::read_u64(mdl_in);
+    if (count > (1ULL << 32)) {
+      throw std::runtime_error("implausible array size");
+    }
+    // k must also match the header's class count: the staged scores_batch
+    // driver sizes outputs from the header while stage 2 writes one score
+    // per *model* class, so a mismatch would become an out-of-bounds
+    // write at serving time, not a scoring quirk.
+    if (k == 0 || k != h.num_classes || dims != h.cfg.dims ||
+        count != k * dims || model.encoder_->output_dim() != dims) {
       throw std::runtime_error("inconsistent CyberHD payload");
     }
+    // Read straight into the model's storage: no transient full-size
+    // weight vector, so peak load memory is the model itself plus (for
+    // the chunked layout) one chunk buffer.
     model.model_ = HdcModel(k, dims);
-    std::copy(weights.begin(), weights.end(),
-              model.model_.weights().data());
+    mdl_in.read(
+        reinterpret_cast<char*>(model.model_.weights().data()),
+        static_cast<std::streamsize>(count * sizeof(float)));
+    if (!mdl_in) {
+      throw std::runtime_error("truncated stream (model weights)");
+    }
     model.regen_.emplace(h.cfg.dims, h.cfg.regen_rate,
                          h.cfg.regen_anneal ? h.cfg.regen_steps : 0);
     model.regen_->restore(h.total_regenerated, h.regen_steps_done);
+    // A restored model serves immediately: arm the encode cache exactly
+    // as a fresh fit() would.
+    model.set_encode_cache(EncodeCache::capacity_from_env());
     return model;
   };
 
@@ -392,7 +474,35 @@ CyberHdClassifier CyberHdClassifier::load(std::istream& in) {
     SavedHeader header = read_header_fields(cfg_in);
     std::istringstream enc_in(core::io::read_section(in, "ENC0"));
     std::unique_ptr<Encoder> enc = deserialize_encoder(enc_in);
-    std::istringstream mdl_in(core::io::read_section(in, "MDL0"));
+    // The model section carries either layout: MDL0 (one buffered,
+    // checksummed section) or MDLC (the same bytes streamed through
+    // fixed-size checksummed chunks, verified chunk by chunk as the
+    // weights flow directly into the model). The tag is consumed once and
+    // branched on, so non-seekable streams load fine.
+    const std::string mdl_tag = core::io::read_tag(in);
+    if (mdl_tag == "MDLC") {
+      const std::uint64_t chunk_bytes = core::io::read_u64(in);
+      core::io::ChunkedSectionReader reader(in, "MDLC", chunk_bytes);
+      std::istream chunked(&reader);
+      // Rethrow the reader's section-naming errors instead of letting
+      // istream swallow them into badbit.
+      chunked.exceptions(std::ios::badbit);
+      CyberHdClassifier model =
+          assemble(std::move(header), std::move(enc), chunked);
+      // The chunk stream must end exactly at its terminator — trailing
+      // bytes or a missing terminator mean the payload and its header
+      // disagree.
+      if (chunked.peek() != std::istream::traits_type::eof() ||
+          !reader.finished()) {
+        throw std::runtime_error("inconsistent CyberHD payload (MDLC)");
+      }
+      return model;
+    }
+    if (mdl_tag != "MDL0") {
+      throw std::runtime_error("bad model section tag, expected MDL0 or "
+                               "MDLC");
+    }
+    std::istringstream mdl_in(core::io::read_section_body(in, "MDL0"));
     return assemble(std::move(header), std::move(enc), mdl_in);
   }
   // Version 1: the same fields inline, no checksums.

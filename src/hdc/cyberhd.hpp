@@ -30,6 +30,8 @@
 #include "core/exec/execution_context.hpp"
 #include "core/matrix.hpp"
 #include "core/rng.hpp"
+#include "hdc/encode_cache.hpp"
+#include "hdc/encoded_batch.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/model.hpp"
 #include "hdc/regen.hpp"
@@ -133,13 +135,45 @@ class CyberHdClassifier final : public core::Classifier {
   void scores(std::span<const float> x,
               std::span<float> scores) const override;
 
-  /// Batch inference: encode every row of `x` in one encode_batch pass
-  /// (split across the execution context's pool) and score the whole tile
-  /// against the class hypervectors. Per-row results are bit-identical to
-  /// predict()/scores() on that row; predict_batch (from core::Classifier)
-  /// rides this override.
-  void scores_batch(const core::Matrix& x,
-                    core::Matrix& out) const override;
+  // -- the stage-split serving pipeline --------------------------------------
+  // scores_batch (the core::Classifier driver) walks `x` in sub-batches
+  // the L3-aware planner sizes (preferred_batch_rows) and runs each
+  // through scores_block: stage 1 encodes the block — serving repeated
+  // rows from the content-addressed encode cache — and stage 2 streams
+  // the EncodedBatch view through the tile scorer while it is still
+  // L3-resident. Per-row results are bit-identical to predict()/scores()
+  // on that row, cache on or off; predict_batch rides the same driver.
+
+  /// Sub-batch size of the staged driver: the execution context's serving
+  /// plan (per-L3-domain blocks of serving_block_rows).
+  std::size_t preferred_batch_rows(const core::Matrix& x) const override;
+
+  /// Stage 1 + stage 2 over one planned block (see class comment).
+  void scores_block(const core::Matrix& x, std::size_t begin,
+                    std::size_t end, core::Matrix& out) const override;
+
+  /// Stage 1 alone: encode rows [begin, end) of `x` into the front of
+  /// `storage` (grown to (end - begin) x D when too small, otherwise
+  /// reused as-is), serving repeats from the encode cache when one is
+  /// enabled. Returns the handoff view over the filled rows. Valid after
+  /// fit().
+  EncodedBatch encode_block(const core::Matrix& x, std::size_t begin,
+                            std::size_t end, core::Matrix& storage) const;
+
+  /// Stage 2 alone: cosine scores of an already-encoded view; `out` is
+  /// resized to h.rows() x num_classes().
+  void scores_encoded(const EncodedBatch& h, core::Matrix& out) const;
+
+  /// Resize the serving encode cache: `capacity_rows` rows of raw +
+  /// encoded storage, 0 disables caching entirely. fit() and load()
+  /// install the CYBERHD_ENCODE_CACHE env default automatically; call
+  /// this to re-pin it (tests pin tiny evicting caches, servers size it
+  /// to their flow working set). Resets hit/miss statistics.
+  void set_encode_cache(std::size_t capacity_rows);
+
+  /// The serving encode cache, or nullptr when disabled. Exposes stats()
+  /// and clear(); safe to use concurrently with scoring calls.
+  EncodeCache* encode_cache() const noexcept { return encode_cache_.get(); }
 
   /// Diagnostics of the last fit() call.
   const FitReport& last_fit_report() const noexcept { return report_; }
@@ -157,17 +191,28 @@ class CyberHdClassifier final : public core::Classifier {
   /// Encode a raw sample with the trained encoder (valid after fit()).
   void encode(std::span<const float> x, std::span<float> h) const;
 
+  /// Default chunk size of the streamed class-matrix section: models whose
+  /// weight payload exceeds this stream through fixed-size
+  /// CRC32C-checksummed chunks (tag MDLC) with writer memory bounded by
+  /// one chunk; smaller models keep the single-section MDL0 layout.
+  static constexpr std::size_t kDefaultModelChunkBytes = 1 << 20;
+
   /// Persist the trained classifier (config, encoder, class hypervectors,
   /// and the effective-D ledger) to a binary stream. Format version 2:
-  /// three CRC32C-checksummed sections (config, encoder, model), so
-  /// payload corruption is detected at load time.
-  void save(std::ostream& out) const;
+  /// CRC32C-checksummed sections (config, encoder, model); the model
+  /// section switches to the chunked MDLC layout when its payload exceeds
+  /// `model_chunk_bytes`, so a D x classes matrix beyond RAM never has to
+  /// be buffered whole. Tests pass a tiny chunk size to force the chunked
+  /// layout on small models.
+  void save(std::ostream& out,
+            std::size_t model_chunk_bytes = kDefaultModelChunkBytes) const;
   /// Convenience: save to a file. Throws std::runtime_error on I/O error.
   void save_file(const std::string& path) const;
   /// Reconstruct a trained classifier from a stream written by save().
-  /// Accepts both the checksummed version-2 format and the pre-checksum
-  /// version-1 layout. Throws std::runtime_error on malformed or corrupt
-  /// input (checksum failures name the offending section).
+  /// Accepts the checksummed version-2 format (with either model-section
+  /// layout, single MDL0 or chunked MDLC) and the pre-checksum version-1
+  /// layout. Throws std::runtime_error on malformed or corrupt input
+  /// (checksum failures name the offending section).
   static CyberHdClassifier load(std::istream& in);
   /// Convenience: load from a file.
   static CyberHdClassifier load_file(const std::string& path);
@@ -190,6 +235,10 @@ class CyberHdClassifier final : public core::Classifier {
   std::optional<RegenController> regen_;
   FitReport report_;
   std::size_t num_classes_ = 0;
+  // Serving-side encode cache (stage 1 of the pipeline); nullptr when
+  // disabled. The EncodeCache is internally synchronized, so const
+  // scoring calls from many threads stay safe.
+  std::unique_ptr<EncodeCache> encode_cache_;
   // Note: no shared encode scratch — predict()/scores() allocate per call so
   // concurrent const calls from many threads are safe (the encode itself
   // dominates the cost of a D-float allocation by orders of magnitude).

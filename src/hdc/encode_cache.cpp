@@ -1,0 +1,226 @@
+#include "hdc/encode_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "hdc/encoder.hpp"
+
+namespace cyberhd::hdc {
+
+std::size_t EncodeCache::capacity_from_env() noexcept {
+  const char* raw = std::getenv("CYBERHD_ENCODE_CACHE");
+  if (raw == nullptr || *raw == '\0') return kDefaultCapacityRows;
+  if (*raw < '0' || *raw > '9') return kDefaultCapacityRows;  // malformed
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || (end != nullptr && *end != '\0')) {
+    return kDefaultCapacityRows;
+  }
+  // "0" is an explicit disable; bound the rest so a typo cannot demand
+  // terabytes of ring storage.
+  constexpr unsigned long long kMaxRows = 1ULL << 24;  // 16M rows
+  return static_cast<std::size_t>(std::min(value, kMaxRows));
+}
+
+EncodeCache::EncodeCache(std::size_t input_dim, std::size_t encoded_dim,
+                         std::size_t capacity_rows)
+    : input_dim_(input_dim),
+      encoded_dim_(encoded_dim),
+      capacity_(capacity_rows) {
+  assert(input_dim > 0 && encoded_dim > 0 && capacity_rows > 0);
+}
+
+void EncodeCache::ensure_storage() {
+  if (raw_.rows() == capacity_) return;
+  raw_.resize(capacity_, input_dim_);
+  encoded_.resize(capacity_, encoded_dim_);
+  slot_hash_.assign(capacity_, 0);
+  occupied_.assign(capacity_, false);
+  index_.reserve(capacity_);
+}
+
+std::size_t EncodeCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+void EncodeCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  index_.clear();
+  std::fill(occupied_.begin(), occupied_.end(), false);
+  next_slot_ = 0;
+  stats_ = {};
+}
+
+EncodeCacheStats EncodeCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::uint64_t EncodeCache::hash_row(std::span<const float> x) noexcept {
+  // FNV-1a 64 over the raw bytes: cheap relative to even one hypervector
+  // dimension's encode, and collisions are harmless (find_slot verifies
+  // content before serving a hit).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(x.data());
+  const std::size_t n = x.size_bytes();
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::size_t EncodeCache::find_slot(std::uint64_t hash,
+                                   std::span<const float> x) const {
+  // Before the first insert the index is empty, so the unallocated ring
+  // is never dereferenced.
+  const auto it = index_.find(hash);
+  if (it == index_.end()) return capacity_;
+  const std::size_t slot = it->second;
+  if (!occupied_[slot] || slot_hash_[slot] != hash) return capacity_;
+  // Content verification: a colliding row must re-encode, never replay
+  // another flow's hypervector.
+  if (std::memcmp(raw_.row(slot).data(), x.data(), x.size_bytes()) != 0) {
+    return capacity_;
+  }
+  return slot;
+}
+
+void EncodeCache::insert(std::uint64_t hash, std::span<const float> x,
+                         std::span<const float> h) {
+  const std::size_t slot = next_slot_;
+  next_slot_ = (next_slot_ + 1) % capacity_;
+  if (occupied_[slot]) {
+    // Ring eviction: drop the index entry that still points at this slot
+    // (a later insert of the same hash may have redirected it already).
+    const auto it = index_.find(slot_hash_[slot]);
+    if (it != index_.end() && it->second == slot) index_.erase(it);
+    ++stats_.evictions;
+  }
+  std::copy(x.begin(), x.end(), raw_.row(slot).begin());
+  std::copy(h.begin(), h.end(), encoded_.row(slot).begin());
+  slot_hash_[slot] = hash;
+  occupied_[slot] = true;
+  index_[hash] = static_cast<std::uint32_t>(slot);
+}
+
+std::size_t EncodeCache::encode_rows(const Encoder& encoder,
+                                     const core::Matrix& x,
+                                     std::size_t begin, std::size_t end,
+                                     core::Matrix& h,
+                                     const core::ExecutionContext& exec) {
+  assert(end >= begin && end <= x.rows());
+  assert(x.cols() == input_dim_);
+  assert(h.cols() == encoded_dim_ && h.rows() >= end - begin);
+  const std::size_t m = end - begin;
+  if (m == 0) return 0;
+
+  // Probe pass (serial, under the lock): copy hits straight into the
+  // output rows, collect miss indices. The copies are memcpy-cheap next to
+  // the encodes they replace. A row repeated *within* this batch — common
+  // when a large planner drain covers many arrivals of the same flow —
+  // encodes once: later occurrences are deduplicated against the first
+  // one and copied after the encode pass.
+  // Hashing is a pure function of the rows — do it before taking the
+  // lock, so concurrent scorers only serialize on the index lookups and
+  // hit copies, not on the full-batch hash sweep.
+  std::vector<std::uint64_t> hashes(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    hashes[i] = hash_row(x.row(begin + i));
+  }
+  std::vector<std::size_t> misses;
+  struct BatchDup {
+    std::size_t row;  // this occurrence
+    std::size_t src;  // the batch row whose fresh encode it copies
+  };
+  std::vector<BatchDup> dups;
+  std::unordered_map<std::uint64_t, std::size_t> batch_first;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto row = x.row(begin + i);
+      const std::size_t slot = find_slot(hashes[i], row);
+      if (slot < capacity_) {
+        const auto cached = encoded_.row(slot);
+        std::copy(cached.begin(), cached.end(), h.row(i).begin());
+        ++stats_.hits;
+        continue;
+      }
+      const auto [first, is_new] = batch_first.try_emplace(hashes[i], i);
+      if (!is_new &&
+          std::memcmp(x.row(begin + first->second).data(), row.data(),
+                      row.size_bytes()) == 0) {
+        dups.push_back({i, first->second});
+        ++stats_.hits;
+      } else {
+        misses.push_back(i);
+        ++stats_.misses;
+      }
+    }
+  }
+
+  // Encode pass (parallel, lock-free): every miss encodes into its own
+  // output row; per-row encodes are independent, so results never depend
+  // on the split.
+  exec.parallel_for(
+      misses.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          const std::size_t i = misses[j];
+          encoder.encode(x.row(begin + i), h.row(i));
+        }
+      },
+      /*grain=*/16);
+
+  // In-batch duplicates replay the fresh encode of their first occurrence
+  // (bit-identical by encoder determinism, like any cache hit).
+  for (const BatchDup& d : dups) {
+    const auto src = h.row(d.src);
+    std::copy(src.begin(), src.end(), h.row(d.row).begin());
+  }
+
+  // Insert pass (serial, under the lock): fresh encodes enter the ring in
+  // row order. In-batch duplicates never reach the misses list (the probe
+  // pass routed them into `dups`), so each distinct row inserts at most
+  // once; the re-probe guards against a concurrent caller having inserted
+  // the same row between our probe and now.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!misses.empty()) ensure_storage();
+    for (const std::size_t i : misses) {
+      if (find_slot(hashes[i], x.row(begin + i)) < capacity_) continue;
+      insert(hashes[i], x.row(begin + i), h.row(i));
+    }
+  }
+  return m - misses.size();
+}
+
+EncodedBatch encode_block_cached(const Encoder& encoder, EncodeCache* cache,
+                                 const core::Matrix& x, std::size_t begin,
+                                 std::size_t end, core::Matrix& storage,
+                                 const core::ExecutionContext& exec) {
+  assert(end >= begin && end <= x.rows());
+  const std::size_t m = end - begin;
+  const std::size_t dims = encoder.output_dim();
+  if (storage.rows() < m || storage.cols() != dims) {
+    storage.resize(m, dims);
+  }
+  if (cache != nullptr) {
+    cache->encode_rows(encoder, x, begin, end, storage, exec);
+  } else {
+    exec.parallel_for(
+        m,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            encoder.encode(x.row(begin + i), storage.row(i));
+          }
+        },
+        /*grain=*/16);
+  }
+  return EncodedBatch::front_of(storage, m);
+}
+
+}  // namespace cyberhd::hdc

@@ -1,0 +1,135 @@
+// Content-addressed encode cache — the stage between encoding and scoring
+// that lets repeated flows skip the encode entirely.
+//
+// NIDS serving traffic is dominated by recurring flows: the same feature
+// vector arrives again and again (heartbeats, retries, scans, the benign
+// background). Encoding is the expensive stage (D x F multiply-adds plus a
+// cosine per hypervector dimension, ~10x the scoring cost at NIDS shapes),
+// yet its output is a pure function of the raw row once the encoder is
+// trained. The cache exploits exactly that: rows are keyed by a 64-bit
+// content hash of their raw feature bytes, hits are verified by comparing
+// the stored raw row byte-for-byte (a hash collision can therefore never
+// serve a wrong vector — the bit-identical-scores contract survives
+// adversarial inputs), and storage is a fixed-capacity ring so the working
+// set of a stream ages out FIFO with zero per-hit bookkeeping.
+//
+// Determinism contract: a hit replays the float vector a previous encode
+// produced for the *identical* raw row; encoders are deterministic, so
+// scores computed through the cache are bit-identical to cache-off scoring
+// for any capacity, eviction pattern, thread count, or kernel backend.
+//
+// The capacity knob is CYBERHD_ENCODE_CACHE (rows; 0 disables) — see
+// capacity_from_env().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/exec/execution_context.hpp"
+#include "core/matrix.hpp"
+#include "hdc/encoded_batch.hpp"
+
+namespace cyberhd::hdc {
+
+class Encoder;
+
+/// Hit/miss counters of one cache (cumulative since the last clear()).
+struct EncodeCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Fixed-capacity, ring-evicting, content-addressed cache of encoded rows.
+/// Thread-safe: probe and insert phases serialize on an internal mutex;
+/// the miss encodes themselves run outside it, split across the execution
+/// context's pool.
+class EncodeCache {
+ public:
+  /// Default capacity when CYBERHD_ENCODE_CACHE is unset: 4096 rows (at
+  /// D = 512 about 8 MiB of encoded vectors — one L3's worth).
+  static constexpr std::size_t kDefaultCapacityRows = 4096;
+
+  /// The CYBERHD_ENCODE_CACHE knob: a row count ("8192"), 0 to disable,
+  /// kDefaultCapacityRows when unset or malformed.
+  static std::size_t capacity_from_env() noexcept;
+
+  /// A cache for rows of `input_dim` raw features encoding to
+  /// `encoded_dim` hypervector floats, holding up to `capacity_rows` rows.
+  /// The ring storage (capacity x (input_dim + encoded_dim) floats) is
+  /// allocated lazily on the first insert, so models that never take the
+  /// batch serving path pay nothing for the default-armed cache.
+  EncodeCache(std::size_t input_dim, std::size_t encoded_dim,
+              std::size_t capacity_rows);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t input_dim() const noexcept { return input_dim_; }
+  std::size_t encoded_dim() const noexcept { return encoded_dim_; }
+  /// Rows currently resident.
+  std::size_t size() const;
+
+  /// Drop every resident row and reset the stats.
+  void clear();
+
+  EncodeCacheStats stats() const;
+
+  /// FNV-1a 64-bit content hash of a raw row's bytes.
+  static std::uint64_t hash_row(std::span<const float> x) noexcept;
+
+  /// The stage-1 driver: fill rows [0, end - begin) of `h` with the
+  /// encodings of rows [begin, end) of `x` — hits copied out of the ring,
+  /// misses encoded through `encoder` (split across the context's pool)
+  /// and then inserted. `h` must already be sized to at least
+  /// (end - begin) x encoded_dim. Returns the number of hits.
+  std::size_t encode_rows(const Encoder& encoder, const core::Matrix& x,
+                          std::size_t begin, std::size_t end,
+                          core::Matrix& h,
+                          const core::ExecutionContext& exec);
+
+ private:
+  /// Slot index of the verified-resident row, or capacity_ when absent.
+  /// Caller holds mutex_.
+  std::size_t find_slot(std::uint64_t hash,
+                        std::span<const float> x) const;
+  /// Insert (or refresh) a row into the ring. Caller holds mutex_.
+  void insert(std::uint64_t hash, std::span<const float> x,
+              std::span<const float> h);
+  /// Allocate the ring storage on first use. Caller holds mutex_.
+  void ensure_storage();
+
+  std::size_t input_dim_;
+  std::size_t encoded_dim_;
+  std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  // Ring storage, empty until the first insert (see ensure_storage):
+  core::Matrix raw_;       // capacity x input_dim: the verification copies
+  core::Matrix encoded_;   // capacity x encoded_dim: the cached vectors
+  std::vector<std::uint64_t> slot_hash_;  // per slot; valid when occupied
+  std::vector<bool> occupied_;
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;  // hash -> slot
+  std::size_t next_slot_ = 0;  // ring cursor
+  EncodeCacheStats stats_;
+};
+
+/// The stage-1 driver shared by the float and quantized serving
+/// pipelines: fill rows [0, end - begin) of `storage` (resized when too
+/// small) with the encodings of rows [begin, end) of `x` — through
+/// `cache` when one is supplied, with a plain pool-parallel encode
+/// otherwise. Returns the EncodedBatch handoff view over the filled rows.
+EncodedBatch encode_block_cached(const Encoder& encoder, EncodeCache* cache,
+                                 const core::Matrix& x, std::size_t begin,
+                                 std::size_t end, core::Matrix& storage,
+                                 const core::ExecutionContext& exec);
+
+}  // namespace cyberhd::hdc

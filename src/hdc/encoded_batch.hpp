@@ -1,0 +1,69 @@
+// EncodedBatch — the view type the stage-split serving pipeline hands
+// between its two stages.
+//
+// Stage 1 (Encoder::encode_batch, or the encode cache on its behalf) fills
+// a caller-owned row-major buffer and returns an EncodedBatch over it;
+// stage 2 (HdcModel::similarities_batch / the quantized scorer) consumes
+// the view without caring whether the rows came from a fresh encode, a
+// cache hit, or a slice of a larger staging buffer. Keeping the handoff a
+// non-owning view is what lets the batch planner cut one logical batch
+// into L3-resident sub-batches without copies, and lets callers reuse one
+// staging buffer across pipeline iterations.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+
+#include "core/matrix.hpp"
+
+namespace cyberhd::hdc {
+
+/// Non-owning view of `rows` encoded hypervectors laid out row-major and
+/// contiguously (`dims` floats per row, no inter-row padding) — the
+/// contract the tile-scoring kernels need. Cheap to copy; never outlives
+/// the buffer it views.
+class EncodedBatch {
+ public:
+  EncodedBatch() = default;
+  EncodedBatch(const float* data, std::size_t rows, std::size_t dims)
+      : data_(data), rows_(rows), dims_(dims) {
+    assert(data != nullptr || rows == 0);
+  }
+
+  /// View over every row of a matrix of encoded samples.
+  static EncodedBatch of(const core::Matrix& m) noexcept {
+    return {m.data(), m.rows(), m.cols()};
+  }
+  /// View over the first `rows` rows of a (possibly larger) staging
+  /// matrix — the encode stage fills exactly the front of its buffer.
+  static EncodedBatch front_of(const core::Matrix& m,
+                               std::size_t rows) noexcept {
+    assert(rows <= m.rows());
+    return {m.data(), rows, m.cols()};
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t dims() const noexcept { return dims_; }
+  bool empty() const noexcept { return rows_ == 0; }
+  const float* data() const noexcept { return data_; }
+
+  std::span<const float> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_ + r * dims_, dims_};
+  }
+
+  /// Sub-view of `count` rows starting at `begin` — how the batch planner
+  /// carves per-domain sub-batches out of one encoded block.
+  EncodedBatch slice(std::size_t begin, std::size_t count) const noexcept {
+    assert(begin + count <= rows_);
+    return {data_ + begin * dims_, count, dims_};
+  }
+
+ private:
+  const float* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t dims_ = 0;
+};
+
+}  // namespace cyberhd::hdc

@@ -12,8 +12,8 @@
 
 namespace cyberhd::hdc {
 
-void Encoder::encode_batch(const core::Matrix& x, core::Matrix& h,
-                           const core::ExecutionContext& exec) const {
+EncodedBatch Encoder::encode_batch(const core::Matrix& x, core::Matrix& h,
+                                   const core::ExecutionContext& exec) const {
   assert(x.cols() == input_dim());
   h.resize(x.rows(), output_dim());
   exec.parallel_for(
@@ -24,6 +24,7 @@ void Encoder::encode_batch(const core::Matrix& x, core::Matrix& h,
         }
       },
       /*grain=*/16);
+  return EncodedBatch::of(h);
 }
 
 void Encoder::encode_batch_dims(const core::Matrix& x,

@@ -28,6 +28,7 @@
 #include "core/exec/execution_context.hpp"
 #include "core/matrix.hpp"
 #include "core/rng.hpp"
+#include "hdc/encoded_batch.hpp"
 
 namespace cyberhd::hdc {
 
@@ -71,10 +72,12 @@ class Encoder {
 
   /// Encode every row of X into the matching row of H (resized to
   /// X.rows() x output_dim()). The sample range splits across the
-  /// context's pool when it has one.
-  void encode_batch(const core::Matrix& x, core::Matrix& h,
-                    const core::ExecutionContext& exec =
-                        core::ExecutionContext::serial()) const;
+  /// context's pool when it has one. Returns the stage-1 handoff view over
+  /// H that the scoring stage (HdcModel::similarities_batch, the quantized
+  /// scorer) consumes.
+  EncodedBatch encode_batch(const core::Matrix& x, core::Matrix& h,
+                            const core::ExecutionContext& exec =
+                                core::ExecutionContext::serial()) const;
 
   /// Recompute columns `dims` of H for every row of X (after regeneration).
   /// The default loops encode_dims() row by row; families whose

@@ -34,8 +34,20 @@ void HdcModel::similarities(std::span<const float> h,
 void HdcModel::similarities_batch(const core::Matrix& h,
                                   core::Matrix& scores,
                                   const core::ExecutionContext& exec) const {
-  assert(h.cols() == dims());
+  similarities_batch(EncodedBatch::of(h), scores, exec);
+}
+
+void HdcModel::similarities_batch(const EncodedBatch& h,
+                                  core::Matrix& scores,
+                                  const core::ExecutionContext& exec) const {
   scores.resize(h.rows(), num_classes());
+  if (h.rows() == 0) return;
+  similarities_into(h, scores.data(), exec);
+}
+
+void HdcModel::similarities_into(const EncodedBatch& h, float* out,
+                                 const core::ExecutionContext& exec) const {
+  assert(h.dims() == dims());
   if (h.rows() == 0) return;
   const std::size_t C = num_classes();
   const std::size_t D = dims();
@@ -55,13 +67,13 @@ void HdcModel::similarities_batch(const core::Matrix& h,
   const auto body = [&](std::size_t begin, std::size_t end) {
     for (std::size_t t = begin; t < end; t += tile_rows) {
       const std::size_t rows = std::min(tile_rows, end - t);
-      float* out = scores.row(t).data();
+      float* block = out + t * C;
       k.similarities_tile_f32(h.row(t).data(), rows, classes_.data(), C, D,
-                              out);
+                              block);
       for (std::size_t r = 0; r < rows; ++r) {
         const float hn = core::norm2(h.row(t + r));
         for (std::size_t c = 0; c < C; ++c) {
-          float& s = out[r * C + c];
+          float& s = block[r * C + c];
           s = cosine_from_dot(s, hn, class_norms[c]);
         }
       }

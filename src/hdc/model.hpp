@@ -13,6 +13,7 @@
 
 #include "core/exec/execution_context.hpp"
 #include "core/matrix.hpp"
+#include "hdc/encoded_batch.hpp"
 
 namespace cyberhd::hdc {
 
@@ -68,6 +69,21 @@ class HdcModel {
   void similarities_batch(const core::Matrix& h, core::Matrix& scores,
                           const core::ExecutionContext& exec =
                               core::ExecutionContext::serial()) const;
+
+  /// Stage-2 entry of the serving pipeline: the same scoring over an
+  /// EncodedBatch view (however its rows were produced — fresh encode,
+  /// cache replay, or a planner sub-slice).
+  void similarities_batch(const EncodedBatch& h, core::Matrix& scores,
+                          const core::ExecutionContext& exec =
+                              core::ExecutionContext::serial()) const;
+
+  /// Scoring into caller-owned storage: writes h.rows() x num_classes()
+  /// floats row-major at `out`. This is what lets the staged scores_batch
+  /// drivers score one sub-batch directly into its row range of the full
+  /// output matrix, with no per-sub-batch resize or copy.
+  void similarities_into(const EncodedBatch& h, float* out,
+                         const core::ExecutionContext& exec =
+                             core::ExecutionContext::serial()) const;
 
   /// argmax-of-cosine classification of an encoded query.
   std::size_t predict_encoded(std::span<const float> h) const noexcept;

@@ -110,7 +110,9 @@ QuantizedCyberHd::QuantizedCyberHd(const CyberHdClassifier& trained,
     : encoder_(trained.encoder().clone()),
       model_(trained.model(), bits),
       exec_(trained.config().parallel ? core::ExecutionContext::process()
-                                      : core::ExecutionContext::serial()) {}
+                                      : core::ExecutionContext::serial()) {
+  set_encode_cache(EncodeCache::capacity_from_env());
+}
 
 void QuantizedCyberHd::fit(const core::Matrix&, std::span<const int>,
                            std::size_t) {
@@ -133,19 +135,55 @@ void QuantizedCyberHd::scores(std::span<const float> x,
   model_.similarities(encoded, out);
 }
 
-void QuantizedCyberHd::scores_batch(const core::Matrix& x,
-                                    core::Matrix& out) const {
-  core::Matrix encoded;
-  encoder_->encode_batch(x, encoded, exec_);
-  out.resize(x.rows(), model_.num_classes());
+std::size_t QuantizedCyberHd::preferred_batch_rows(
+    const core::Matrix&) const {
+  return exec_.plan_serving(model_.dims()).batch_rows;
+}
+
+void QuantizedCyberHd::scores_encoded(const EncodedBatch& h,
+                                      core::Matrix& out) const {
+  assert(h.dims() == model_.dims());
+  out.resize(h.rows(), model_.num_classes());
   exec_.parallel_for(
-      x.rows(),
+      h.rows(),
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          model_.similarities(encoded.row(i), out.row(i));
+          model_.similarities(h.row(i), out.row(i));
         }
       },
       /*grain=*/32);
+}
+
+void QuantizedCyberHd::scores_block(const core::Matrix& x,
+                                    std::size_t begin, std::size_t end,
+                                    core::Matrix& out) const {
+  const std::size_t m = end - begin;
+  if (m == 0) return;
+  // Stage 1: the shared cached-encode driver (hits replayed from the
+  // ring, misses encoded across the pool); staging is thread_local so the
+  // block loop reuses one allocation per calling thread.
+  thread_local core::Matrix staging;
+  const EncodedBatch encoded =
+      encode_block_cached(*encoder_, encode_cache_.get(), x, begin, end,
+                          staging, exec_);
+  // Stage 2: quantized scoring of the view into the block's output rows.
+  exec_.parallel_for(
+      m,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          model_.similarities(encoded.row(i), out.row(begin + i));
+        }
+      },
+      /*grain=*/32);
+}
+
+void QuantizedCyberHd::set_encode_cache(std::size_t capacity_rows) {
+  if (capacity_rows == 0) {
+    encode_cache_.reset();
+    return;
+  }
+  encode_cache_ = std::make_unique<EncodeCache>(
+      encoder_->input_dim(), encoder_->output_dim(), capacity_rows);
 }
 
 std::string QuantizedCyberHd::name() const {

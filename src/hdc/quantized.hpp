@@ -24,6 +24,8 @@
 #include "core/exec/execution_context.hpp"
 #include "core/quantize.hpp"
 #include "hdc/cyberhd.hpp"
+#include "hdc/encode_cache.hpp"
+#include "hdc/encoded_batch.hpp"
 #include "hdc/model.hpp"
 
 namespace cyberhd::hdc {
@@ -111,11 +113,30 @@ class QuantizedCyberHd final : public core::Classifier {
   int predict(std::span<const float> x) const override;
   /// Quantized-domain cosine similarities of one raw sample.
   void scores(std::span<const float> x, std::span<float> out) const override;
-  /// Batch path: one encode_batch pass over the tile, then quantized
-  /// scoring per row, split across the execution context's pool.
-  /// predict_batch (from core::Classifier) rides this override.
-  void scores_batch(const core::Matrix& x,
-                    core::Matrix& out) const override;
+
+  // -- stage-split serving pipeline (mirrors CyberHdClassifier) --------------
+
+  /// Sub-batch size of the staged scores_batch driver: the execution
+  /// context's L3-aware serving plan over the encoded width D.
+  std::size_t preferred_batch_rows(const core::Matrix& x) const override;
+  /// One planned block: cached encode of rows [begin, end), then
+  /// quantized scoring of the EncodedBatch view into the block's rows of
+  /// `out`, split across the execution context's pool. predict_batch
+  /// (from core::Classifier) rides the same driver.
+  void scores_block(const core::Matrix& x, std::size_t begin,
+                    std::size_t end, core::Matrix& out) const override;
+  /// Stage 2 alone: quantized-domain scores of an already-encoded view;
+  /// `out` is resized to h.rows() x num_classes().
+  void scores_encoded(const EncodedBatch& h, core::Matrix& out) const;
+
+  /// Resize the serving encode cache (0 disables). The constructor
+  /// installs the CYBERHD_ENCODE_CACHE env default; the quantized
+  /// snapshot owns its own cache — its cloned encoder's outputs are what
+  /// it replays. Resets hit/miss statistics.
+  void set_encode_cache(std::size_t capacity_rows);
+  /// The serving encode cache, or nullptr when disabled.
+  EncodeCache* encode_cache() const noexcept { return encode_cache_.get(); }
+
   std::string name() const override;
 
   int bits() const noexcept { return model_.bits(); }
@@ -126,6 +147,7 @@ class QuantizedCyberHd final : public core::Classifier {
   std::unique_ptr<Encoder> encoder_;
   QuantizedHdcModel model_;
   core::ExecutionContext exec_;
+  std::unique_ptr<EncodeCache> encode_cache_;
 };
 
 }  // namespace cyberhd::hdc

@@ -48,6 +48,41 @@ TEST(CacheTopology, EnvOverridePinsL2) {
   ::unsetenv("CYBERHD_L2_BYTES");
 }
 
+TEST(CacheTopology, DetectionYieldsSaneL3) {
+  const CacheTopology topo = CacheTopology::detect();
+  // The conservative fallback is 8 MiB / 1 domain; real detection can only
+  // replace those with plausible values.
+  EXPECT_GE(topo.l3_bytes, 512u * 1024);
+  EXPECT_GE(topo.l3_domains, 1u);
+}
+
+TEST(CacheTopology, EnvOverridePinsL3) {
+  ::setenv("CYBERHD_L3_BYTES", "33554432", 1);
+  EXPECT_EQ(CacheTopology::detect().l3_bytes, 32u * 1024 * 1024);
+  ::setenv("CYBERHD_L3_BYTES", "16m", 1);
+  EXPECT_EQ(CacheTopology::detect().l3_bytes, 16u * 1024 * 1024);
+  ::setenv("CYBERHD_L3_BYTES", "512k", 1);
+  EXPECT_EQ(CacheTopology::detect().l3_bytes, 512u * 1024);
+  // Malformed values fall back to detection, never to zero.
+  for (const char* bad : {"banana", "-1", "-4096", "99999g", "1mm", ""}) {
+    ::setenv("CYBERHD_L3_BYTES", bad, 1);
+    const std::size_t l3 = CacheTopology::detect().l3_bytes;
+    EXPECT_GT(l3, 0u) << bad;
+    EXPECT_LT(l3, std::size_t{1} << 41) << bad;
+  }
+  ::unsetenv("CYBERHD_L3_BYTES");
+}
+
+TEST(CacheTopology, L2AndL3OverridesAreIndependent) {
+  ::setenv("CYBERHD_L2_BYTES", "1m", 1);
+  ::setenv("CYBERHD_L3_BYTES", "24m", 1);
+  const CacheTopology topo = CacheTopology::detect();
+  EXPECT_EQ(topo.l2_bytes, 1u * 1024 * 1024);
+  EXPECT_EQ(topo.l3_bytes, 24u * 1024 * 1024);
+  ::unsetenv("CYBERHD_L2_BYTES");
+  ::unsetenv("CYBERHD_L3_BYTES");
+}
+
 TEST(ExecutionContext, SerialHasNoPoolProcessHasOne) {
   EXPECT_EQ(ExecutionContext::serial().pool(), nullptr);
   EXPECT_EQ(ExecutionContext::serial().workers(), 1u);
@@ -119,6 +154,66 @@ TEST(ExecutionContext, TrainBatchRowsMatchesScoreBlock) {
   for (std::size_t dims : {512u, 4096u, 10240u}) {
     EXPECT_EQ(ctx.train_batch_rows(dims), ctx.score_block_rows(dims));
   }
+}
+
+TEST(ExecutionContext, ServingBlockRowsDerivesFromL3) {
+  // A 32 MiB shared L3 at D = 10240 derives a 256-row sub-batch
+  // (32 MiB / 3 / 40 KiB ~ 273 -> pow2 256), the exact analogue of the
+  // L2 -> 16-row derivation of score_block_rows.
+  const CacheTopology topo{.line_bytes = 64,
+                           .l1d_bytes = 32 * 1024,
+                           .l2_bytes = 2 * 1024 * 1024,
+                           .l3_bytes = 32 * 1024 * 1024,
+                           .l3_domains = 1};
+  const ExecutionContext ctx(nullptr, nullptr, topo);
+  EXPECT_EQ(ctx.serving_block_rows(10240), 256u);
+  // Small hypervectors hit the 4096-row cap.
+  EXPECT_EQ(ctx.serving_block_rows(512), 4096u);
+  // Huge hypervectors degrade to the L2 scoring tile, never to zero.
+  EXPECT_EQ(ctx.serving_block_rows(100'000'000), 1u);
+  // A smaller L3 derives a smaller sub-batch.
+  CacheTopology small = topo;
+  small.l3_bytes = 8 * 1024 * 1024;
+  EXPECT_EQ(ExecutionContext(nullptr, nullptr, small)
+                .serving_block_rows(10240),
+            64u);
+  // The sub-batch never drops below the L2 scoring block it feeds, even
+  // when a (mis)detected L3 is no bigger than L2.
+  CacheTopology tiny = topo;
+  tiny.l3_bytes = 2 * 1024 * 1024;
+  const ExecutionContext tiny_ctx(nullptr, nullptr, tiny);
+  EXPECT_GE(tiny_ctx.serving_block_rows(10240),
+            tiny_ctx.score_block_rows(10240));
+}
+
+TEST(ExecutionContext, ServingPlanCoversEveryL3Domain) {
+  CacheTopology topo{.line_bytes = 64,
+                     .l1d_bytes = 32 * 1024,
+                     .l2_bytes = 2 * 1024 * 1024,
+                     .l3_bytes = 32 * 1024 * 1024,
+                     .l3_domains = 2};
+  const ExecutionContext ctx(nullptr, nullptr, topo);
+  const ServingPlan plan = ctx.plan_serving(10240);
+  EXPECT_EQ(plan.block_rows, 256u);
+  EXPECT_EQ(plan.domains, 2u);
+  EXPECT_EQ(plan.batch_rows, 512u);
+  // A zeroed domain count (hand-built topologies) still yields a plan.
+  topo.l3_domains = 0;
+  const ServingPlan fallback =
+      ExecutionContext(nullptr, nullptr, topo).plan_serving(10240);
+  EXPECT_EQ(fallback.domains, 1u);
+  EXPECT_EQ(fallback.batch_rows, fallback.block_rows);
+}
+
+TEST(ExecutionContext, ServingPlanPinnedByL3EnvOverride) {
+  // The acceptance pin: CYBERHD_L3_BYTES drives the serving split end to
+  // end — detect() -> topology -> planner.
+  ::setenv("CYBERHD_L3_BYTES", "12m", 1);
+  const ExecutionContext ctx(nullptr, nullptr, CacheTopology::detect());
+  EXPECT_EQ(ctx.cache().l3_bytes, 12u * 1024 * 1024);
+  // 12 MiB / 3 / 40 KiB ~ 102 -> pow2 64.
+  EXPECT_EQ(ctx.plan_serving(10240).block_rows, 64u);
+  ::unsetenv("CYBERHD_L3_BYTES");
 }
 
 TEST(ExecutionContext, InjectedKernelsAreUsed) {

@@ -353,6 +353,33 @@ TEST(FieldOrderDrift, ClassifierEncoderKindMismatchIsRejected) {
   }
 }
 
+TEST(FieldOrderDrift, HeaderModelClassCountMismatchIsRejected) {
+  // CFG0's num_classes and the model section's k must agree: the staged
+  // scores_batch driver sizes outputs from the header while scoring
+  // writes one column per model class, so a mismatched (yet
+  // individually CRC-valid) file must be rejected at load, not become an
+  // out-of-bounds write at serving time.
+  const TrainedSmall t;  // 3 classes
+  std::stringstream buffer;
+  t.model.save(buffer);
+  std::string bytes = buffer.str();
+  const auto sections = parse_sections(bytes);
+  ASSERT_GE(sections.size(), 3u);
+  ASSERT_EQ(sections[0].tag, "CFG0");
+  // num_classes is the 10th header field: offset 8+8+4+8+8+8+8+4+8 = 64.
+  ASSERT_EQ(bytes[sections[0].payload_offset + 64], 3);
+  bytes[sections[0].payload_offset + 64] = 4;
+  fix_section_crc(bytes, sections[0]);
+  std::stringstream in(bytes);
+  try {
+    CyberHdClassifier::load(in);
+    FAIL() << "class-count mismatch must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("inconsistent"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(FieldOrderDrift, ClassifierOutOfRangeEncoderKindIsRejected) {
   const TrainedSmall t;
   std::stringstream buffer;
@@ -484,6 +511,136 @@ void save_v1_layout(const CyberHdClassifier& model, std::ostream& out) {
 }
 
 }  // namespace
+
+// ---- chunked model section (MDLC): streaming writer back-compat ------------
+
+/// Byte offset of the MDLC tag in a stream written with a forced-small
+/// chunk size (right after the CFG0 and ENC0 sections).
+std::size_t mdlc_offset(const std::string& bytes) {
+  std::size_t off = 4 + 8;  // "CYHD" + version word
+  for (int i = 0; i < 2; ++i) {  // CFG0, ENC0
+    const std::uint64_t size = read_le_u64(bytes, off + 4);
+    off += 12 + size + 8;
+  }
+  EXPECT_EQ(bytes.substr(off, 4), "MDLC");
+  return off;
+}
+
+TEST(ChunkedFormat, ForcedChunkedSaveRoundTripsIdentically) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer, /*model_chunk_bytes=*/64);
+  const std::string bytes = buffer.str();
+  mdlc_offset(bytes);  // asserts the chunked layout actually engaged
+  const CyberHdClassifier restored = CyberHdClassifier::load(buffer);
+  EXPECT_EQ(restored.model().weights(), t.model.model().weights());
+  for (std::size_t i = 0; i < t.x.rows(); i += 7) {
+    EXPECT_EQ(restored.predict(t.x.row(i)), t.model.predict(t.x.row(i)));
+  }
+}
+
+TEST(ChunkedFormat, ChunkedAndBufferedLayoutsRestoreTheSameModel) {
+  const TrainedSmall t;
+  std::stringstream chunked, buffered;
+  t.model.save(chunked, /*model_chunk_bytes=*/128);
+  t.model.save(buffered);  // small model: stays MDL0
+  const CyberHdClassifier from_chunked = CyberHdClassifier::load(chunked);
+  const CyberHdClassifier from_buffered = CyberHdClassifier::load(buffered);
+  EXPECT_EQ(from_chunked.model().weights(),
+            from_buffered.model().weights());
+  EXPECT_EQ(from_chunked.effective_dims(), from_buffered.effective_dims());
+}
+
+TEST(ChunkedFormat, SmallModelsKeepTheBufferedLayoutByDefault) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer);
+  const auto sections = parse_sections(buffer.str());
+  ASSERT_EQ(sections.size(), 3u);
+  EXPECT_EQ(sections[2].tag, "MDL0");
+}
+
+TEST(ChunkedFormat, EveryStrictPrefixIsRejected) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer, /*model_chunk_bytes=*/64);
+  const std::string full = buffer.str();
+  const std::size_t step = std::max<std::size_t>(1, full.size() / 97);
+  for (std::size_t len = 0; len < full.size();
+       len += (len < 64 ? 1 : step)) {
+    std::stringstream truncated(full.substr(0, len));
+    EXPECT_THROW(CyberHdClassifier::load(truncated), std::runtime_error)
+        << "prefix of " << len << " / " << full.size() << " bytes";
+  }
+  // The sharpest truncation: everything except the 8-byte terminator. The
+  // weights are all present, but the unterminated chunk stream must still
+  // be rejected.
+  std::stringstream no_terminator(full.substr(0, full.size() - 8));
+  EXPECT_THROW(CyberHdClassifier::load(no_terminator), std::runtime_error);
+}
+
+TEST(ChunkedFormat, FlippedBytesAcrossTheChunkStreamAreRejected) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer, /*model_chunk_bytes=*/64);
+  const std::string clean = buffer.str();
+  const std::size_t start = mdlc_offset(clean) + 12;  // tag + chunk-size word
+  // Sweep flips across the chunk framing (length words, payloads, CRCs,
+  // terminator): every one must fail to load. (Flips inside the nominal
+  // chunk-size word are excluded — it only sizes the reader's buffer, and
+  // a one-bit-larger buffer is not corruption.)
+  const std::size_t step =
+      std::max<std::size_t>(1, (clean.size() - start) / 61);
+  for (std::size_t pos = start; pos < clean.size(); pos += step) {
+    std::string tampered = clean;
+    tampered[pos] ^= 0x40;
+    std::stringstream in(tampered);
+    EXPECT_THROW(CyberHdClassifier::load(in), std::runtime_error)
+        << "flipped byte at " << pos << " of " << clean.size();
+  }
+}
+
+TEST(ChunkedFormat, PayloadFlipNamesTheSection) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  t.model.save(buffer, /*model_chunk_bytes=*/64);
+  std::string bytes = buffer.str();
+  // First chunk payload starts after MDLC tag(4) + chunk-size(8) +
+  // chunk-length(8); flip a byte in the middle of it.
+  const std::size_t pos = mdlc_offset(bytes) + 20 + 13;
+  bytes[pos] ^= 0x01;
+  std::stringstream in(bytes);
+  try {
+    CyberHdClassifier::load(in);
+    FAIL() << "flipped chunk payload byte must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("MDLC"), std::string::npos)
+        << "error should name the section, got: " << e.what();
+  }
+}
+
+TEST(ChunkedFormat, OutOfRangeChunkSizeIsRejectedOnSaveAndLoad) {
+  const TrainedSmall t;
+  std::stringstream buffer;
+  EXPECT_THROW(t.model.save(buffer, 0), std::invalid_argument);
+  // A corrupt on-disk chunk-size word of zero must be rejected by name.
+  std::stringstream ok;
+  t.model.save(ok, /*model_chunk_bytes=*/64);
+  std::string bytes = ok.str();
+  const std::size_t off = mdlc_offset(bytes);
+  for (std::size_t i = 0; i < 8; ++i) bytes[off + 4 + i] = '\0';
+  std::stringstream in(bytes);
+  try {
+    CyberHdClassifier::load(in);
+    FAIL() << "zero chunk size must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("MDLC"), std::string::npos)
+        << e.what();
+  }
+}
 
 TEST(ChecksummedFormat, ChecksumLessV1FilesStillLoad) {
   const TrainedSmall t;
