@@ -1,0 +1,173 @@
+// Concurrent-serving benchmark: N client streams drive the serving
+// front-end (MPSC ring -> coalescing batcher -> staged encode/score
+// pipeline) at saturation, and we measure what the paper's deployment
+// story actually depends on — aggregate flows/s and per-request latency
+// percentiles as the stream count grows.
+//
+// Load model: saturation open-loop per stream. Each stream keeps a fixed
+// window of outstanding requests (submit never waits for its own
+// completion, only for a window slot to free), replaying flows from its
+// private working set — 64 distinct flows per stream, so a warm encode
+// cache serves nearly every row. Latency is completed_at - submitted_at
+// per request, stamped by the server's steady clock; p50/p99 are computed
+// over every request of every stream. Methodology details live in
+// docs/BENCHMARKS.md.
+//
+// The sweep crosses stream count {1, 2, 4, 8} with the encode cache hot
+// (4096 rows, sharded) and off — the cache-off rows isolate how much of
+// the scaling comes from coalescing alone, the cache-on rows add the
+// sharded replay path. Absolute numbers are host-dependent; the shape
+// (flows/s vs streams, p99 staying bounded) is the reproducible quantity.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/exec/execution_context.hpp"
+#include "serve/result_slot.hpp"
+#include "serve/server.hpp"
+
+using namespace cyberhd;
+
+namespace {
+
+struct RunResult {
+  double seconds = 0;
+  double flows_per_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  serve::ServerStats stats;
+};
+
+double percentile(std::vector<std::uint64_t>& v, double p) {
+  if (v.empty()) return 0.0;
+  const std::size_t k = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                   v.end());
+  return static_cast<double>(v[k]);
+}
+
+/// One measured point: `num_streams` windowed open-loop clients, each
+/// submitting `flows_per_stream` flows drawn from its own 64-row working
+/// set carved out of the test split.
+RunResult run_point(hdc::CyberHdClassifier& model, const core::Matrix& pool,
+                    std::size_t num_streams, std::size_t flows_per_stream,
+                    std::size_t cache_rows) {
+  constexpr std::size_t kWorkingSet = 64;
+  constexpr std::size_t kWindow = 32;  // outstanding requests per stream
+  model.set_encode_cache(cache_rows);
+
+  serve::Server server(model, pool.cols());
+  std::vector<std::vector<std::uint64_t>> latencies(num_streams);
+  std::vector<std::thread> streams;
+  core::Timer timer;
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    streams.emplace_back([&, s] {
+      // The stream's working set: a contiguous 64-row slice, distinct per
+      // stream (wrapping over the test split when streams * 64 exceeds it).
+      const std::size_t base = (s * kWorkingSet) % (pool.rows() - kWorkingSet);
+      std::vector<serve::ResultSlot> window(kWindow);
+      auto& lat = latencies[s];
+      lat.reserve(flows_per_stream);
+      const auto harvest = [&lat](const serve::ResultSlot& slot) {
+        slot.wait();
+        lat.push_back(slot.completed_at_us() - slot.submitted_at_us());
+      };
+      for (std::size_t i = 0; i < flows_per_stream; ++i) {
+        serve::ResultSlot& slot = window[i % kWindow];
+        if (i >= kWindow) harvest(slot);  // free the window slot first
+        const std::size_t row = base + (i * 7 + s) % kWorkingSet;
+        if (!server.submit(pool.row(row), slot)) return;
+      }
+      const std::size_t tail = std::min(flows_per_stream, kWindow);
+      for (std::size_t i = flows_per_stream - tail; i < flows_per_stream;
+           ++i) {
+        harvest(window[i % kWindow]);
+      }
+    });
+  }
+  for (auto& t : streams) t.join();
+  RunResult r;
+  r.seconds = timer.seconds();
+  server.shutdown();
+  r.stats = server.stats();
+  std::vector<std::uint64_t> all;
+  for (auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  r.flows_per_s =
+      static_cast<double>(all.size()) / std::max(r.seconds, 1e-9);
+  r.p50_us = percentile(all, 0.50);
+  r.p99_us = percentile(all, 0.99);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::size_t total_flows = quick ? 3000 : 6000;
+  const std::size_t flows_per_stream = quick ? 2000 : 20000;
+  const std::vector<std::size_t> stream_counts =
+      quick ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+
+  std::printf(
+      "== Concurrent serving: MPSC ingest + coalescing batcher, %zu flows "
+      "per stream ==\n\n",
+      flows_per_stream);
+
+  const bench::PreparedData data =
+      bench::prepare(nids::DatasetId::kCicIds2017, total_flows, /*seed=*/7);
+  hdc::CyberHdClassifier model(bench::paper_cyberhd_config());
+  model.fit(data.train.x, data.train.y, data.train.num_classes);
+
+  const core::ServingPlan plan =
+      core::ExecutionContext::process().plan_serving(512);
+  std::printf("model %s, planner batch %zu rows (%zu x %zu domains), "
+              "linger %sus\n\n",
+              model.name().c_str(), plan.batch_rows, plan.block_rows,
+              plan.domains,
+              std::to_string(serve::Server::linger_from_env()).c_str());
+
+  bench::print_row({"streams/cache", "flows/s", "p50", "p99", "batch rows",
+                    "batches", "rejected"});
+  bench::print_rule(7);
+
+  std::vector<core::CsvRow> csv_rows;
+  for (const std::size_t cache_rows : {std::size_t{0}, std::size_t{4096}}) {
+    for (const std::size_t streams : stream_counts) {
+      const RunResult r = run_point(model, data.test.x, streams,
+                                    flows_per_stream, cache_rows);
+      const std::string label = std::to_string(streams) + " x " +
+                                (cache_rows > 0 ? "hot" : "off");
+      bench::print_row(
+          {label, bench::fmt(r.flows_per_s, 0),
+           bench::fmt_time(r.p50_us * 1e-6), bench::fmt_time(r.p99_us * 1e-6),
+           bench::fmt(r.stats.mean_batch_rows, 1),
+           std::to_string(r.stats.batches), std::to_string(r.stats.rejected)});
+      csv_rows.push_back(
+          {std::to_string(streams), std::to_string(cache_rows),
+           std::to_string(r.stats.completed), bench::fmt(r.flows_per_s, 1),
+           bench::fmt(r.p50_us, 1), bench::fmt(r.p99_us, 1),
+           bench::fmt(r.stats.mean_batch_rows, 2),
+           std::to_string(r.stats.batches), std::to_string(r.stats.rejected),
+           std::to_string(serve::Server::linger_from_env())});
+    }
+  }
+
+  std::printf(
+      "\nshape: flows/s should grow (or hold) with streams — coalescing "
+      "turns concurrent streams into planner-sized batches; hot-cache rows "
+      "add the sharded replay path on top.\n");
+
+  bench::emit_csv("serving_concurrent.csv",
+                  {"streams", "cache_rows", "flows", "flows_per_s", "p50_us",
+                   "p99_us", "mean_batch_rows", "batches", "rejected",
+                   "linger_us"},
+                  csv_rows);
+  return 0;
+}

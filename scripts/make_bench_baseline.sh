@@ -150,6 +150,8 @@ baseline = {
         "kernels_env": os.environ.get("CYBERHD_KERNELS", "<auto>"),
         "l2_env": os.environ.get("CYBERHD_L2_BYTES", "<detected>"),
         "threads_env": os.environ.get("CYBERHD_THREADS", "<hw>"),
+        "linger_env": os.environ.get("CYBERHD_BATCH_LINGER_US", "<default>"),
+        "cache_shards_env": os.environ.get("CYBERHD_CACHE_SHARDS", "<auto>"),
     },
     "csv": {name: rows for name, (header, rows) in tables.items()},
     # Headers recorded separately so the schema check still covers tables

@@ -122,6 +122,21 @@ class ExecutionContext {
                     const std::function<void(std::size_t, std::size_t)>& fn,
                     std::size_t grain = 256) const;
 
+  /// Domain-affine block dispatch — the serving shape. Run
+  /// fn(begin, end) over [0, n) in `block_rows`-row blocks, each block
+  /// submitted as ONE task pinned to one worker group (groups map to
+  /// shared-L3 domains in the process pool), block b to group
+  /// b mod num_groups. A block's whole encode→score pipeline therefore
+  /// runs on the workers of one L3 domain, instead of every stage being
+  /// split blindly across the machine; nested parallel_for calls inside
+  /// fn run inline on that worker. Waits for these blocks only (other
+  /// streams' work on the pool is not awaited). Falls back to a serial
+  /// block walk when there is no pool, only one block, or the calling
+  /// thread is itself a pool worker.
+  void for_each_block(
+      std::size_t n, std::size_t block_rows,
+      const std::function<void(std::size_t, std::size_t)>& fn) const;
+
   /// Rows per L2-resident block of the tile-kernel scoring passes
   /// (HdcModel::similarities_batch, the trainer's minibatch scoring): the
   /// largest power of two whose row block fills at most a third of L2 —

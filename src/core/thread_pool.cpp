@@ -2,16 +2,59 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
+
+#include "core/exec/execution_context.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
 
 namespace cyberhd::core {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+namespace {
+
+/// The pool (and group) the calling thread works for, when it is a pool
+/// worker. This is what makes parallel_for reentrancy-safe: a task that
+/// calls back into its own pool runs the nested body inline instead of
+/// queueing work it would then deadlock waiting for.
+struct WorkerMark {
+  const ThreadPool* pool = nullptr;
+  std::size_t group = ThreadPool::kNoGroup;
+};
+thread_local WorkerMark t_worker;
+
+/// Parse a small positive integer from an environment variable;
+/// `fallback` when unset, empty, malformed, or above `max`. Parsed
+/// digit-by-digit: strtoull would wrap "-1" to ULLONG_MAX.
+std::size_t env_count(const char* name, std::size_t fallback,
+                      std::size_t max) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  std::size_t v = 0;
+  for (const char* p = env; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9' || v > max) return fallback;
+    v = v * 10 + static_cast<std::size_t>(*p - '0');
+  }
+  return (v >= 1 && v <= max) ? v : fallback;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::size_t num_groups) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  num_groups = std::clamp<std::size_t>(num_groups, 1, num_threads);
+  group_queues_.resize(num_groups);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    // Contiguous split: worker i serves group i * G / n, so each group's
+    // workers are neighbors (and, when pinned, share one L3 domain).
+    const std::size_t group = i * num_groups / num_threads;
+    workers_.emplace_back([this, group] { worker_loop(group); });
   }
 }
 
@@ -22,6 +65,14 @@ ThreadPool::~ThreadPool() {
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::current_group() const noexcept {
+  return t_worker.pool == this ? t_worker.group : kNoGroup;
+}
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_worker.pool == this;
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -38,55 +89,157 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::take_task(std::size_t group, std::function<void()>& out) {
+  // Affine work first: a group's queue holds the sub-batches pinned to it.
+  if (!group_queues_[group].empty()) {
+    out = std::move(group_queues_[group].front());
+    group_queues_[group].pop();
+    return true;
+  }
+  if (!tasks_.empty()) {
+    out = std::move(tasks_.front());
+    tasks_.pop();
+    return true;
+  }
+  return false;
+}
+
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
     std::size_t grain) {
   if (n == 0) return;
   const std::size_t nthreads = num_threads();
-  if (n < grain || nthreads == 1) {
+  // Inline for tiny ranges, single-worker pools, and the reentrant case
+  // (a pool task splitting more work across its own pool must not block
+  // on a worker it is occupying).
+  if (n < grain || nthreads == 1 || on_worker_thread()) {
     fn(0, n);
     return;
   }
   const std::size_t chunks = std::min(nthreads, (n + grain - 1) / grain);
   const std::size_t chunk = (n + chunks - 1) / chunks;
+  TaskGroup group(*this);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * chunk;
     const std::size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    submit([&fn, begin, end] { fn(begin, end); });
+    group.submit([&fn, begin, end] { fn(begin, end); });
   }
-  wait_idle();
+  // Per-caller wait: returns when *these* chunks are done, even while
+  // other streams keep feeding the pool.
+  group.wait();
+}
+
+std::function<void()> ThreadPool::TaskGroup::wrap(
+    std::function<void()> task) {
+  remaining_.fetch_add(1, std::memory_order_relaxed);
+  return [this, task = std::move(task)] {
+    task();
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.notify_all();
+    }
+  };
+}
+
+void ThreadPool::TaskGroup::submit(std::function<void()> task) {
+  pool_.submit(wrap(std::move(task)));
+}
+
+void ThreadPool::TaskGroup::submit_to_group(std::size_t group,
+                                            std::function<void()> task) {
+  auto wrapped = wrap(std::move(task));
+  const std::size_t g = group % pool_.num_groups();
+  {
+    std::lock_guard lock(pool_.mutex_);
+    pool_.group_queues_[g].push(std::move(wrapped));
+    ++pool_.in_flight_;
+  }
+  // notify_all, not notify_one: a one-notify could land on a worker of a
+  // different group, which would re-check its predicate and go back to
+  // sleep — losing the only wakeup meant for group g.
+  pool_.cv_task_.notify_all();
+}
+
+void ThreadPool::TaskGroup::wait() {
+  for (;;) {
+    const std::size_t r = remaining_.load(std::memory_order_acquire);
+    if (r == 0) return;
+    remaining_.wait(r, std::memory_order_acquire);
+  }
+}
+
+bool ThreadPool::pin_workers_to_cpus(std::size_t online_cpus) noexcept {
+#if defined(__linux__)
+  if (online_cpus == 0 || workers_.empty()) return false;
+  const std::size_t n = workers_.size();
+  const std::size_t groups = num_groups();
+  bool all_ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t g = i * groups / n;
+    // Group g's CPU share: the contiguous slice [g*C/G, (g+1)*C/G) —
+    // matching how sysfs enumerates shared-L3 siblings contiguously on
+    // the common topologies.
+    const std::size_t cpu_begin = g * online_cpus / groups;
+    const std::size_t cpu_end =
+        std::max(cpu_begin + 1, (g + 1) * online_cpus / groups);
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    for (std::size_t c = cpu_begin; c < cpu_end && c < online_cpus; ++c) {
+      CPU_SET(c, &set);
+    }
+    if (CPU_COUNT(&set) == 0) CPU_SET(cpu_begin % online_cpus, &set);
+    if (pthread_setaffinity_np(workers_[i].native_handle(), sizeof(set),
+                               &set) != 0) {
+      all_ok = false;  // cpuset-restricted container: stay unpinned
+    }
+  }
+  return all_ok;
+#else
+  (void)online_cpus;
+  return false;
+#endif
 }
 
 ThreadPool& ThreadPool::global() {
-  // CYBERHD_THREADS pins the global pool's worker count (CI runs the
-  // determinism suites at a fixed width this way; deployments cap cores).
-  // Unset, empty, or malformed falls through to hardware_concurrency.
-  // Parsed digit-by-digit: strtoull would wrap "-1" to ULLONG_MAX and
-  // the constructor would then try to reserve 2^64 workers. Anything
-  // above 4096 workers is treated as malformed, not a real request.
-  static ThreadPool pool([] {
-    const char* env = std::getenv("CYBERHD_THREADS");
-    if (env == nullptr || *env == '\0') return std::size_t{0};
-    std::size_t v = 0;
-    for (const char* p = env; *p != '\0'; ++p) {
-      if (*p < '0' || *p > '9' || v > 4096) return std::size_t{0};
-      v = v * 10 + static_cast<std::size_t>(*p - '0');
-    }
-    return v <= 4096 ? v : std::size_t{0};
-  }());
+  // Magic statics make concurrent first touch construct the pool exactly
+  // once (every other thread blocks until the winner finishes) — the
+  // serving front-end's N streams may all race here on their first
+  // submission. CYBERHD_THREADS pins the worker count (CI determinism
+  // legs; deployments cap cores); CYBERHD_POOL_GROUPS overrides the
+  // one-group-per-shared-L3-domain default.
+  static ThreadPool pool(
+      env_count("CYBERHD_THREADS", 0, 4096),
+      env_count("CYBERHD_POOL_GROUPS",
+                CacheTopology::detected().l3_domains, 1024));
+  static const bool pinned = [] {
+    const char* pin = std::getenv("CYBERHD_PIN_CPUS");
+    if (pin == nullptr || std::strcmp(pin, "1") != 0) return false;
+#if defined(__linux__)
+    const long ncpu = ::sysconf(_SC_NPROCESSORS_ONLN);
+    return pool.pin_workers_to_cpus(
+        ncpu > 0 ? static_cast<std::size_t>(ncpu) : 0);
+#else
+    return false;
+#endif
+  }();
+  (void)pinned;
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t group) {
+  t_worker = {this, group};
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      cv_task_.wait(lock, [this, group] {
+        return stopping_ || !tasks_.empty() ||
+               !group_queues_[group].empty();
+      });
+      if (!take_task(group, task)) {
+        if (stopping_) return;
+        continue;  // woken for another group's task; sleep again
+      }
     }
     task();
     {

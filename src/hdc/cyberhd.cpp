@@ -245,13 +245,14 @@ void CyberHdClassifier::scores_block(const core::Matrix& x,
   model_.similarities_into(encoded, out.row(begin).data(), exec());
 }
 
-void CyberHdClassifier::set_encode_cache(std::size_t capacity_rows) {
+void CyberHdClassifier::set_encode_cache(std::size_t capacity_rows,
+                                         std::size_t shards) {
   if (capacity_rows == 0 || encoder_ == nullptr) {
     encode_cache_.reset();
     return;
   }
   encode_cache_ = std::make_unique<EncodeCache>(
-      encoder_->input_dim(), encoder_->output_dim(), capacity_rows);
+      encoder_->input_dim(), encoder_->output_dim(), capacity_rows, shards);
 }
 
 std::string CyberHdClassifier::name() const {

@@ -165,11 +165,13 @@ class CyberHdClassifier final : public core::Classifier {
   void scores_encoded(const EncodedBatch& h, core::Matrix& out) const;
 
   /// Resize the serving encode cache: `capacity_rows` rows of raw +
-  /// encoded storage, 0 disables caching entirely. fit() and load()
-  /// install the CYBERHD_ENCODE_CACHE env default automatically; call
-  /// this to re-pin it (tests pin tiny evicting caches, servers size it
-  /// to their flow working set). Resets hit/miss statistics.
-  void set_encode_cache(std::size_t capacity_rows);
+  /// encoded storage split into `shards` independently locked partitions
+  /// (0 = the CYBERHD_CACHE_SHARDS / topology default); capacity 0
+  /// disables caching entirely. fit() and load() install the
+  /// CYBERHD_ENCODE_CACHE env default automatically; call this to re-pin
+  /// it (tests pin tiny evicting caches, servers size it to their flow
+  /// working set). Resets hit/miss statistics.
+  void set_encode_cache(std::size_t capacity_rows, std::size_t shards = 0);
 
   /// The serving encode cache, or nullptr when disabled. Exposes stats()
   /// and clear(); safe to use concurrently with scoring calls.

@@ -24,39 +24,99 @@ std::size_t EncodeCache::capacity_from_env() noexcept {
   return static_cast<std::size_t>(std::min(value, kMaxRows));
 }
 
+std::size_t EncodeCache::shards_from_env() noexcept {
+  const char* raw = std::getenv("CYBERHD_CACHE_SHARDS");
+  if (raw != nullptr && *raw >= '1' && *raw <= '9') {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(raw, &end, 10);
+    if (end != raw && (end == nullptr || *end == '\0') && value >= 1) {
+      return static_cast<std::size_t>(
+          std::min<unsigned long long>(value, 256));
+    }
+  }
+  // Auto: at least one shard per shared-L3 domain (the worker groups that
+  // probe concurrently), with a floor that keeps contention low even on
+  // single-domain hosts serving many client streams.
+  return std::max<std::size_t>(kDefaultShards,
+                               core::CacheTopology::detected().l3_domains);
+}
+
 EncodeCache::EncodeCache(std::size_t input_dim, std::size_t encoded_dim,
-                         std::size_t capacity_rows)
+                         std::size_t capacity_rows, std::size_t shards)
     : input_dim_(input_dim),
       encoded_dim_(encoded_dim),
       capacity_(capacity_rows) {
   assert(input_dim > 0 && encoded_dim > 0 && capacity_rows > 0);
+  if (shards == 0) shards = shards_from_env();
+  // Every shard must own at least one ring slot, so tiny caches collapse
+  // to fewer shards (capacity 1 = the single-slot aliasing ring the tests
+  // exercise, now per shard).
+  num_shards_ = std::clamp<std::size_t>(shards, 1, capacity_rows);
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  const std::size_t base = capacity_ / num_shards_;
+  const std::size_t rem = capacity_ % num_shards_;
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    shards_[s].capacity = base + (s < rem ? 1 : 0);
+  }
 }
 
-void EncodeCache::ensure_storage() {
-  if (raw_.rows() == capacity_) return;
-  raw_.resize(capacity_, input_dim_);
-  encoded_.resize(capacity_, encoded_dim_);
-  slot_hash_.assign(capacity_, 0);
-  occupied_.assign(capacity_, false);
-  index_.reserve(capacity_);
+std::size_t EncodeCache::shard_of(std::uint64_t hash) const noexcept {
+  // FNV's low bits correlate with the last bytes hashed; run the whole
+  // word through a splitmix64-style finalizer before the modulus so shard
+  // load stays balanced for structured feature rows.
+  std::uint64_t z = hash;
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<std::size_t>(z % num_shards_);
+}
+
+void EncodeCache::ensure_storage(Shard& shard) {
+  if (shard.raw.rows() == shard.capacity) return;
+  shard.raw.resize(shard.capacity, input_dim_);
+  shard.encoded.resize(shard.capacity, encoded_dim_);
+  shard.slot_hash.assign(shard.capacity, 0);
+  shard.occupied.assign(shard.capacity, false);
+  shard.index.reserve(shard.capacity);
 }
 
 std::size_t EncodeCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return index_.size();
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    const std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    total += shards_[s].index.size();
+  }
+  return total;
 }
 
 void EncodeCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  index_.clear();
-  std::fill(occupied_.begin(), occupied_.end(), false);
-  next_slot_ = 0;
-  stats_ = {};
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.index.clear();
+    std::fill(shard.occupied.begin(), shard.occupied.end(), false);
+    shard.next_slot = 0;
+    shard.stats = {};
+  }
 }
 
 EncodeCacheStats EncodeCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  EncodeCacheStats total;
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    const std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    total.hits += shards_[s].stats.hits;
+    total.misses += shards_[s].stats.misses;
+    total.evictions += shards_[s].stats.evictions;
+  }
+  return total;
+}
+
+EncodeCacheStats EncodeCache::shard_stats(std::size_t shard) const {
+  assert(shard < num_shards_);
+  const std::lock_guard<std::mutex> lock(shards_[shard].mutex);
+  return shards_[shard].stats;
 }
 
 std::uint64_t EncodeCache::hash_row(std::span<const float> x) noexcept {
@@ -73,38 +133,44 @@ std::uint64_t EncodeCache::hash_row(std::span<const float> x) noexcept {
   return h;
 }
 
-std::size_t EncodeCache::find_slot(std::uint64_t hash,
+std::size_t EncodeCache::find_slot(const Shard& shard, std::uint64_t hash,
                                    std::span<const float> x) const {
-  // Before the first insert the index is empty, so the unallocated ring
-  // is never dereferenced.
-  const auto it = index_.find(hash);
-  if (it == index_.end()) return capacity_;
+  // Before the shard's first insert its index is empty, so the
+  // unallocated ring is never dereferenced.
+  const auto it = shard.index.find(hash);
+  if (it == shard.index.end()) return shard.capacity;
   const std::size_t slot = it->second;
-  if (!occupied_[slot] || slot_hash_[slot] != hash) return capacity_;
+  if (!shard.occupied[slot] || shard.slot_hash[slot] != hash) {
+    return shard.capacity;
+  }
   // Content verification: a colliding row must re-encode, never replay
   // another flow's hypervector.
-  if (std::memcmp(raw_.row(slot).data(), x.data(), x.size_bytes()) != 0) {
-    return capacity_;
+  if (std::memcmp(shard.raw.row(slot).data(), x.data(), x.size_bytes()) !=
+      0) {
+    return shard.capacity;
   }
   return slot;
 }
 
-void EncodeCache::insert(std::uint64_t hash, std::span<const float> x,
+void EncodeCache::insert(Shard& shard, std::uint64_t hash,
+                         std::span<const float> x,
                          std::span<const float> h) {
-  const std::size_t slot = next_slot_;
-  next_slot_ = (next_slot_ + 1) % capacity_;
-  if (occupied_[slot]) {
+  const std::size_t slot = shard.next_slot;
+  shard.next_slot = (shard.next_slot + 1) % shard.capacity;
+  if (shard.occupied[slot]) {
     // Ring eviction: drop the index entry that still points at this slot
     // (a later insert of the same hash may have redirected it already).
-    const auto it = index_.find(slot_hash_[slot]);
-    if (it != index_.end() && it->second == slot) index_.erase(it);
-    ++stats_.evictions;
+    const auto it = shard.index.find(shard.slot_hash[slot]);
+    if (it != shard.index.end() && it->second == slot) {
+      shard.index.erase(it);
+    }
+    ++shard.stats.evictions;
   }
-  std::copy(x.begin(), x.end(), raw_.row(slot).begin());
-  std::copy(h.begin(), h.end(), encoded_.row(slot).begin());
-  slot_hash_[slot] = hash;
-  occupied_[slot] = true;
-  index_[hash] = static_cast<std::uint32_t>(slot);
+  std::copy(x.begin(), x.end(), shard.raw.row(slot).begin());
+  std::copy(h.begin(), h.end(), shard.encoded.row(slot).begin());
+  shard.slot_hash[slot] = hash;
+  shard.occupied[slot] = true;
+  shard.index[hash] = static_cast<std::uint32_t>(slot);
 }
 
 std::size_t EncodeCache::encode_rows(const Encoder& encoder,
@@ -118,35 +184,47 @@ std::size_t EncodeCache::encode_rows(const Encoder& encoder,
   const std::size_t m = end - begin;
   if (m == 0) return 0;
 
-  // Probe pass (serial, under the lock): copy hits straight into the
-  // output rows, collect miss indices. The copies are memcpy-cheap next to
-  // the encodes they replace. A row repeated *within* this batch — common
-  // when a large planner drain covers many arrivals of the same flow —
-  // encodes once: later occurrences are deduplicated against the first
-  // one and copied after the encode pass.
-  // Hashing is a pure function of the rows — do it before taking the
-  // lock, so concurrent scorers only serialize on the index lookups and
-  // hit copies, not on the full-batch hash sweep.
+  // Hashing and shard routing are pure functions of the rows — done
+  // before any lock, so concurrent scorers only serialize on their own
+  // shards' index lookups and hit copies, never on the full-batch sweep.
   std::vector<std::uint64_t> hashes(m);
+  std::vector<std::uint32_t> shard_of_row(m);
+  std::vector<std::vector<std::size_t>> rows_of_shard(num_shards_);
   for (std::size_t i = 0; i < m; ++i) {
     hashes[i] = hash_row(x.row(begin + i));
+    const std::size_t s = shard_of(hashes[i]);
+    shard_of_row[i] = static_cast<std::uint32_t>(s);
+    rows_of_shard[s].push_back(i);
   }
+
+  // Probe pass (per shard, under that shard's lock only): copy hits
+  // straight into the output rows, collect miss indices. The copies are
+  // memcpy-cheap next to the encodes they replace. A row repeated
+  // *within* this batch — common when a large coalesced drain covers many
+  // arrivals of the same flow — encodes once: later occurrences are
+  // deduplicated against the first one and copied after the encode pass.
+  // Identical rows share a hash and therefore a shard, and a shard's rows
+  // are walked in batch order, so the dedup source is always the earlier
+  // occurrence. Locks are taken one shard at a time (never nested).
   std::vector<std::size_t> misses;
+  std::vector<std::vector<std::size_t>> misses_of_shard(num_shards_);
   struct BatchDup {
     std::size_t row;  // this occurrence
     std::size_t src;  // the batch row whose fresh encode it copies
   };
   std::vector<BatchDup> dups;
   std::unordered_map<std::uint64_t, std::size_t> batch_first;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t i = 0; i < m; ++i) {
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    if (rows_of_shard[s].empty()) continue;
+    Shard& shard = shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const std::size_t i : rows_of_shard[s]) {
       const auto row = x.row(begin + i);
-      const std::size_t slot = find_slot(hashes[i], row);
-      if (slot < capacity_) {
-        const auto cached = encoded_.row(slot);
+      const std::size_t slot = find_slot(shard, hashes[i], row);
+      if (slot < shard.capacity) {
+        const auto cached = shard.encoded.row(slot);
         std::copy(cached.begin(), cached.end(), h.row(i).begin());
-        ++stats_.hits;
+        ++shard.stats.hits;
         continue;
       }
       const auto [first, is_new] = batch_first.try_emplace(hashes[i], i);
@@ -154,10 +232,11 @@ std::size_t EncodeCache::encode_rows(const Encoder& encoder,
           std::memcmp(x.row(begin + first->second).data(), row.data(),
                       row.size_bytes()) == 0) {
         dups.push_back({i, first->second});
-        ++stats_.hits;
+        ++shard.stats.hits;
       } else {
         misses.push_back(i);
-        ++stats_.misses;
+        misses_of_shard[s].push_back(i);
+        ++shard.stats.misses;
       }
     }
   }
@@ -182,17 +261,22 @@ std::size_t EncodeCache::encode_rows(const Encoder& encoder,
     std::copy(src.begin(), src.end(), h.row(d.row).begin());
   }
 
-  // Insert pass (serial, under the lock): fresh encodes enter the ring in
-  // row order. In-batch duplicates never reach the misses list (the probe
-  // pass routed them into `dups`), so each distinct row inserts at most
-  // once; the re-probe guards against a concurrent caller having inserted
-  // the same row between our probe and now.
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (!misses.empty()) ensure_storage();
-    for (const std::size_t i : misses) {
-      if (find_slot(hashes[i], x.row(begin + i)) < capacity_) continue;
-      insert(hashes[i], x.row(begin + i), h.row(i));
+  // Insert pass (per shard, under that shard's lock only): fresh encodes
+  // enter their shard's ring in batch order. In-batch duplicates never
+  // reach the misses list (the probe pass routed them into `dups`), so
+  // each distinct row inserts at most once; the re-probe guards against a
+  // concurrent caller having inserted the same row between our probe and
+  // now.
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    if (misses_of_shard[s].empty()) continue;
+    Shard& shard = shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    ensure_storage(shard);
+    for (const std::size_t i : misses_of_shard[s]) {
+      if (find_slot(shard, hashes[i], x.row(begin + i)) < shard.capacity) {
+        continue;
+      }
+      insert(shard, hashes[i], x.row(begin + i), h.row(i));
     }
   }
   return m - misses.size();

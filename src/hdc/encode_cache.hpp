@@ -13,10 +13,21 @@
 // adversarial inputs), and storage is a fixed-capacity ring so the working
 // set of a stream ages out FIFO with zero per-hit bookkeeping.
 //
+// Concurrency: the cache is hash-partitioned into independent SHARDS, each
+// with its own mutex, ring, index, and counters. Rows map to shards by
+// content hash, so N serving streams probing concurrently contend only
+// when their rows land in the same shard — the single global mutex the
+// first version serialized every stream on is gone. The shard count is a
+// construction knob (CYBERHD_CACHE_SHARDS; auto = enough shards to cover
+// the shared-L3 domains and typical worker counts), and every contract
+// below holds per shard: content-verified hits, FIFO ring eviction,
+// deterministic replay.
+//
 // Determinism contract: a hit replays the float vector a previous encode
 // produced for the *identical* raw row; encoders are deterministic, so
 // scores computed through the cache are bit-identical to cache-off scoring
-// for any capacity, eviction pattern, thread count, or kernel backend.
+// for any capacity, shard count, eviction pattern, thread count, or kernel
+// backend.
 //
 // The capacity knob is CYBERHD_ENCODE_CACHE (rows; 0 disables) — see
 // capacity_from_env().
@@ -24,6 +35,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -50,76 +62,107 @@ struct EncodeCacheStats {
   }
 };
 
-/// Fixed-capacity, ring-evicting, content-addressed cache of encoded rows.
-/// Thread-safe: probe and insert phases serialize on an internal mutex;
-/// the miss encodes themselves run outside it, split across the execution
-/// context's pool.
+/// Fixed-capacity, ring-evicting, content-addressed cache of encoded rows,
+/// hash-partitioned into independently locked shards. Thread-safe: probe
+/// and insert phases serialize per shard; the miss encodes themselves run
+/// outside any lock, split across the execution context's pool.
 class EncodeCache {
  public:
   /// Default capacity when CYBERHD_ENCODE_CACHE is unset: 4096 rows (at
   /// D = 512 about 8 MiB of encoded vectors — one L3's worth).
   static constexpr std::size_t kDefaultCapacityRows = 4096;
+  /// Auto shard count floor: covers the worker counts a single socket
+  /// typically throws at the serving path; more L3 domains raise it.
+  static constexpr std::size_t kDefaultShards = 8;
 
   /// The CYBERHD_ENCODE_CACHE knob: a row count ("8192"), 0 to disable,
   /// kDefaultCapacityRows when unset or malformed.
   static std::size_t capacity_from_env() noexcept;
 
-  /// A cache for rows of `input_dim` raw features encoding to
-  /// `encoded_dim` hypervector floats, holding up to `capacity_rows` rows.
-  /// The ring storage (capacity x (input_dim + encoded_dim) floats) is
-  /// allocated lazily on the first insert, so models that never take the
-  /// batch serving path pay nothing for the default-armed cache.
-  EncodeCache(std::size_t input_dim, std::size_t encoded_dim,
-              std::size_t capacity_rows);
+  /// The CYBERHD_CACHE_SHARDS knob: an explicit shard count (clamped to
+  /// [1, 256]); 0, unset, or malformed selects auto (max of kDefaultShards
+  /// and the detected shared-L3 domain count). The construction-time
+  /// clamp to the row capacity still applies either way.
+  static std::size_t shards_from_env() noexcept;
 
+  /// A cache for rows of `input_dim` raw features encoding to
+  /// `encoded_dim` hypervector floats, holding up to `capacity_rows` rows
+  /// split across `shards` shards (0 = shards_from_env(); always clamped
+  /// to at most capacity_rows so every shard owns at least one slot).
+  /// Each shard's ring storage is allocated lazily on its first insert,
+  /// so models that never take the batch serving path pay nothing for
+  /// the default-armed cache.
+  EncodeCache(std::size_t input_dim, std::size_t encoded_dim,
+              std::size_t capacity_rows, std::size_t shards = 0);
+
+  /// Total row capacity across all shards.
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t input_dim() const noexcept { return input_dim_; }
   std::size_t encoded_dim() const noexcept { return encoded_dim_; }
-  /// Rows currently resident.
+  std::size_t shard_count() const noexcept { return num_shards_; }
+  /// Rows currently resident (summed across shards).
   std::size_t size() const;
 
-  /// Drop every resident row and reset the stats.
+  /// Drop every resident row in every shard and reset all stats.
   void clear();
 
+  /// Aggregate hit/miss/eviction counters, summed across shards.
   EncodeCacheStats stats() const;
+  /// One shard's counters (tests pin the per-shard accounting with this).
+  EncodeCacheStats shard_stats(std::size_t shard) const;
 
   /// FNV-1a 64-bit content hash of a raw row's bytes.
   static std::uint64_t hash_row(std::span<const float> x) noexcept;
 
+  /// The shard a hash routes to (exposed so tests can steer rows).
+  std::size_t shard_of(std::uint64_t hash) const noexcept;
+
   /// The stage-1 driver: fill rows [0, end - begin) of `h` with the
-  /// encodings of rows [begin, end) of `x` — hits copied out of the ring,
-  /// misses encoded through `encoder` (split across the context's pool)
-  /// and then inserted. `h` must already be sized to at least
-  /// (end - begin) x encoded_dim. Returns the number of hits.
+  /// encodings of rows [begin, end) of `x` — hits copied out of their
+  /// shard's ring, misses encoded through `encoder` (split across the
+  /// context's pool) and then inserted. `h` must already be sized to at
+  /// least (end - begin) x encoded_dim. Returns the number of hits
+  /// (including in-batch replays). Safe to call concurrently from any
+  /// number of threads.
   std::size_t encode_rows(const Encoder& encoder, const core::Matrix& x,
                           std::size_t begin, std::size_t end,
                           core::Matrix& h,
                           const core::ExecutionContext& exec);
 
  private:
-  /// Slot index of the verified-resident row, or capacity_ when absent.
-  /// Caller holds mutex_.
-  std::size_t find_slot(std::uint64_t hash,
+  /// One independently locked partition of the cache.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::size_t capacity = 0;  // slots this shard owns
+    // Ring storage, empty until the first insert (see ensure_storage):
+    core::Matrix raw;       // capacity x input_dim: the verification copies
+    core::Matrix encoded;   // capacity x encoded_dim: the cached vectors
+    std::vector<std::uint64_t> slot_hash;  // per slot; valid when occupied
+    std::vector<bool> occupied;
+    std::unordered_map<std::uint64_t, std::uint32_t> index;  // hash -> slot
+    std::size_t next_slot = 0;  // ring cursor
+    EncodeCacheStats stats;
+  };
+
+  /// Slot index of the verified-resident row, or shard.capacity when
+  /// absent. Caller holds shard.mutex.
+  std::size_t find_slot(const Shard& shard, std::uint64_t hash,
                         std::span<const float> x) const;
-  /// Insert (or refresh) a row into the ring. Caller holds mutex_.
-  void insert(std::uint64_t hash, std::span<const float> x,
+  /// Insert (or refresh) a row into the shard's ring. Caller holds
+  /// shard.mutex.
+  void insert(Shard& shard, std::uint64_t hash, std::span<const float> x,
               std::span<const float> h);
-  /// Allocate the ring storage on first use. Caller holds mutex_.
-  void ensure_storage();
+  /// Allocate the shard's ring storage on first use. Caller holds
+  /// shard.mutex.
+  void ensure_storage(Shard& shard);
 
   std::size_t input_dim_;
   std::size_t encoded_dim_;
   std::size_t capacity_;
-
-  mutable std::mutex mutex_;
-  // Ring storage, empty until the first insert (see ensure_storage):
-  core::Matrix raw_;       // capacity x input_dim: the verification copies
-  core::Matrix encoded_;   // capacity x encoded_dim: the cached vectors
-  std::vector<std::uint64_t> slot_hash_;  // per slot; valid when occupied
-  std::vector<bool> occupied_;
-  std::unordered_map<std::uint64_t, std::uint32_t> index_;  // hash -> slot
-  std::size_t next_slot_ = 0;  // ring cursor
-  EncodeCacheStats stats_;
+  std::size_t num_shards_;
+  // unique_ptr<[]> rather than vector: a Shard owns a mutex and is
+  // therefore immovable.
+  std::unique_ptr<Shard[]> shards_;
 };
 
 /// The stage-1 driver shared by the float and quantized serving

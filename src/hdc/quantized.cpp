@@ -177,13 +177,14 @@ void QuantizedCyberHd::scores_block(const core::Matrix& x,
       /*grain=*/32);
 }
 
-void QuantizedCyberHd::set_encode_cache(std::size_t capacity_rows) {
+void QuantizedCyberHd::set_encode_cache(std::size_t capacity_rows,
+                                        std::size_t shards) {
   if (capacity_rows == 0) {
     encode_cache_.reset();
     return;
   }
   encode_cache_ = std::make_unique<EncodeCache>(
-      encoder_->input_dim(), encoder_->output_dim(), capacity_rows);
+      encoder_->input_dim(), encoder_->output_dim(), capacity_rows, shards);
 }
 
 std::string QuantizedCyberHd::name() const {

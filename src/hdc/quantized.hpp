@@ -129,11 +129,12 @@ class QuantizedCyberHd final : public core::Classifier {
   /// `out` is resized to h.rows() x num_classes().
   void scores_encoded(const EncodedBatch& h, core::Matrix& out) const;
 
-  /// Resize the serving encode cache (0 disables). The constructor
-  /// installs the CYBERHD_ENCODE_CACHE env default; the quantized
-  /// snapshot owns its own cache — its cloned encoder's outputs are what
-  /// it replays. Resets hit/miss statistics.
-  void set_encode_cache(std::size_t capacity_rows);
+  /// Resize the serving encode cache (0 disables; `shards` = 0 picks the
+  /// CYBERHD_CACHE_SHARDS / topology default). The constructor installs
+  /// the CYBERHD_ENCODE_CACHE env default; the quantized snapshot owns
+  /// its own cache — its cloned encoder's outputs are what it replays.
+  /// Resets hit/miss statistics.
+  void set_encode_cache(std::size_t capacity_rows, std::size_t shards = 0);
   /// The serving encode cache, or nullptr when disabled.
   EncodeCache* encode_cache() const noexcept { return encode_cache_.get(); }
 

@@ -1,0 +1,90 @@
+// The completion side of a serving request: a caller-owned slot the
+// batcher delivers per-row scores into.
+//
+// Each stream keeps one ResultSlot per outstanding request (an open-loop
+// client keeps a window of them). The slot is a single-producer
+// single-consumer handoff — the batcher writes scores and timestamps,
+// then flips one atomic with release ordering; the waiting client sees
+// the flip with acquire ordering and may read everything the batcher
+// wrote. No mutex, and waiting uses C++20 atomic wait (futex-backed on
+// Linux) so an idle client burns no CPU.
+//
+// Reuse protocol: reset() re-arms the slot for the next request. A slot
+// must not be reset or resubmitted while a submission that references it
+// is still in flight — wait() first.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cyberhd::serve {
+
+/// Per-request completion slot: scores plus submit/complete timestamps.
+class ResultSlot {
+ public:
+  ResultSlot() = default;
+  ResultSlot(const ResultSlot&) = delete;
+  ResultSlot& operator=(const ResultSlot&) = delete;
+
+  /// Re-arm for a new request delivering `num_classes` scores. Must not
+  /// race a pending delivery (wait() for the previous request first).
+  void reset(std::size_t num_classes) {
+    scores_.resize(num_classes);
+    submitted_at_us_ = 0;
+    completed_at_us_ = 0;
+    ready_.store(0, std::memory_order_relaxed);
+  }
+
+  /// True once the scores have been delivered.
+  bool ready() const noexcept {
+    return ready_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Block until the scores have been delivered (futex wait, no spin).
+  void wait() const noexcept {
+    while (ready_.load(std::memory_order_acquire) == 0) {
+      ready_.wait(0, std::memory_order_acquire);
+    }
+  }
+
+  /// The delivered per-class scores. Valid once ready().
+  std::span<const float> scores() const noexcept {
+    assert(ready());
+    return scores_;
+  }
+
+  /// Steady-clock stamp (µs) the server accepted the request at.
+  std::uint64_t submitted_at_us() const noexcept { return submitted_at_us_; }
+  /// Steady-clock stamp (µs) the batch containing this request finished
+  /// at. completed - submitted is the request's serving latency.
+  std::uint64_t completed_at_us() const noexcept { return completed_at_us_; }
+
+  /// Server side: record the accept time (called before the request is
+  /// published to the ring).
+  void mark_submitted(std::uint64_t now_us) noexcept {
+    submitted_at_us_ = now_us;
+  }
+
+  /// Server side: deliver the scores and wake the waiter. `scores` must
+  /// have the size reset() armed.
+  void deliver(std::span<const float> scores, std::uint64_t now_us) {
+    assert(scores.size() == scores_.size());
+    std::copy(scores.begin(), scores.end(), scores_.begin());
+    completed_at_us_ = now_us;
+    ready_.store(1, std::memory_order_release);
+    ready_.notify_all();
+  }
+
+ private:
+  std::vector<float> scores_;
+  std::uint64_t submitted_at_us_ = 0;
+  std::uint64_t completed_at_us_ = 0;
+  std::atomic<std::uint32_t> ready_{0};
+};
+
+}  // namespace cyberhd::serve

@@ -1,0 +1,236 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace cyberhd::serve {
+
+std::uint64_t Server::linger_from_env() noexcept {
+  constexpr std::uint64_t kDefault = 200;
+  constexpr std::uint64_t kMax = 1'000'000;  // 1 s: beyond this is a typo
+  const char* raw = std::getenv("CYBERHD_BATCH_LINGER_US");
+  if (raw == nullptr || *raw == '\0') return kDefault;
+  std::uint64_t v = 0;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9' || v > kMax) return kDefault;
+    v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+  }
+  return std::min(v, kMax);
+}
+
+Server::Server(const core::Classifier& model, std::size_t input_dim,
+               ServerConfig config)
+    : model_(model),
+      exec_(config.domain_affine ? &core::ExecutionContext::process()
+                                 : &core::ExecutionContext::serial()),
+      input_dim_(input_dim),
+      num_classes_(model.num_classes()),
+      max_batch_rows_(config.max_batch_rows),
+      linger_us_(config.max_linger_us >= 0
+                     ? static_cast<std::uint64_t>(config.max_linger_us)
+                     : linger_from_env()),
+      domain_affine_(config.domain_affine),
+      queue_(config.queue_capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  assert(input_dim_ > 0);
+  assert(num_classes_ > 0 && "serve a fitted model");
+  if (max_batch_rows_ == 0) {
+    // Consult the model's planner with an input-shaped probe. Planner-
+    // aware models (CyberHD) derive the answer from topology alone; the
+    // base-class default answers probe.rows(), which the guard below
+    // turns into a sane batch.
+    core::Matrix probe(1, input_dim_);
+    max_batch_rows_ = model_.preferred_batch_rows(probe);
+    if (max_batch_rows_ <= 1) max_batch_rows_ = 256;
+  }
+  // One group-pinned sub-batch per flush per group, planner-sized: for
+  // CyberHD max_batch = block_rows * domains, so dividing by the pool's
+  // group count recovers the L3-resident block_rows.
+  const core::ThreadPool* pool = exec_->pool();
+  const std::size_t groups = pool != nullptr ? pool->num_groups() : 1;
+  affine_block_rows_ =
+      std::max<std::size_t>(1, max_batch_rows_ / std::max<std::size_t>(
+                                                     1, groups));
+  batch_x_.resize(max_batch_rows_, input_dim_);
+  batch_scores_.resize(max_batch_rows_, num_classes_);
+  pending_.reserve(max_batch_rows_);
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+std::uint64_t Server::now_us() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+bool Server::try_submit(std::span<const float> features, ResultSlot& slot) {
+  assert(features.size() == input_dim_);
+  // Pusher accounting closes the shutdown race: the batcher's final drain
+  // waits until no try_submit is between the stopping check and its push,
+  // so an accepted request can never slip in behind the last drain.
+  // seq_cst on both the increment and the stopping load pairs with the
+  // seq_cst store in shutdown(): a submitter that read stopping == false
+  // ordered its increment before that read, so the quiescence wait sees
+  // it until the push (and the decrement) completed.
+  pushers_.fetch_add(1, std::memory_order_seq_cst);
+  if (stopping_.load(std::memory_order_seq_cst)) {
+    pushers_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slot.reset(num_classes_);
+  slot.mark_submitted(now_us());
+  const bool pushed =
+      queue_.try_push(Request{features.data(), &slot, slot.submitted_at_us()});
+  pushers_.fetch_sub(1, std::memory_order_release);
+  if (!pushed) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  // Wake a sleeping batcher. seq_cst on the sleep flag (both sides) makes
+  // the common interleavings airtight: a batcher that published its sleep
+  // intent before this load gets notified; a batcher that publishes after
+  // re-checks the ring under wake_mutex_ and sees our push. The one
+  // theoretically thin ordering (our ring publish racing its re-check) is
+  // bounded by wait_for_work's finite sleep — a missed wakeup costs one
+  // backstop period, never a hang.
+  if (batcher_sleeping_.load(std::memory_order_seq_cst)) {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    wake_cv_.notify_one();
+  }
+  return true;
+}
+
+bool Server::submit(std::span<const float> features, ResultSlot& slot) {
+  for (;;) {
+    if (try_submit(features, slot)) return true;
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    // Backpressure: the ring is full, so the batcher is busy scoring.
+    // Yield rather than spin-burn the core it needs.
+    std::this_thread::yield();
+  }
+}
+
+void Server::wait_for_work(std::uint64_t max_wait_us) {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  batcher_sleeping_.store(true, std::memory_order_seq_cst);
+  // Re-check after publishing sleep intent: a producer that pushed before
+  // seeing the flag would otherwise strand its request until the backstop.
+  if (!queue_.can_pop() && !stopping_.load(std::memory_order_relaxed)) {
+    wake_cv_.wait_for(lock, std::chrono::microseconds(std::max<std::uint64_t>(
+                                1, max_wait_us)));
+  }
+  batcher_sleeping_.store(false, std::memory_order_relaxed);
+}
+
+void Server::flush(std::size_t n) {
+  assert(n > 0 && n <= max_batch_rows_);
+  // Score through the same virtual hook scores_batch drives — one
+  // planner-sized sub-batch per task, each pinned to one worker group so
+  // a sub-batch's encode and score stages stay on one shared-L3 domain.
+  // The serial fallback (no pool, one block, in-batcher scoring) walks
+  // the same blocks inline; either way per-row results are bit-identical
+  // to a serial scores_batch of the same rows.
+  exec_->for_each_block(n, affine_block_rows_,
+                        [this](std::size_t begin, std::size_t end) {
+                          model_.scores_block(batch_x_, begin, end,
+                                              batch_scores_);
+                        });
+  const std::uint64_t done = now_us();
+  for (std::size_t i = 0; i < n; ++i) {
+    pending_[i].slot->deliver(batch_scores_.row(i).subspan(0, num_classes_),
+                              done);
+  }
+  completed_.fetch_add(n, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_rows_.fetch_add(n, std::memory_order_relaxed);
+  pending_.clear();
+}
+
+void Server::batcher_loop() {
+  std::uint64_t deadline_us = 0;  // 0 = no pending batch
+  for (;;) {
+    // Drain whatever the streams have queued, up to one batch.
+    Request r;
+    while (pending_.size() < max_batch_rows_ && queue_.try_pop(r)) {
+      const float* src = r.features;
+      float* dst = batch_x_.row(pending_.size()).data();
+      std::copy(src, src + input_dim_, dst);
+      pending_.push_back(r);
+    }
+
+    if (pending_.size() >= max_batch_rows_) {  // size trigger
+      flush(pending_.size());
+      deadline_us = 0;
+      continue;
+    }
+
+    const bool stopping = stopping_.load(std::memory_order_seq_cst);
+    if (!pending_.empty()) {
+      const std::uint64_t now = now_us();
+      if (deadline_us == 0) deadline_us = now + linger_us_;
+      if (stopping || linger_us_ == 0 || now >= deadline_us) {  // deadline
+        flush(pending_.size());
+        deadline_us = 0;
+        continue;
+      }
+      // Linger: sleep toward the deadline; a new arrival wakes us early
+      // (it might complete the batch).
+      wait_for_work(deadline_us - now);
+      continue;
+    }
+
+    deadline_us = 0;
+    if (stopping) {
+      // Quiescence: wait out stragglers inside try_submit, then drain
+      // whatever they published and complete it. After this no submit
+      // can be accepted (they all observe stopping first).
+      while (pushers_.load(std::memory_order_seq_cst) != 0) {
+        std::this_thread::yield();
+      }
+      while (queue_.try_pop(r)) {
+        const float* src = r.features;
+        std::copy(src, src + input_dim_,
+                  batch_x_.row(pending_.size()).data());
+        pending_.push_back(r);
+        if (pending_.size() >= max_batch_rows_) flush(pending_.size());
+      }
+      if (!pending_.empty()) flush(pending_.size());
+      return;
+    }
+
+    // Idle: sleep until a producer pokes us (bounded as a belt-and-braces
+    // backstop against any missed wakeup).
+    wait_for_work(1000);
+  }
+}
+
+void Server::shutdown() {
+  stopping_.store(true, std::memory_order_seq_cst);
+  {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    wake_cv_.notify_all();
+  }
+  if (batcher_.joinable()) batcher_.join();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  const std::uint64_t rows = batched_rows_.load(std::memory_order_relaxed);
+  s.mean_batch_rows =
+      s.batches == 0 ? 0.0
+                     : static_cast<double>(rows) /
+                           static_cast<double>(s.batches);
+  return s;
+}
+
+}  // namespace cyberhd::serve

@@ -1,0 +1,167 @@
+// The concurrent serving front-end: many client streams, one coalescing
+// batcher, the existing staged scoring pipeline underneath.
+//
+// Shape (one box per thread):
+//
+//   stream 0 ─┐ try_submit                     ┌─ deliver → ResultSlot 0
+//   stream 1 ─┤   (lock-free ring,   batcher   ├─ deliver → ResultSlot 1
+//      ...    ├──────────────────▶  coalesce ──┤      ...
+//   stream N ─┘                     + score    └─ deliver → ResultSlot N
+//
+// The batcher drains the SubmissionQueue into a batch, flushing when the
+// batch reaches the planner's preferred size (size trigger) or when the
+// oldest pending request has lingered for CYBERHD_BATCH_LINGER_US
+// microseconds (deadline trigger — bounds tail latency at low load).
+// Each flush gathers the borrowed feature rows into one matrix, scores it
+// through Classifier::scores_block — the same stage-split encode→score
+// pipeline scores_batch drives, with each planner sub-batch dispatched as
+// ONE task pinned to one worker group / shared-L3 domain
+// (ExecutionContext::for_each_block) — and delivers each row's scores to
+// its stream's ResultSlot.
+//
+// Correctness contract: the pipeline is row-wise deterministic for any
+// block split, so every request's scores are bit-identical to a serial
+// scores_batch replay of that stream's flows alone, no matter how the
+// batcher interleaved and coalesced the streams. The concurrency stress
+// suite (tests/test_serve.cpp) pins exactly that.
+//
+// Shutdown contract: every accepted request is completed. shutdown()
+// waits for in-flight try_submit calls to quiesce (a seq_cst pusher
+// counter closes the race with the stopping flag), drains the ring, and
+// flushes the remainder before the batcher exits. Submissions arriving
+// after shutdown began are rejected.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/exec/execution_context.hpp"
+#include "core/matrix.hpp"
+#include "serve/result_slot.hpp"
+#include "serve/submission_queue.hpp"
+
+namespace cyberhd::serve {
+
+struct ServerConfig {
+  /// Submission ring slots (rounded up to a power of two). A full ring
+  /// rejects try_submit — the server's backpressure boundary.
+  std::size_t queue_capacity = 4096;
+  /// Max microseconds the oldest pending request waits for the batch to
+  /// fill before a deadline flush. 0 flushes every drain immediately;
+  /// negative reads CYBERHD_BATCH_LINGER_US (default 200).
+  long max_linger_us = -1;
+  /// Rows per coalesced batch. 0 asks the model's planner
+  /// (preferred_batch_rows — for CyberHD the L3-derived serving batch).
+  std::size_t max_batch_rows = 0;
+  /// Dispatch each planner sub-batch to one worker group (shared-L3
+  /// domain) via ExecutionContext::for_each_block. false scores batches
+  /// inline on the batcher thread (still through the staged pipeline).
+  bool domain_affine = true;
+};
+
+struct ServerStats {
+  std::uint64_t accepted = 0;   ///< requests the ring took
+  std::uint64_t rejected = 0;   ///< try_submit calls refused (full/stopping)
+  std::uint64_t completed = 0;  ///< scores delivered
+  std::uint64_t batches = 0;    ///< flushes executed
+  /// Mean coalesced rows per flush (batching effectiveness).
+  double mean_batch_rows = 0.0;
+};
+
+/// The serving front-end over one fitted classifier. The model must
+/// outlive the server and must not be refitted while serving (scoring
+/// calls run concurrently on pool workers).
+class Server {
+ public:
+  /// Serve `model` (fitted; num_classes() > 0) over `input_dim`-wide
+  /// feature rows. Starts the batcher thread immediately.
+  Server(const core::Classifier& model, std::size_t input_dim,
+         ServerConfig config = {});
+  /// Implies shutdown().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submit one flow. `features` (input_dim floats) and `slot` are
+  /// borrowed until `slot` reports completion. Returns false — with no
+  /// side effects beyond a rejected tick — when the ring is full or the
+  /// server is shutting down. Thread-safe, lock-free.
+  bool try_submit(std::span<const float> features, ResultSlot& slot);
+
+  /// Blocking submit: retries through backpressure until accepted.
+  /// Returns false only when the server is shutting down.
+  bool submit(std::span<const float> features, ResultSlot& slot);
+
+  /// Stop accepting, complete every accepted request, join the batcher.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServerStats stats() const;
+
+  std::size_t input_dim() const noexcept { return input_dim_; }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+  /// Resolved rows per coalesced batch (after planner consultation).
+  std::size_t max_batch_rows() const noexcept { return max_batch_rows_; }
+  /// Resolved linger deadline in microseconds.
+  std::uint64_t linger_us() const noexcept { return linger_us_; }
+
+  /// The CYBERHD_BATCH_LINGER_US knob: microseconds (clamped to 1s);
+  /// 200 when unset or malformed, 0 is a valid "never linger".
+  static std::uint64_t linger_from_env() noexcept;
+
+ private:
+  void batcher_loop();
+  /// Score the gathered batch and deliver per-row results.
+  void flush(std::size_t n);
+  /// Sleep until woken by a producer or `max_wait_us` elapses. Publishes
+  /// sleep intent and re-checks the ring so a concurrent push is never
+  /// missed (producers fence-then-check the intent flag).
+  void wait_for_work(std::uint64_t max_wait_us);
+  std::uint64_t now_us() const noexcept;
+
+  const core::Classifier& model_;
+  const core::ExecutionContext* exec_;
+  std::size_t input_dim_;
+  std::size_t num_classes_;
+  std::size_t max_batch_rows_;
+  std::size_t affine_block_rows_;  // rows per group-pinned sub-batch
+  std::uint64_t linger_us_;
+  bool domain_affine_;
+
+  SubmissionQueue queue_;
+  std::thread batcher_;
+
+  // Batcher-owned scratch (sized once, reused every flush).
+  core::Matrix batch_x_;
+  core::Matrix batch_scores_;
+  std::vector<Request> pending_;
+
+  // Producer→batcher wakeup (Dekker-style sleep/notify handshake).
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> batcher_sleeping_{false};
+
+  // Shutdown handshake.
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> pushers_{0};  // try_submit calls in flight
+
+  // Stats (relaxed ticks; stats() assembles a consistent-enough view).
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_rows_{0};
+
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace cyberhd::serve

@@ -1,11 +1,14 @@
-// Unit tests for core/thread_pool: exact range coverage, idle waiting, and
-// parallel-result equivalence with serial execution.
+// Unit tests for core/thread_pool: exact range coverage, idle waiting,
+// parallel-result equivalence with serial execution, worker groups,
+// per-caller TaskGroup completion, and parallel_for reentrancy.
 #include "core/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace cyberhd::core {
@@ -106,6 +109,116 @@ TEST(ThreadPool, ReusableAcrossManyParallelFors) {
         /*grain=*/16);
   }
   EXPECT_EQ(total.load(), 50u * 1000u);
+}
+
+TEST(ThreadPool, GroupsClampAndPartitionWorkers) {
+  ThreadPool pool(4, 2);
+  EXPECT_EQ(pool.num_groups(), 2u);
+  // More groups than workers clamps.
+  ThreadPool narrow(2, 8);
+  EXPECT_EQ(narrow.num_groups(), 2u);
+  ThreadPool flat(3);
+  EXPECT_EQ(flat.num_groups(), 1u);
+}
+
+TEST(ThreadPool, SubmitToGroupRunsOnThatGroupsWorkers) {
+  ThreadPool pool(4, 2);
+  std::atomic<int> wrong_group{0};
+  ThreadPool::TaskGroup group(pool);
+  for (std::size_t g = 0; g < 2; ++g) {
+    for (int i = 0; i < 32; ++i) {
+      group.submit_to_group(g, [&pool, &wrong_group, g] {
+        if (pool.current_group() != g) {
+          wrong_group.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+  group.wait();
+  EXPECT_EQ(wrong_group.load(), 0);
+}
+
+TEST(ThreadPool, CurrentGroupIsNoGroupOffPool) {
+  ThreadPool pool(2, 2);
+  EXPECT_EQ(pool.current_group(), ThreadPool::kNoGroup);
+  EXPECT_FALSE(pool.on_worker_thread());
+  std::atomic<bool> saw_worker{false};
+  pool.submit([&] {
+    saw_worker.store(pool.on_worker_thread() &&
+                     pool.current_group() != ThreadPool::kNoGroup);
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(saw_worker.load());
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // A pool task that calls parallel_for on its own pool must complete
+  // (the nested call runs inline on the occupied worker) — this was a
+  // guaranteed deadlock before workers carried the thread_local mark.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> inner_total{0};
+  pool.parallel_for(
+      4,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          pool.parallel_for(
+              100,
+              [&](std::size_t b, std::size_t e) {
+                inner_total.fetch_add(e - b, std::memory_order_relaxed);
+              },
+              /*grain=*/1);  // force the would-be submission path
+        }
+      },
+      /*grain=*/1);
+  EXPECT_EQ(inner_total.load(), 400u);
+}
+
+TEST(ThreadPool, TaskGroupWaitsOnlyItsOwnTasks) {
+  ThreadPool pool(2);
+  // A slow background task keeps the pool non-idle; the TaskGroup's wait
+  // must return as soon as its own tasks finish regardless.
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  std::atomic<int> mine{0};
+  {
+    ThreadPool::TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i) {
+      group.submit([&mine] { mine.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();  // must not wait for the blocked background task
+    EXPECT_EQ(mine.load(), 8);
+  }
+  release.store(true, std::memory_order_release);
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, ConcurrentParallelForsFromTwoExternalThreads) {
+  // Two client threads driving the same pool concurrently each get their
+  // full range exactly once — per-caller completion means neither waits
+  // on (or steals completion signals from) the other.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 20000;
+  std::atomic<std::size_t> total_a{0}, total_b{0};
+  auto drive = [&pool](std::atomic<std::size_t>& total) {
+    for (int round = 0; round < 20; ++round) {
+      pool.parallel_for(
+          kN,
+          [&total](std::size_t b, std::size_t e) {
+            total.fetch_add(e - b, std::memory_order_relaxed);
+          },
+          /*grain=*/64);
+    }
+  };
+  std::thread a([&] { drive(total_a); });
+  std::thread b([&] { drive(total_b); });
+  a.join();
+  b.join();
+  EXPECT_EQ(total_a.load(), 20u * kN);
+  EXPECT_EQ(total_b.load(), 20u * kN);
 }
 
 }  // namespace
