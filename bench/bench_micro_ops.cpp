@@ -25,6 +25,7 @@
 #include "hdc/cyberhd.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/model.hpp"
+#include "hdc/quantized.hpp"
 #include "hdc/trainer.hpp"
 
 using namespace cyberhd;
@@ -406,6 +407,39 @@ void BM_ServingThroughput(benchmark::State& state) {
   f.model.set_encode_cache(0);  // leave the shared fixture cache-free
 }
 BENCHMARK(BM_ServingThroughput)->Arg(0)->Arg(1);
+
+// ---- quantized serving: the packed pipeline, cold and hot ------------------
+//
+// The same replay stream through a QuantizedCyberHd snapshot: rows are
+// quantized ONCE at encode time, the cache ring holds packed entries
+// (2048 bytes/flow at bits=8, 256 at bits=1, vs 8192 float bytes at
+// D=2048), and scoring streams packed tiles through the integer kernels.
+// Compare the hot rows against BM_ServingThroughput/1: the packed hot
+// path moves 4-32x fewer bytes per flow, which is the serving speedup
+// this PR's acceptance bar pins (>= 2x at bits=8, >= 4x at bits=1).
+void BM_ServingThroughputQuantized(benchmark::State& state) {
+  PredictFixture& f = PredictFixture::get();
+  ServingFixture& s = ServingFixture::get();
+  const int bits = static_cast<int>(state.range(0));
+  const bool hot = state.range(1) != 0;
+  state.SetLabel("bits=" + std::to_string(bits) +
+                 (hot ? " cache=hot" : " cache=off"));
+  hdc::QuantizedCyberHd q(f.model, bits);
+  q.set_encode_cache(hot ? 4096 : 0);
+  core::Matrix scores;
+  if (hot) q.scores_batch(s.replay, scores);  // pre-warm the packed ring
+  for (auto _ : state) {
+    q.scores_batch(s.replay, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ServingFixture::kFlows));
+}
+BENCHMARK(BM_ServingThroughputQuantized)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
 
 // ---- training throughput: per-sample rule vs minibatch tiles ---------------
 //

@@ -18,14 +18,23 @@
 // the scaling comes from coalescing alone, the cache-on rows add the
 // sharded replay path. Absolute numbers are host-dependent; the shape
 // (flows/s vs streams, p99 staying bounded) is the reproducible quantity.
+//
+// `--bits {1,2,4,8}` serves a quantized snapshot instead: the packed
+// pipeline end to end (packed encode cache entries, integer tile scoring,
+// bytes-planned batches). The cache-bytes column shows the packed ring's
+// residency — 1/4 to 1/32 of the float bytes for the same flows.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common.hpp"
 #include "core/exec/execution_context.hpp"
+#include "hdc/quantized.hpp"
 #include "serve/result_slot.hpp"
 #include "serve/server.hpp"
 
@@ -52,13 +61,11 @@ double percentile(std::vector<std::uint64_t>& v, double p) {
 
 /// One measured point: `num_streams` windowed open-loop clients, each
 /// submitting `flows_per_stream` flows drawn from its own 64-row working
-/// set carved out of the test split.
-RunResult run_point(hdc::CyberHdClassifier& model, const core::Matrix& pool,
-                    std::size_t num_streams, std::size_t flows_per_stream,
-                    std::size_t cache_rows) {
+/// set carved out of the test split. The caller arms the encode cache.
+RunResult run_point(const core::Classifier& model, const core::Matrix& pool,
+                    std::size_t num_streams, std::size_t flows_per_stream) {
   constexpr std::size_t kWorkingSet = 64;
   constexpr std::size_t kWindow = 32;  // outstanding requests per stream
-  model.set_encode_cache(cache_rows);
 
   serve::Server server(model, pool.cols());
   std::vector<std::vector<std::uint64_t>> latencies(num_streams);
@@ -109,6 +116,18 @@ RunResult run_point(hdc::CyberHdClassifier& model, const core::Matrix& pool,
 
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
+  int bits = 0;  // 0 = float pipeline; {1,2,4,8} = packed quantized
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc) {
+      bits = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--bits=", 7) == 0) {
+      bits = static_cast<int>(std::strtol(argv[i] + 7, nullptr, 10));
+    }
+  }
+  if (bits != 0 && bits != 1 && bits != 2 && bits != 4 && bits != 8) {
+    std::fprintf(stderr, "--bits must be one of {1, 2, 4, 8}\n");
+    return 2;
+  }
   const std::size_t total_flows = quick ? 3000 : 6000;
   const std::size_t flows_per_stream = quick ? 2000 : 20000;
   const std::vector<std::size_t> stream_counts =
@@ -125,36 +144,59 @@ int main(int argc, char** argv) {
   hdc::CyberHdClassifier model(bench::paper_cyberhd_config());
   model.fit(data.train.x, data.train.y, data.train.num_classes);
 
-  const core::ServingPlan plan =
-      core::ExecutionContext::process().plan_serving(512);
-  std::printf("model %s, planner batch %zu rows (%zu x %zu domains), "
-              "linger %sus\n\n",
-              model.name().c_str(), plan.batch_rows, plan.block_rows,
-              plan.domains,
+  // The served model: the float classifier, or its quantized snapshot on
+  // the packed pipeline when --bits is given.
+  std::unique_ptr<hdc::QuantizedCyberHd> quantized;
+  if (bits > 0) quantized = std::make_unique<hdc::QuantizedCyberHd>(model, bits);
+  const core::Classifier& served =
+      quantized != nullptr ? static_cast<const core::Classifier&>(*quantized)
+                           : model;
+  const auto arm_cache = [&](std::size_t rows) {
+    if (quantized != nullptr) {
+      quantized->set_encode_cache(rows);
+    } else {
+      model.set_encode_cache(rows);
+    }
+  };
+  const auto cache = [&]() -> const hdc::EncodeCache* {
+    return quantized != nullptr ? quantized->encode_cache()
+                                : model.encode_cache();
+  };
+
+  std::printf("model %s, planner batch %zu rows, linger %sus\n\n",
+              served.name().c_str(), served.preferred_batch_rows(data.test.x),
               std::to_string(serve::Server::linger_from_env()).c_str());
 
   bench::print_row({"streams/cache", "flows/s", "p50", "p99", "batch rows",
-                    "batches", "rejected"});
-  bench::print_rule(7);
+                    "batches", "cache KiB", "rejected"});
+  bench::print_rule(8);
 
   std::vector<core::CsvRow> csv_rows;
   for (const std::size_t cache_rows : {std::size_t{0}, std::size_t{4096}}) {
     for (const std::size_t streams : stream_counts) {
-      const RunResult r = run_point(model, data.test.x, streams,
-                                    flows_per_stream, cache_rows);
+      arm_cache(cache_rows);
+      const RunResult r =
+          run_point(served, data.test.x, streams, flows_per_stream);
+      const hdc::EncodeCacheStats cstats =
+          cache() != nullptr ? cache()->stats() : hdc::EncodeCacheStats{};
       const std::string label = std::to_string(streams) + " x " +
                                 (cache_rows > 0 ? "hot" : "off");
       bench::print_row(
           {label, bench::fmt(r.flows_per_s, 0),
            bench::fmt_time(r.p50_us * 1e-6), bench::fmt_time(r.p99_us * 1e-6),
            bench::fmt(r.stats.mean_batch_rows, 1),
-           std::to_string(r.stats.batches), std::to_string(r.stats.rejected)});
+           std::to_string(r.stats.batches),
+           bench::fmt(static_cast<double>(cstats.bytes_resident) / 1024.0, 1),
+           std::to_string(r.stats.rejected)});
       csv_rows.push_back(
           {std::to_string(streams), std::to_string(cache_rows),
-           std::to_string(r.stats.completed), bench::fmt(r.flows_per_s, 1),
-           bench::fmt(r.p50_us, 1), bench::fmt(r.p99_us, 1),
-           bench::fmt(r.stats.mean_batch_rows, 2),
-           std::to_string(r.stats.batches), std::to_string(r.stats.rejected),
+           std::to_string(bits), std::to_string(r.stats.completed),
+           bench::fmt(r.flows_per_s, 1), bench::fmt(r.p50_us, 1),
+           bench::fmt(r.p99_us, 1), bench::fmt(r.stats.mean_batch_rows, 2),
+           std::to_string(r.stats.batches),
+           std::to_string(cstats.bytes_resident),
+           std::to_string(cstats.bytes_capacity),
+           std::to_string(r.stats.rejected),
            std::to_string(serve::Server::linger_from_env())});
     }
   }
@@ -165,8 +207,9 @@ int main(int argc, char** argv) {
       "add the sharded replay path on top.\n");
 
   bench::emit_csv("serving_concurrent.csv",
-                  {"streams", "cache_rows", "flows", "flows_per_s", "p50_us",
-                   "p99_us", "mean_batch_rows", "batches", "rejected",
+                  {"streams", "cache_rows", "bits", "flows", "flows_per_s",
+                   "p50_us", "p99_us", "mean_batch_rows", "batches",
+                   "bytes_resident", "bytes_capacity", "rejected",
                    "linger_us"},
                   csv_rows);
   return 0;

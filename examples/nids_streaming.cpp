@@ -33,8 +33,18 @@
 // coalesced batch size, and checks per-flow predictions against the
 // serial staged replay (bit-identical by construction).
 //
+// With `--bits {1,2,4,8}` the trained model is first snapshot into a
+// QuantizedCyberHd and the SAME loops run through the packed quantized
+// pipeline: rows are quantized once at encode time, the encode cache holds
+// packed entries (1/4 to 1/32 of the float bytes per flow), and scoring
+// streams packed tiles through the integer kernels. Scores stay
+// bit-identical across cache regimes, and `--bits` composes with
+// `--streams N` (the concurrent check then replays the quantized serial
+// pipeline).
+//
 //   ./examples/nids_streaming               # staged pipeline, 3 cache regimes
 //   ./examples/nids_streaming --streams 4   # concurrent front-end, 4 clients
+//   ./examples/nids_streaming --bits 1      # packed 1-bit serving, 3 regimes
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +56,7 @@
 #include "core/timer.hpp"
 #include "hdc/cyberhd.hpp"
 #include "hdc/encode_cache.hpp"
+#include "hdc/quantized.hpp"
 #include "nids/datasets.hpp"
 #include "nids/preprocess.hpp"
 #include "serve/result_slot.hpp"
@@ -115,6 +126,52 @@ StreamResult drive_stream(const hdc::CyberHdClassifier& model,
   return result;
 }
 
+/// The quantized sibling of drive_stream: stage 1 encodes AND packs each
+/// sub-batch (through the packed encode cache when armed), stage 2 scores
+/// the PackedBatch view through the integer tile kernels.
+StreamResult drive_stream_quantized(const hdc::QuantizedCyberHd& q,
+                                    const core::Matrix& flows,
+                                    const std::vector<std::size_t>& truth,
+                                    std::size_t batch_rows) {
+  StreamResult result;
+  result.predictions.reserve(flows.rows());
+  hdc::PackedStaging staging;
+  core::Matrix scores;
+  core::Timer total;
+  for (std::size_t t = 0; t < flows.rows(); t += batch_rows) {
+    const std::size_t end = std::min(t + batch_rows, flows.rows());
+
+    core::Timer clock;
+    const hdc::PackedBatch packed =
+        q.encode_block_packed(flows, t, end, staging);
+    result.encode_s += clock.seconds();
+
+    clock.reset();
+    q.scores_encoded(packed, scores);
+    result.score_s += clock.seconds();
+
+    for (std::size_t r = 0; r < packed.rows(); ++r) {
+      const std::size_t pred = core::argmax(scores.row(r));
+      result.predictions.push_back(static_cast<int>(pred));
+      if (pred == truth[t + r]) ++result.correct;
+    }
+  }
+  result.total_s = total.seconds();
+  return result;
+}
+
+/// Byte residency of the armed encode cache — the packed pipeline's
+/// memory story in one line.
+void print_cache_bytes(const hdc::EncodeCache& cache) {
+  const hdc::EncodeCacheStats s = cache.stats();
+  std::printf(
+      "cache bytes: %.1f KiB resident / %.1f KiB capacity "
+      "(%zu-byte entries, %zu rows)\n",
+      static_cast<double>(s.bytes_resident) / 1024.0,
+      static_cast<double>(s.bytes_capacity) / 1024.0, cache.entry_bytes(),
+      cache.capacity());
+}
+
 void print_pass(const char* name, const StreamResult& r, std::size_t n) {
   std::printf(
       "%-10s %8.0f flows/s | encode %6.1f ms  score %6.1f ms | "
@@ -128,8 +185,8 @@ void print_pass(const char* name, const StreamResult& r, std::size_t n) {
 /// small window of outstanding requests (open loop within the window) and
 /// records its predictions back into a shared per-flow vector, so the
 /// whole run can be checked against the serial staged replay.
-int run_concurrent(const hdc::CyberHdClassifier& model,
-                   const core::Matrix& flows,
+int run_concurrent(const core::Classifier& model,
+                   const hdc::EncodeCache* cache, const core::Matrix& flows,
                    const std::vector<std::size_t>& truth,
                    std::size_t num_streams) {
   // Serial reference: the staged scores_batch pipeline over the same rows.
@@ -203,6 +260,7 @@ int run_concurrent(const hdc::CyberHdClassifier& model,
       static_cast<unsigned long long>(stats.batches),
       100.0 * static_cast<double>(correct) /
           static_cast<double>(flows.rows()));
+  if (cache != nullptr) print_cache_bytes(*cache);
   std::printf("predictions bit-identical to serial staged replay: %s\n",
               identical ? "yes" : "NO — BUG");
   return identical ? 0 : 1;
@@ -212,6 +270,7 @@ int run_concurrent(const hdc::CyberHdClassifier& model,
 
 int main(int argc, char** argv) {
   std::size_t num_streams = 0;  // 0 = staged three-pass demo (the default)
+  int bits = 0;                 // 0 = float pipeline; {1,2,4,8} = packed
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--streams") == 0 && i + 1 < argc) {
       num_streams = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr,
@@ -219,7 +278,15 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--streams=", 10) == 0) {
       num_streams = static_cast<std::size_t>(std::strtoul(argv[i] + 10,
                                                           nullptr, 10));
+    } else if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc) {
+      bits = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--bits=", 7) == 0) {
+      bits = static_cast<int>(std::strtol(argv[i] + 7, nullptr, 10));
     }
+  }
+  if (bits != 0 && bits != 1 && bits != 2 && bits != 4 && bits != 8) {
+    std::fprintf(stderr, "--bits must be one of {1, 2, 4, 8}\n");
+    return 2;
   }
   // ---- offline phase: train on historical flows ---------------------------
   const nids::FlowSynthesizer synth =
@@ -290,8 +357,62 @@ int main(int argc, char** argv) {
         "stream: %zu flows, %.0f%% replays of a %zu-flow working set\n",
         kStream, 100.0 * static_cast<double>(replayed) / kStream,
         kWorkingSet);
+    if (bits > 0) {
+      hdc::QuantizedCyberHd q(model, bits);
+      q.set_encode_cache(hdc::EncodeCache::capacity_from_env());
+      std::printf("quantized front-end: %s, packed %zu bytes/flow\n",
+                  q.name().c_str(), q.model().packed_row_bytes());
+      return run_concurrent(q, q.encode_cache(), flows, truth, num_streams);
+    }
     model.set_encode_cache(hdc::EncodeCache::capacity_from_env());
-    return run_concurrent(model, flows, truth, num_streams);
+    return run_concurrent(model, model.encode_cache(), flows, truth,
+                          num_streams);
+  }
+
+  if (bits > 0) {
+    // ---- packed quantized pipeline, same three cache regimes --------------
+    hdc::QuantizedCyberHd q(model, bits);
+    const std::size_t batch_rows = q.preferred_batch_rows(flows);
+    std::printf(
+        "quantized pipeline: %s, packed %zu bytes/flow (float: %zu); "
+        "planner: %zu rows/drain\n\n",
+        q.name().c_str(), q.model().packed_row_bytes(),
+        config.dims * sizeof(float), batch_rows);
+
+    q.set_encode_cache(0);
+    const StreamResult uncached =
+        drive_stream_quantized(q, flows, truth, batch_rows);
+    print_pass("no-cache", uncached, kStream);
+
+    const std::size_t cache_rows = hdc::EncodeCache::capacity_from_env();
+    if (cache_rows == 0) {
+      std::printf("CYBERHD_ENCODE_CACHE=0: cache passes skipped\n");
+      return 0;
+    }
+    q.set_encode_cache(cache_rows);
+    const StreamResult cold =
+        drive_stream_quantized(q, flows, truth, batch_rows);
+    print_pass("cold-cache", cold, kStream);
+    const StreamResult warm =
+        drive_stream_quantized(q, flows, truth, batch_rows);
+    print_pass("warm-cache", warm, kStream);
+
+    const hdc::EncodeCacheStats stats = q.encode_cache()->stats();
+    std::printf(
+        "\nencode cache (%zu rows): hit rate %.1f%%; warm vs no-cache "
+        "speedup %.2fx\n",
+        cache_rows, 100.0 * stats.hit_rate(),
+        uncached.total_s / warm.total_s);
+    print_cache_bytes(*q.encode_cache());
+    std::printf("scores bit-identical across cache regimes: %s\n",
+                (uncached.predictions == cold.predictions &&
+                 uncached.predictions == warm.predictions)
+                    ? "yes"
+                    : "NO — BUG");
+    return (uncached.predictions == cold.predictions &&
+            uncached.predictions == warm.predictions)
+               ? 0
+               : 1;
   }
 
   // ---- online phase: the staged pipeline, three cache regimes -------------
@@ -345,6 +466,7 @@ int main(int argc, char** argv) {
       cache_rows, 100.0 * rate(cold_stats, {}),
       100.0 * rate(warm_stats, cold_stats), uncached.total_s / warm.total_s,
       uncached.encode_s / warm.encode_s);
+  print_cache_bytes(*model.encode_cache());
   std::printf("scores bit-identical across cache regimes: %s\n",
               (uncached.predictions == cold.predictions &&
                uncached.predictions == warm.predictions)

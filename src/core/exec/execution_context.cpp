@@ -252,21 +252,32 @@ std::size_t ExecutionContext::score_block_rows(
 
 std::size_t ExecutionContext::serving_block_rows(
     std::size_t dims) const noexcept {
-  const std::size_t floor_rows = score_block_rows(dims);
-  if (dims == 0) return floor_rows;
-  // One third of the shared L3 for the encoded sub-batch (scores, inputs,
+  return serving_block_rows_bytes(dims * sizeof(float),
+                                  score_block_rows(dims));
+}
+
+std::size_t ExecutionContext::serving_block_rows_bytes(
+    std::size_t row_bytes, std::size_t floor_rows) const noexcept {
+  floor_rows = std::clamp<std::size_t>(floor_rows, 1, 4096);
+  if (row_bytes == 0) return floor_rows;
+  // One third of the shared L3 for the sub-batch's rows (scores, inputs,
   // and slack take the rest); power of two, never below the L2 scoring
   // tile this block feeds, capped where batching stops paying.
   const std::size_t budget = cache_.l3_bytes / 3;
-  const std::size_t rows = budget / (dims * sizeof(float));
+  const std::size_t rows = budget / row_bytes;
   return std::clamp<std::size_t>(
       largest_pow2_at_most(std::max<std::size_t>(1, rows)), floor_rows,
       4096);
 }
 
 ServingPlan ExecutionContext::plan_serving(std::size_t dims) const noexcept {
+  return plan_serving_bytes(dims * sizeof(float), score_block_rows(dims));
+}
+
+ServingPlan ExecutionContext::plan_serving_bytes(
+    std::size_t row_bytes, std::size_t floor_rows) const noexcept {
   ServingPlan plan;
-  plan.block_rows = serving_block_rows(dims);
+  plan.block_rows = serving_block_rows_bytes(row_bytes, floor_rows);
   plan.domains = std::max<std::size_t>(1, cache_.l3_domains);
   plan.batch_rows = plan.block_rows * plan.domains;
   return plan;

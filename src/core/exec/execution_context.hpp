@@ -161,11 +161,26 @@ class ExecutionContext {
   /// past the point where batching stops amortizing anything.
   std::size_t serving_block_rows(std::size_t dims) const noexcept;
 
+  /// serving_block_rows generalized to an arbitrary bytes-per-row — the
+  /// quantized serving pipeline plans from its PACKED row size (dims int8
+  /// bytes, or dims/8 packed-bit bytes), not from a float row, so a packed
+  /// sub-batch fills the same third-of-L3 budget with 4-32x more rows.
+  /// `floor_rows` is the lower clamp (the L2 scoring tile the block
+  /// feeds); the upper clamp stays 4096.
+  std::size_t serving_block_rows_bytes(std::size_t row_bytes,
+                                       std::size_t floor_rows = 1)
+      const noexcept;
+
   /// The serving split for a batch of `dims`-wide encoded rows: one
   /// serving_block_rows sub-batch per shared-L3 domain. The stage-split
   /// scores_batch drivers walk their input in batch_rows chunks, encoding
   /// then scoring each chunk while it is still L3-resident.
   ServingPlan plan_serving(std::size_t dims) const noexcept;
+
+  /// plan_serving from an explicit packed bytes-per-row (see
+  /// serving_block_rows_bytes).
+  ServingPlan plan_serving_bytes(std::size_t row_bytes,
+                                 std::size_t floor_rows = 1) const noexcept;
 
  private:
   const Kernels* kernels_;

@@ -40,6 +40,16 @@ bool cpu_supports_avx512_vpopcntdq() noexcept {
 #endif
 }
 
+bool cpu_supports_avx512_vnni() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return cpu_supports_avx512() && __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vnni");
+#else
+  return false;
+#endif
+}
+
 namespace {
 
 /// The best backend the CPUID feature bits allow.

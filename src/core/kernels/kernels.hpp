@@ -27,7 +27,8 @@
 // capable hardware.
 //
 // Contracts shared by all backends:
-//  * integer kernels (xor_popcount_words, quantized_dot_i8) are exact —
+//  * integer kernels (xor_popcount_words, quantized_dot_i8, and the packed
+//    serving tiles similarities_tile_i8 / hamming_tile_1b) are exact —
 //    backends must agree bit-for-bit;
 //  * float kernels may reassociate sums, so backends agree only to rounding
 //    (tests pin the tolerance);
@@ -89,6 +90,33 @@ struct Kernels {
   /// the quantized-domain dot for bitwidths <= 8.
   std::int64_t (*quantized_dot_i8)(const std::int8_t* a, const std::int8_t* b,
                                    std::size_t n);
+
+  /// Blocked int8 similarity tile: raw integer dot products of a tile of
+  /// quantized query rows against every quantized class row,
+  ///   out[r * num_classes + c] = sum_i h[r*dims + i] * classes[c*dims + i]
+  /// for r in [0, rows), c in [0, num_classes). Same register-blocking
+  /// contract as similarities_tile_f32 (SIMD backends amortize each class
+  /// load over a block of query rows), but exact-integer like
+  /// quantized_dot_i8: every backend must agree bit-for-bit with a
+  /// per-pair scalar dot. This is the stage-2 kernel of the packed
+  /// quantized serving pipeline (bits in {2, 4, 8}).
+  void (*similarities_tile_i8)(const std::int8_t* h, std::size_t rows,
+                               const std::int8_t* classes,
+                               std::size_t num_classes, std::size_t dims,
+                               std::int64_t* out);
+
+  /// Packed-XOR/popcount Hamming tile over 64-bit words:
+  ///   out[r * num_classes + c] =
+  ///       sum_w popcount(h[r*words + w] ^ classes[c*words + w])
+  /// for r in [0, rows), c in [0, num_classes). `h` is a row-major
+  /// rows x words tile of packed bipolar rows, `classes` a row-major
+  /// num_classes x words block (bitpack.hpp's tail-masking invariant
+  /// applies to both). Exact-integer: all backends agree bit-for-bit.
+  /// This is the stage-2 kernel of the 1-bit packed serving pipeline.
+  void (*hamming_tile_1b)(const std::uint64_t* h, std::size_t rows,
+                          const std::uint64_t* classes,
+                          std::size_t num_classes, std::size_t words,
+                          std::uint32_t* out);
 };
 
 /// The portable reference backend. Always available.
@@ -116,6 +144,13 @@ bool cpu_supports_avx512() noexcept;
 /// True when the running CPU additionally reports AVX512VPOPCNTDQ (the
 /// vectorized 64-bit popcount; Ice Lake and newer).
 bool cpu_supports_avx512_vpopcntdq() noexcept;
+
+/// True when the running CPU additionally reports AVX512VNNI (vpdpbusd,
+/// the fused 8-bit dot-product accumulate; Cascade Lake and newer). Gates
+/// the VNNI variant of similarities_tile_i8 the same way VPOPCNTDQ gates
+/// the vectorized popcount — requested-but-absent falls back to the
+/// inherited avx2 tile.
+bool cpu_supports_avx512_vnni() noexcept;
 
 /// The backend selected for this process (CPUID once at first use;
 /// overridable via CYBERHD_KERNELS=scalar|avx2|avx512).

@@ -292,6 +292,121 @@ CYBERHD_AVX2 std::int64_t quantized_dot_i8_avx2(const std::int8_t* a,
   return sum;
 }
 
+// Register-blocked int8 similarity tile, the quantized sibling of
+// similarities_tile_f32_avx2: 4 query rows advance together against one
+// class row, each class load amortized over 4 vpmaddwd dots. Integer sums
+// are order-independent, so unlike the float tile no accumulation-order
+// mirroring is needed — every out entry is the exact dot. The i32
+// accumulators follow quantized_dot_i8_avx2's widening cap: each 16-element
+// round adds at most 2 * 127^2 per lane, so 32768 rounds stay far below
+// i32 overflow before the i64 widening.
+/// acc64 += the 8 i32 lanes of acc32, widened (the overflow-safe widening
+/// step shared with quantized_dot_i8_avx2).
+CYBERHD_AVX2 inline __m256i widen_add_i32_to_i64(__m256i acc64,
+                                                 __m256i acc32) {
+  const __m256i lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(acc32));
+  const __m256i hi =
+      _mm256_cvtepi32_epi64(_mm256_extracti128_si256(acc32, 1));
+  return _mm256_add_epi64(acc64, _mm256_add_epi64(lo, hi));
+}
+
+CYBERHD_AVX2 inline std::int64_t hsum_i64x4(__m256i acc64) {
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc64);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+CYBERHD_AVX2 void similarities_tile_i8_avx2(const std::int8_t* h,
+                                            std::size_t rows,
+                                            const std::int8_t* classes,
+                                            std::size_t num_classes,
+                                            std::size_t dims,
+                                            std::int64_t* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const std::int8_t* h0 = h + (r + 0) * dims;
+    const std::int8_t* h1 = h + (r + 1) * dims;
+    const std::int8_t* h2 = h + (r + 2) * dims;
+    const std::int8_t* h3 = h + (r + 3) * dims;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      const std::int8_t* cls = classes + c * dims;
+      __m256i a0 = _mm256_setzero_si256(), a1 = _mm256_setzero_si256();
+      __m256i a2 = _mm256_setzero_si256(), a3 = _mm256_setzero_si256();
+      std::size_t i = 0;
+      while (dims - i >= 16) {
+        const std::size_t rounds =
+            std::min<std::size_t>((dims - i) / 16, 32768);
+        __m256i b0 = _mm256_setzero_si256(), b1 = _mm256_setzero_si256();
+        __m256i b2 = _mm256_setzero_si256(), b3 = _mm256_setzero_si256();
+        for (std::size_t k = 0; k < rounds; ++k, i += 16) {
+          const __m256i cv = _mm256_cvtepi8_epi16(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(cls + i)));
+          b0 = _mm256_add_epi32(
+              b0, _mm256_madd_epi16(
+                      _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                          reinterpret_cast<const __m128i*>(h0 + i))),
+                      cv));
+          b1 = _mm256_add_epi32(
+              b1, _mm256_madd_epi16(
+                      _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                          reinterpret_cast<const __m128i*>(h1 + i))),
+                      cv));
+          b2 = _mm256_add_epi32(
+              b2, _mm256_madd_epi16(
+                      _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                          reinterpret_cast<const __m128i*>(h2 + i))),
+                      cv));
+          b3 = _mm256_add_epi32(
+              b3, _mm256_madd_epi16(
+                      _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                          reinterpret_cast<const __m128i*>(h3 + i))),
+                      cv));
+        }
+        a0 = widen_add_i32_to_i64(a0, b0);
+        a1 = widen_add_i32_to_i64(a1, b1);
+        a2 = widen_add_i32_to_i64(a2, b2);
+        a3 = widen_add_i32_to_i64(a3, b3);
+      }
+      std::int64_t s0 = hsum_i64x4(a0), s1 = hsum_i64x4(a1);
+      std::int64_t s2 = hsum_i64x4(a2), s3 = hsum_i64x4(a3);
+      for (; i < dims; ++i) {
+        const std::int64_t v = cls[i];
+        s0 += static_cast<std::int64_t>(h0[i]) * v;
+        s1 += static_cast<std::int64_t>(h1[i]) * v;
+        s2 += static_cast<std::int64_t>(h2[i]) * v;
+        s3 += static_cast<std::int64_t>(h3[i]) * v;
+      }
+      out[(r + 0) * num_classes + c] = s0;
+      out[(r + 1) * num_classes + c] = s1;
+      out[(r + 2) * num_classes + c] = s2;
+      out[(r + 3) * num_classes + c] = s3;
+    }
+  }
+  for (; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] =
+          quantized_dot_i8_avx2(h + r * dims, classes + c * dims, dims);
+    }
+  }
+}
+
+CYBERHD_AVX2 void hamming_tile_1b_avx2(const std::uint64_t* h,
+                                       std::size_t rows,
+                                       const std::uint64_t* classes,
+                                       std::size_t num_classes,
+                                       std::size_t words,
+                                       std::uint32_t* out) {
+  // Per-pair word scans through the nibble-LUT popcount: at serving widths
+  // (D <= 16k -> words <= 256) a packed row block plus the class block fit
+  // in L1, so the tile gains nothing from further register blocking.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] = static_cast<std::uint32_t>(
+          xor_popcount_words_avx2(h + r * words, classes + c * words, words));
+    }
+  }
+}
+
 constexpr Kernels kAvx2Kernels = {
     .name = "avx2",
     .dot_f32 = dot_f32_avx2,
@@ -301,6 +416,8 @@ constexpr Kernels kAvx2Kernels = {
     .cos_rbf_rows = cos_rbf_rows_avx2,
     .xor_popcount_words = xor_popcount_words_avx2,
     .quantized_dot_i8 = quantized_dot_i8_avx2,
+    .similarities_tile_i8 = similarities_tile_i8_avx2,
+    .hamming_tile_1b = hamming_tile_1b_avx2,
 };
 
 }  // namespace

@@ -35,11 +35,14 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
 #include <bit>
 
 #define CYBERHD_AVX512 __attribute__((target("avx512f,avx512dq,avx2,fma")))
 #define CYBERHD_AVX512_POPCNT \
   __attribute__((target("avx512f,avx512vpopcntdq")))
+#define CYBERHD_AVX512_VNNI \
+  __attribute__((target("avx512f,avx512bw,avx512vnni")))
 
 namespace cyberhd::core {
 namespace {
@@ -170,9 +173,123 @@ CYBERHD_AVX512_POPCNT std::size_t xor_popcount_words_avx512(
   return count;
 }
 
+CYBERHD_AVX512_POPCNT void hamming_tile_1b_avx512(
+    const std::uint64_t* h, std::size_t rows, const std::uint64_t* classes,
+    std::size_t num_classes, std::size_t words, std::uint32_t* out) {
+  // Per-pair vpopcntq word scans — same structure as the avx2 tile, with
+  // the hardware 64-bit popcount doing the counting.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] = static_cast<std::uint32_t>(
+          xor_popcount_words_avx512(h + r * words, classes + c * words,
+                                    words));
+    }
+  }
+}
+
+/// acc64 += the 16 i32 lanes of acc32, widened.
+CYBERHD_AVX512 inline __m512i widen_add_i32_to_i64_512(__m512i acc64,
+                                                       __m512i acc32) {
+  const __m512i lo = _mm512_cvtepi32_epi64(_mm512_castsi512_si256(acc32));
+  const __m512i hi =
+      _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64(acc32, 1));
+  return _mm512_add_epi64(acc64, _mm512_add_epi64(lo, hi));
+}
+
+// VNNI int8 similarity tile. vpdpbusd multiplies UNSIGNED bytes by signed
+// bytes, so the signed query rows go in biased: with a' = a XOR 0x80
+// (i.e. a + 128 read as u8),
+//   sum_i a'_i * b_i  =  dot(a, b) + 128 * sum_i b_i
+// and the true dot is recovered by subtracting 128 * sum(b), where sum(b)
+// is accumulated by the same instruction against an all-ones vector —
+// once per class, shared by the 4 register-blocked query rows. All sums
+// are exact integers, so the recovered dot is bit-identical to the scalar
+// reference. Overflow cap: each 64-element vpdpbusd round moves an i32
+// lane by at most 4 * 255 * 128, so 8192 rounds (512k dims) stay inside
+// i32 before the i64 widening.
+CYBERHD_AVX512_VNNI void similarities_tile_i8_avx512vnni(
+    const std::int8_t* h, std::size_t rows, const std::int8_t* classes,
+    std::size_t num_classes, std::size_t dims, std::int64_t* out) {
+  const __m512i bias = _mm512_set1_epi8(static_cast<char>(0x80));
+  const __m512i ones = _mm512_set1_epi8(1);
+  const std::size_t vec_dims = dims & ~std::size_t{63};
+  for (std::size_t r0 = 0; r0 < rows; r0 += 4) {
+    const std::size_t block = std::min<std::size_t>(4, rows - r0);
+    const std::int8_t* hr[4];
+    for (std::size_t k = 0; k < 4; ++k) {
+      // Degenerate tail blocks alias the first row; their lanes compute
+      // real values that simply go unused.
+      hr[k] = h + (r0 + (k < block ? k : 0)) * dims;
+    }
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      const std::int8_t* cls = classes + c * dims;
+      __m512i a0 = _mm512_setzero_si512(), a1 = _mm512_setzero_si512();
+      __m512i a2 = _mm512_setzero_si512(), a3 = _mm512_setzero_si512();
+      __m512i asum = _mm512_setzero_si512();
+      std::size_t i = 0;
+      while (vec_dims - i >= 64) {
+        const std::size_t rounds =
+            std::min<std::size_t>((vec_dims - i) / 64, 8192);
+        __m512i b0 = _mm512_setzero_si512(), b1 = _mm512_setzero_si512();
+        __m512i b2 = _mm512_setzero_si512(), b3 = _mm512_setzero_si512();
+        __m512i bsum = _mm512_setzero_si512();
+        for (std::size_t k = 0; k < rounds; ++k, i += 64) {
+          const __m512i cv = _mm512_loadu_si512(
+              reinterpret_cast<const void*>(cls + i));
+          bsum = _mm512_dpbusd_epi32(bsum, ones, cv);
+          b0 = _mm512_dpbusd_epi32(
+              b0,
+              _mm512_xor_si512(_mm512_loadu_si512(reinterpret_cast<const void*>(
+                                   hr[0] + i)),
+                               bias),
+              cv);
+          b1 = _mm512_dpbusd_epi32(
+              b1,
+              _mm512_xor_si512(_mm512_loadu_si512(reinterpret_cast<const void*>(
+                                   hr[1] + i)),
+                               bias),
+              cv);
+          b2 = _mm512_dpbusd_epi32(
+              b2,
+              _mm512_xor_si512(_mm512_loadu_si512(reinterpret_cast<const void*>(
+                                   hr[2] + i)),
+                               bias),
+              cv);
+          b3 = _mm512_dpbusd_epi32(
+              b3,
+              _mm512_xor_si512(_mm512_loadu_si512(reinterpret_cast<const void*>(
+                                   hr[3] + i)),
+                               bias),
+              cv);
+        }
+        a0 = widen_add_i32_to_i64_512(a0, b0);
+        a1 = widen_add_i32_to_i64_512(a1, b1);
+        a2 = widen_add_i32_to_i64_512(a2, b2);
+        a3 = widen_add_i32_to_i64_512(a3, b3);
+        asum = widen_add_i32_to_i64_512(asum, bsum);
+      }
+      const std::int64_t comp = 128 * _mm512_reduce_add_epi64(asum);
+      std::int64_t s[4] = {_mm512_reduce_add_epi64(a0) - comp,
+                           _mm512_reduce_add_epi64(a1) - comp,
+                           _mm512_reduce_add_epi64(a2) - comp,
+                           _mm512_reduce_add_epi64(a3) - comp};
+      for (; i < dims; ++i) {
+        const std::int64_t v = cls[i];
+        s[0] += static_cast<std::int64_t>(hr[0][i]) * v;
+        s[1] += static_cast<std::int64_t>(hr[1][i]) * v;
+        s[2] += static_cast<std::int64_t>(hr[2][i]) * v;
+        s[3] += static_cast<std::int64_t>(hr[3][i]) * v;
+      }
+      for (std::size_t k = 0; k < block; ++k) {
+        out[(r0 + k) * num_classes + c] = s[k];
+      }
+    }
+  }
+}
+
 /// Assembled once at first use: start from the avx2 table (cosine, int8
-/// dot), overlay the 32-lane float kernels, and take the VPOPCNTDQ
-/// popcount only when the CPU has it.
+/// dot and tile), overlay the 32-lane float kernels, and take the
+/// VPOPCNTDQ popcount / VNNI int8 tile only when the CPU has them.
 const Kernels make_avx512_table() noexcept {
   Kernels k = *avx2_kernels();
   k.name = "avx512";
@@ -182,6 +299,10 @@ const Kernels make_avx512_table() noexcept {
   k.similarities_tile_f32 = similarities_tile_f32_avx512;
   if (cpu_supports_avx512_vpopcntdq()) {
     k.xor_popcount_words = xor_popcount_words_avx512;
+    k.hamming_tile_1b = hamming_tile_1b_avx512;
+  }
+  if (cpu_supports_avx512_vnni()) {
+    k.similarities_tile_i8 = similarities_tile_i8_avx512vnni;
   }
   return k;
 }

@@ -75,6 +75,34 @@ std::int64_t quantized_dot_i8_scalar(const std::int8_t* a,
   return s;
 }
 
+void similarities_tile_i8_scalar(const std::int8_t* h, std::size_t rows,
+                                 const std::int8_t* classes,
+                                 std::size_t num_classes, std::size_t dims,
+                                 std::int64_t* out) {
+  // Reference semantics: one exact integer dot per (row, class) pair.
+  // SIMD backends may block and reassociate freely — integer sums are
+  // order-independent, so exact equality is the contract, not a tolerance.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] =
+          quantized_dot_i8_scalar(h + r * dims, classes + c * dims, dims);
+    }
+  }
+}
+
+void hamming_tile_1b_scalar(const std::uint64_t* h, std::size_t rows,
+                            const std::uint64_t* classes,
+                            std::size_t num_classes, std::size_t words,
+                            std::uint32_t* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] = static_cast<std::uint32_t>(
+          xor_popcount_words_scalar(h + r * words, classes + c * words,
+                                    words));
+    }
+  }
+}
+
 constexpr Kernels kScalarKernels = {
     .name = "scalar",
     .dot_f32 = dot_f32_scalar,
@@ -84,6 +112,8 @@ constexpr Kernels kScalarKernels = {
     .cos_rbf_rows = cos_rbf_rows_scalar,
     .xor_popcount_words = xor_popcount_words_scalar,
     .quantized_dot_i8 = quantized_dot_i8_scalar,
+    .similarities_tile_i8 = similarities_tile_i8_scalar,
+    .hamming_tile_1b = hamming_tile_1b_scalar,
 };
 
 }  // namespace

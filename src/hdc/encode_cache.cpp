@@ -42,10 +42,17 @@ std::size_t EncodeCache::shards_from_env() noexcept {
 }
 
 EncodeCache::EncodeCache(std::size_t input_dim, std::size_t encoded_dim,
-                         std::size_t capacity_rows, std::size_t shards)
+                         std::size_t capacity_rows, std::size_t shards,
+                         std::size_t entry_bytes)
     : input_dim_(input_dim),
       encoded_dim_(encoded_dim),
-      capacity_(capacity_rows) {
+      capacity_(capacity_rows),
+      entry_bytes_(entry_bytes != 0 ? entry_bytes
+                                    : encoded_dim * sizeof(float)),
+      // Cache-line stride: float entries stay 4-aligned and packed-word
+      // entries 8-aligned whatever the entry size, and neighbouring slots
+      // never share a line.
+      entry_stride_((entry_bytes_ + 63) & ~std::size_t{63}) {
   assert(input_dim > 0 && encoded_dim > 0 && capacity_rows > 0);
   if (shards == 0) shards = shards_from_env();
   // Every shard must own at least one ring slot, so tiny caches collapse
@@ -76,9 +83,10 @@ std::size_t EncodeCache::shard_of(std::uint64_t hash) const noexcept {
 void EncodeCache::ensure_storage(Shard& shard) {
   if (shard.raw.rows() == shard.capacity) return;
   shard.raw.resize(shard.capacity, input_dim_);
-  shard.encoded.resize(shard.capacity, encoded_dim_);
+  shard.entries.assign(shard.capacity * entry_stride_, 0);
   shard.slot_hash.assign(shard.capacity, 0);
   shard.occupied.assign(shard.capacity, false);
+  shard.resident = 0;
   shard.index.reserve(shard.capacity);
 }
 
@@ -97,6 +105,7 @@ void EncodeCache::clear() {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     shard.index.clear();
     std::fill(shard.occupied.begin(), shard.occupied.end(), false);
+    shard.resident = 0;
     shard.next_slot = 0;
     shard.stats = {};
   }
@@ -109,6 +118,10 @@ EncodeCacheStats EncodeCache::stats() const {
     total.hits += shards_[s].stats.hits;
     total.misses += shards_[s].stats.misses;
     total.evictions += shards_[s].stats.evictions;
+    total.bytes_resident +=
+        static_cast<std::uint64_t>(shards_[s].resident) * entry_bytes_;
+    total.bytes_capacity +=
+        static_cast<std::uint64_t>(shards_[s].capacity) * entry_bytes_;
   }
   return total;
 }
@@ -116,7 +129,12 @@ EncodeCacheStats EncodeCache::stats() const {
 EncodeCacheStats EncodeCache::shard_stats(std::size_t shard) const {
   assert(shard < num_shards_);
   const std::lock_guard<std::mutex> lock(shards_[shard].mutex);
-  return shards_[shard].stats;
+  EncodeCacheStats s = shards_[shard].stats;
+  s.bytes_resident =
+      static_cast<std::uint64_t>(shards_[shard].resident) * entry_bytes_;
+  s.bytes_capacity =
+      static_cast<std::uint64_t>(shards_[shard].capacity) * entry_bytes_;
+  return s;
 }
 
 std::uint64_t EncodeCache::hash_row(std::span<const float> x) noexcept {
@@ -154,7 +172,7 @@ std::size_t EncodeCache::find_slot(const Shard& shard, std::uint64_t hash,
 
 void EncodeCache::insert(Shard& shard, std::uint64_t hash,
                          std::span<const float> x,
-                         std::span<const float> h) {
+                         const unsigned char* entry) {
   const std::size_t slot = shard.next_slot;
   shard.next_slot = (shard.next_slot + 1) % shard.capacity;
   if (shard.occupied[slot]) {
@@ -165,9 +183,11 @@ void EncodeCache::insert(Shard& shard, std::uint64_t hash,
       shard.index.erase(it);
     }
     ++shard.stats.evictions;
+  } else {
+    ++shard.resident;
   }
   std::copy(x.begin(), x.end(), shard.raw.row(slot).begin());
-  std::copy(h.begin(), h.end(), shard.encoded.row(slot).begin());
+  std::memcpy(slot_entry(shard, slot), entry, entry_bytes_);
   shard.slot_hash[slot] = hash;
   shard.occupied[slot] = true;
   shard.index[hash] = static_cast<std::uint32_t>(slot);
@@ -178,9 +198,29 @@ std::size_t EncodeCache::encode_rows(const Encoder& encoder,
                                      std::size_t begin, std::size_t end,
                                      core::Matrix& h,
                                      const core::ExecutionContext& exec) {
-  assert(end >= begin && end <= x.rows());
   assert(x.cols() == input_dim_);
   assert(h.cols() == encoded_dim_ && h.rows() >= end - begin);
+  assert(entry_bytes_ == encoded_dim_ * sizeof(float) &&
+         "float driver on a float-armed cache only");
+  auto* out = reinterpret_cast<unsigned char*>(h.data());
+  const std::size_t stride = h.cols() * sizeof(float);
+  return encode_entries(
+      x, begin, end, out, stride,
+      [&](std::size_t i, unsigned char* dst) {
+        encoder.encode(x.row(begin + i),
+                       {reinterpret_cast<float*>(dst), encoded_dim_});
+      },
+      exec);
+}
+
+std::size_t EncodeCache::encode_entries(
+    const core::Matrix& x, std::size_t begin, std::size_t end,
+    unsigned char* out, std::size_t out_stride,
+    const std::function<void(std::size_t, unsigned char*)>& encode_miss,
+    const core::ExecutionContext& exec) {
+  assert(end >= begin && end <= x.rows());
+  assert(x.cols() == input_dim_);
+  assert(out_stride >= entry_bytes_);
   const std::size_t m = end - begin;
   if (m == 0) return 0;
 
@@ -222,8 +262,8 @@ std::size_t EncodeCache::encode_rows(const Encoder& encoder,
       const auto row = x.row(begin + i);
       const std::size_t slot = find_slot(shard, hashes[i], row);
       if (slot < shard.capacity) {
-        const auto cached = shard.encoded.row(slot);
-        std::copy(cached.begin(), cached.end(), h.row(i).begin());
+        std::memcpy(out + i * out_stride, slot_entry(shard, slot),
+                    entry_bytes_);
         ++shard.stats.hits;
         continue;
       }
@@ -242,14 +282,14 @@ std::size_t EncodeCache::encode_rows(const Encoder& encoder,
   }
 
   // Encode pass (parallel, lock-free): every miss encodes into its own
-  // output row; per-row encodes are independent, so results never depend
-  // on the split.
+  // output entry; per-row encodes are independent, so results never
+  // depend on the split.
   exec.parallel_for(
       misses.size(),
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t j = lo; j < hi; ++j) {
           const std::size_t i = misses[j];
-          encoder.encode(x.row(begin + i), h.row(i));
+          encode_miss(i, out + i * out_stride);
         }
       },
       /*grain=*/16);
@@ -257,8 +297,8 @@ std::size_t EncodeCache::encode_rows(const Encoder& encoder,
   // In-batch duplicates replay the fresh encode of their first occurrence
   // (bit-identical by encoder determinism, like any cache hit).
   for (const BatchDup& d : dups) {
-    const auto src = h.row(d.src);
-    std::copy(src.begin(), src.end(), h.row(d.row).begin());
+    std::memcpy(out + d.row * out_stride, out + d.src * out_stride,
+                entry_bytes_);
   }
 
   // Insert pass (per shard, under that shard's lock only): fresh encodes
@@ -276,7 +316,7 @@ std::size_t EncodeCache::encode_rows(const Encoder& encoder,
       if (find_slot(shard, hashes[i], x.row(begin + i)) < shard.capacity) {
         continue;
       }
-      insert(shard, hashes[i], x.row(begin + i), h.row(i));
+      insert(shard, hashes[i], x.row(begin + i), out + i * out_stride);
     }
   }
   return m - misses.size();

@@ -35,6 +35,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -49,11 +50,19 @@ namespace cyberhd::hdc {
 
 class Encoder;
 
-/// Hit/miss counters of one cache (cumulative since the last clear()).
+/// Hit/miss counters of one cache (cumulative since the last clear()),
+/// plus the byte-residency snapshot (entries currently held x entry size —
+/// how full the ring actually is, and what it could hold; packed entries
+/// multiply rows-per-byte 4-32x over float entries at the same capacity).
 struct EncodeCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Bytes of encoded entries resident right now (occupied slots x entry
+  /// bytes, summed per shard).
+  std::uint64_t bytes_resident = 0;
+  /// Bytes the ring can hold (capacity x entry bytes).
+  std::uint64_t bytes_capacity = 0;
   double hit_rate() const noexcept {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0
@@ -86,19 +95,29 @@ class EncodeCache {
   static std::size_t shards_from_env() noexcept;
 
   /// A cache for rows of `input_dim` raw features encoding to
-  /// `encoded_dim` hypervector floats, holding up to `capacity_rows` rows
-  /// split across `shards` shards (0 = shards_from_env(); always clamped
-  /// to at most capacity_rows so every shard owns at least one slot).
-  /// Each shard's ring storage is allocated lazily on its first insert,
-  /// so models that never take the batch serving path pay nothing for
-  /// the default-armed cache.
+  /// `encoded_dim`-dimensional hypervectors, holding up to `capacity_rows`
+  /// entries split across `shards` shards (0 = shards_from_env(); always
+  /// clamped to at most capacity_rows so every shard owns at least one
+  /// slot). Each shard's ring storage is allocated lazily on its first
+  /// insert, so models that never take the batch serving path pay nothing
+  /// for the default-armed cache.
+  ///
+  /// `entry_bytes` is the fixed size of one cached encoded entry, set at
+  /// arm time: 0 (the default) stores float rows (encoded_dim * 4 bytes);
+  /// the quantized pipeline arms its cache with the packed row size
+  /// (PackedBatch::row_bytes), so the same ring holds int8 or packed-bit
+  /// entries — same content hash, same byte-verified hits, same in-batch
+  /// dedup, 4-32x the flows per byte.
   EncodeCache(std::size_t input_dim, std::size_t encoded_dim,
-              std::size_t capacity_rows, std::size_t shards = 0);
+              std::size_t capacity_rows, std::size_t shards = 0,
+              std::size_t entry_bytes = 0);
 
   /// Total row capacity across all shards.
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t input_dim() const noexcept { return input_dim_; }
   std::size_t encoded_dim() const noexcept { return encoded_dim_; }
+  /// Bytes per cached encoded entry (what one slot stores).
+  std::size_t entry_bytes() const noexcept { return entry_bytes_; }
   std::size_t shard_count() const noexcept { return num_shards_; }
   /// Rows currently resident (summed across shards).
   std::size_t size() const;
@@ -117,17 +136,36 @@ class EncodeCache {
   /// The shard a hash routes to (exposed so tests can steer rows).
   std::size_t shard_of(std::uint64_t hash) const noexcept;
 
-  /// The stage-1 driver: fill rows [0, end - begin) of `h` with the
+  /// The float stage-1 driver: fill rows [0, end - begin) of `h` with the
   /// encodings of rows [begin, end) of `x` — hits copied out of their
   /// shard's ring, misses encoded through `encoder` (split across the
   /// context's pool) and then inserted. `h` must already be sized to at
   /// least (end - begin) x encoded_dim. Returns the number of hits
   /// (including in-batch replays). Safe to call concurrently from any
-  /// number of threads.
+  /// number of threads. Only valid for float-armed caches (entry_bytes ==
+  /// encoded_dim * 4); a thin wrapper over encode_entries.
   std::size_t encode_rows(const Encoder& encoder, const core::Matrix& x,
                           std::size_t begin, std::size_t end,
                           core::Matrix& h,
                           const core::ExecutionContext& exec);
+
+  /// The generic stage-1 driver the float and packed pipelines share:
+  /// fill entries [0, end - begin) of `out` (entry i at
+  /// out + i * out_stride, entry_bytes() bytes each; out_stride >=
+  /// entry_bytes()) with the cached encodings of rows [begin, end) of `x`.
+  /// Hits are byte-copied out of their shard's ring; misses call
+  /// `encode_miss(i, dst)` — which must write exactly entry_bytes() bytes
+  /// of the encoding of batch row i into dst, be deterministic, and be
+  /// safe to call concurrently (it runs split across the context's pool) —
+  /// and are then inserted. In-batch duplicates replay the first
+  /// occurrence's fresh entry. Returns the number of hits (including
+  /// in-batch replays). Safe to call concurrently from any number of
+  /// threads.
+  std::size_t encode_entries(
+      const core::Matrix& x, std::size_t begin, std::size_t end,
+      unsigned char* out, std::size_t out_stride,
+      const std::function<void(std::size_t, unsigned char*)>& encode_miss,
+      const core::ExecutionContext& exec);
 
  private:
   /// One independently locked partition of the cache.
@@ -135,10 +173,14 @@ class EncodeCache {
     mutable std::mutex mutex;
     std::size_t capacity = 0;  // slots this shard owns
     // Ring storage, empty until the first insert (see ensure_storage):
-    core::Matrix raw;       // capacity x input_dim: the verification copies
-    core::Matrix encoded;   // capacity x encoded_dim: the cached vectors
+    core::Matrix raw;  // capacity x input_dim: the verification copies
+    // capacity x entry_stride bytes: the cached encoded entries (float
+    // rows, int8 rows, or packed words — the cache is agnostic).
+    std::vector<unsigned char, core::AlignedAllocator<unsigned char>>
+        entries;
     std::vector<std::uint64_t> slot_hash;  // per slot; valid when occupied
     std::vector<bool> occupied;
+    std::size_t resident = 0;  // occupied slot count (bytes accounting)
     std::unordered_map<std::uint64_t, std::uint32_t> index;  // hash -> slot
     std::size_t next_slot = 0;  // ring cursor
     EncodeCacheStats stats;
@@ -151,14 +193,24 @@ class EncodeCache {
   /// Insert (or refresh) a row into the shard's ring. Caller holds
   /// shard.mutex.
   void insert(Shard& shard, std::uint64_t hash, std::span<const float> x,
-              std::span<const float> h);
+              const unsigned char* entry);
   /// Allocate the shard's ring storage on first use. Caller holds
   /// shard.mutex.
   void ensure_storage(Shard& shard);
+  /// Byte pointer of a shard's slot entry.
+  unsigned char* slot_entry(Shard& shard, std::size_t slot) const {
+    return shard.entries.data() + slot * entry_stride_;
+  }
+  const unsigned char* slot_entry(const Shard& shard,
+                                  std::size_t slot) const {
+    return shard.entries.data() + slot * entry_stride_;
+  }
 
   std::size_t input_dim_;
   std::size_t encoded_dim_;
   std::size_t capacity_;
+  std::size_t entry_bytes_;
+  std::size_t entry_stride_;  // entry_bytes_ rounded up to a cache line
   std::size_t num_shards_;
   // unique_ptr<[]> rather than vector: a Shard owns a mutex and is
   // therefore immovable.

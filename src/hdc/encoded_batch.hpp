@@ -13,7 +13,9 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "core/matrix.hpp"
 
@@ -64,6 +66,95 @@ class EncodedBatch {
   const float* data_ = nullptr;
   std::size_t rows_ = 0;
   std::size_t dims_ = 0;
+};
+
+/// Non-owning view of `rows` QUANTIZED hypervectors — the packed sibling of
+/// EncodedBatch the quantized serving pipeline hands between its stages.
+/// Rows are laid out contiguously at row_bytes(dims, bits) bytes each:
+///
+///   bits in {2, 4, 8} — dims int8 levels per row (one byte per dimension;
+///     levels at <= 8 bits fit int8 exactly, and the int8 layout is what
+///     the similarities_tile_i8 kernel streams);
+///   bits == 1        — ceil(dims / 64) little-endian 64-bit words per row
+///     (bit set = +1), tail bits zero per bitpack.hpp's masking invariant;
+///     what the hamming_tile_1b kernel streams.
+///
+/// The buffer must be 8-byte aligned when bits == 1 (PackedStaging and the
+/// encode cache's ring storage both over-align to 64). Cheap to copy;
+/// never outlives the buffer it views.
+class PackedBatch {
+ public:
+  PackedBatch() = default;
+  PackedBatch(const unsigned char* data, std::size_t rows, std::size_t dims,
+              int bits)
+      : data_(data), rows_(rows), dims_(dims), bits_(bits) {
+    assert(data != nullptr || rows == 0);
+    assert(bits >= 1 && bits <= 8);
+  }
+
+  /// Bytes one packed row occupies (the cache entry size and the planner's
+  /// bytes-per-row input): dims for int8 rows, ceil(dims / 64) * 8 for
+  /// packed 1-bit rows.
+  static constexpr std::size_t row_bytes(std::size_t dims,
+                                         int bits) noexcept {
+    return bits == 1 ? ((dims + 63) / 64) * sizeof(std::uint64_t) : dims;
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t dims() const noexcept { return dims_; }
+  int bits() const noexcept { return bits_; }
+  bool empty() const noexcept { return rows_ == 0; }
+  std::size_t row_bytes() const noexcept { return row_bytes(dims_, bits_); }
+  /// Words per row; only meaningful when bits() == 1.
+  std::size_t words() const noexcept { return (dims_ + 63) / 64; }
+  const unsigned char* data() const noexcept { return data_; }
+
+  /// Row r as int8 levels. Precondition: bits() > 1.
+  const std::int8_t* i8_row(std::size_t r) const noexcept {
+    assert(r < rows_ && bits_ > 1);
+    return reinterpret_cast<const std::int8_t*>(data_ + r * row_bytes());
+  }
+  /// Row r as packed words. Precondition: bits() == 1.
+  const std::uint64_t* word_row(std::size_t r) const noexcept {
+    assert(r < rows_ && bits_ == 1);
+    return reinterpret_cast<const std::uint64_t*>(data_ + r * row_bytes());
+  }
+
+  /// Sub-view of `count` rows starting at `begin`.
+  PackedBatch slice(std::size_t begin, std::size_t count) const noexcept {
+    assert(begin + count <= rows_);
+    return {data_ + begin * row_bytes(), count, dims_, bits_};
+  }
+
+ private:
+  const unsigned char* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t dims_ = 0;
+  int bits_ = 8;
+};
+
+/// Reusable owning buffer behind PackedBatch views — the packed pipeline's
+/// analogue of the float staging Matrix. 64-byte aligned (so 1-bit word
+/// rows stay 8-byte aligned and SIMD loads never straddle lines); grows
+/// monotonically like the staging Matrix, so per-block serving reuses one
+/// allocation.
+class PackedStaging {
+ public:
+  /// Ensure capacity for `rows` rows of row_bytes(dims, bits) bytes and
+  /// return the mutable base pointer.
+  unsigned char* prepare(std::size_t rows, std::size_t dims, int bits) {
+    const std::size_t need = rows * PackedBatch::row_bytes(dims, bits);
+    if (bytes_.size() < need) bytes_.resize(need);
+    return bytes_.data();
+  }
+  /// View over the first `rows` rows of the prepared buffer.
+  PackedBatch view(std::size_t rows, std::size_t dims, int bits) const {
+    assert(rows * PackedBatch::row_bytes(dims, bits) <= bytes_.size());
+    return {bytes_.data(), rows, dims, bits};
+  }
+
+ private:
+  std::vector<unsigned char, core::AlignedAllocator<unsigned char>> bytes_;
 };
 
 }  // namespace cyberhd::hdc

@@ -1,7 +1,9 @@
 #include "hdc/quantized.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/exec/execution_context.hpp"
@@ -29,13 +31,14 @@ QuantizedHdcModel::QuantizedHdcModel(const HdcModel& model, int bits)
 }
 
 void QuantizedHdcModel::resync() {
-  levels_i8_.clear();
+  classes_i8_.clear();
   level_sumsq_.clear();
   if (bits_ <= 1 || bits_ > 8) return;
-  levels_i8_.reserve(levels_.size());
+  classes_i8_.resize(levels_.size() * dims_);
   level_sumsq_.reserve(levels_.size());
-  for (const core::QuantizedVector& qv : levels_) {
-    std::vector<std::int8_t> mirror(qv.levels.size());
+  for (std::size_t c = 0; c < levels_.size(); ++c) {
+    const core::QuantizedVector& qv = levels_[c];
+    std::int8_t* mirror = classes_i8_.data() + c * dims_;
     double sumsq = 0.0;
     for (std::size_t i = 0; i < qv.levels.size(); ++i) {
       // Levels at <= 8 bits live in [-127, 127]; the cast is lossless.
@@ -43,7 +46,6 @@ void QuantizedHdcModel::resync() {
       const double v = qv.levels[i];
       sumsq += v * v;
     }
-    levels_i8_.push_back(std::move(mirror));
     level_sumsq_.push_back(sumsq);
   }
 }
@@ -77,13 +79,13 @@ void QuantizedHdcModel::similarities(std::span<const float> h,
       const double v = q.levels[i];
       qn += v * v;
     }
-    for (std::size_t c = 0; c < levels_i8_.size(); ++c) {
+    for (std::size_t c = 0; c < level_sumsq_.size(); ++c) {
       if (qn == 0.0 || level_sumsq_[c] == 0.0) {
         scores[c] = 0.0f;
         continue;
       }
       const double dot = static_cast<double>(kernels.quantized_dot_i8(
-          q8.data(), levels_i8_[c].data(), q8.size()));
+          q8.data(), classes_i8_.data() + c * dims_, q8.size()));
       scores[c] = static_cast<float>(
           dot / (std::sqrt(qn) * std::sqrt(level_sumsq_[c])));
     }
@@ -92,6 +94,101 @@ void QuantizedHdcModel::similarities(std::span<const float> h,
   for (std::size_t c = 0; c < levels_.size(); ++c) {
     scores[c] = core::cosine_quantized(q, levels_[c]);
   }
+}
+
+void QuantizedHdcModel::pack_row(std::span<const float> h,
+                                 unsigned char* dst) const {
+  assert(bits_ <= 8);
+  assert(h.size() == dims_);
+  if (bits_ == 1) {
+    const core::PackedBits q = core::pack_signs(h);
+    std::memcpy(dst, q.words(), q.num_words() * sizeof(std::uint64_t));
+    return;
+  }
+  const core::QuantizedVector q = core::quantize(h, bits_);
+  auto* levels = reinterpret_cast<std::int8_t*>(dst);
+  for (std::size_t i = 0; i < dims_; ++i) {
+    // Levels at <= 8 bits live in [-127, 127]; the cast is lossless.
+    levels[i] = static_cast<std::int8_t>(q.levels[i]);
+  }
+}
+
+void QuantizedHdcModel::similarities_packed(
+    const PackedBatch& h, float* out,
+    const core::ExecutionContext& exec) const {
+  assert(bits_ <= 8);
+  assert(h.bits() == bits_);
+  assert(h.dims() == dims_);
+  const std::size_t classes = num_classes();
+  if (h.rows() == 0 || classes == 0) return;
+  const core::Kernels& k = exec.kernels();
+  const std::size_t tile_rows = exec.score_block_rows(dims_);
+  if (bits_ == 1) {
+    // Gather the class words into one contiguous block PER CALL: the fault
+    // injector edits packed_classes() in place under the no-resync
+    // contract, so the tile pass must read the live words, not a snapshot
+    // cached at construction.
+    const std::size_t words = h.words();
+    std::vector<std::uint64_t> cls(classes * words);
+    for (std::size_t c = 0; c < classes; ++c) {
+      std::memcpy(cls.data() + c * words, packed_[c].words(),
+                  words * sizeof(std::uint64_t));
+    }
+    exec.parallel_for(
+        h.rows(),
+        [&](std::size_t begin, std::size_t end) {
+          std::vector<std::uint32_t> ham(tile_rows * classes);
+          for (std::size_t t = begin; t < end; t += tile_rows) {
+            const std::size_t rows = std::min(tile_rows, end - t);
+            k.hamming_tile_1b(h.word_row(t), rows, cls.data(), classes,
+                              words, ham.data());
+            for (std::size_t r = 0; r < rows; ++r) {
+              float* dst = out + (t + r) * classes;
+              for (std::size_t c = 0; c < classes; ++c) {
+                // Exactly cosine_bipolar(): dot = D - 2 * hamming, exact
+                // in int64, divided by D in float.
+                const std::int64_t dot =
+                    static_cast<std::int64_t>(dims_) -
+                    2 * static_cast<std::int64_t>(ham[r * classes + c]);
+                dst[c] =
+                    static_cast<float>(dot) / static_cast<float>(dims_);
+              }
+            }
+          }
+        },
+        /*grain=*/32);
+    return;
+  }
+  exec.parallel_for(
+      h.rows(),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<std::int64_t> dots(tile_rows * classes);
+        for (std::size_t t = begin; t < end; t += tile_rows) {
+          const std::size_t rows = std::min(tile_rows, end - t);
+          k.similarities_tile_i8(h.i8_row(t), rows, classes_i8_.data(),
+                                 classes, dims_, dots.data());
+          for (std::size_t r = 0; r < rows; ++r) {
+            // The query's sum of squared levels is an exact integer
+            // (<= D * 127^2, far inside double's mantissa), recomputed
+            // from the packed row itself — the same value similarities()
+            // accumulates on the float detour, in any summation order.
+            const double qn = static_cast<double>(k.quantized_dot_i8(
+                h.i8_row(t + r), h.i8_row(t + r), dims_));
+            float* dst = out + (t + r) * classes;
+            for (std::size_t c = 0; c < classes; ++c) {
+              if (qn == 0.0 || level_sumsq_[c] == 0.0) {
+                dst[c] = 0.0f;
+                continue;
+              }
+              const double dot =
+                  static_cast<double>(dots[r * classes + c]);
+              dst[c] = static_cast<float>(
+                  dot / (std::sqrt(qn) * std::sqrt(level_sumsq_[c])));
+            }
+          }
+        }
+      },
+      /*grain=*/32);
 }
 
 std::size_t QuantizedHdcModel::predict_encoded(
@@ -137,6 +234,15 @@ void QuantizedCyberHd::scores(std::span<const float> x,
 
 std::size_t QuantizedCyberHd::preferred_batch_rows(
     const core::Matrix&) const {
+  if (model_.bits() <= 8) {
+    // Plan from the PACKED bytes per row: the same third-of-L3 budget
+    // holds 4x (int8) to 32x (1-bit) more rows than a float sub-batch,
+    // so serving batches grow accordingly.
+    return exec_
+        .plan_serving_bytes(model_.packed_row_bytes(),
+                            exec_.score_block_rows(model_.dims()))
+        .batch_rows;
+  }
   return exec_.plan_serving(model_.dims()).batch_rows;
 }
 
@@ -154,14 +260,68 @@ void QuantizedCyberHd::scores_encoded(const EncodedBatch& h,
       /*grain=*/32);
 }
 
+PackedBatch QuantizedCyberHd::encode_block_packed(
+    const core::Matrix& x, std::size_t begin, std::size_t end,
+    PackedStaging& staging) const {
+  assert(model_.bits() <= 8);
+  const std::size_t m = end - begin;
+  const std::size_t dims = model_.dims();
+  const int bits = model_.bits();
+  unsigned char* out = staging.prepare(m, dims, bits);
+  const std::size_t row_bytes = model_.packed_row_bytes();
+  // Quantize ONCE, here: the encoder's float row lives only in a
+  // per-worker scratch buffer; what gets staged (and cached) is the
+  // packed row.
+  const auto encode_pack = [&](std::size_t i, unsigned char* dst) {
+    thread_local std::vector<float> scratch;
+    scratch.resize(dims);
+    encoder_->encode(x.row(begin + i), scratch);
+    model_.pack_row(scratch, dst);
+  };
+  if (encode_cache_ != nullptr) {
+    encode_cache_->encode_entries(x, begin, end, out, row_bytes,
+                                  encode_pack, exec_);
+  } else {
+    exec_.parallel_for(
+        m,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            encode_pack(i, out + i * row_bytes);
+          }
+        },
+        /*grain=*/16);
+  }
+  return staging.view(m, dims, bits);
+}
+
+void QuantizedCyberHd::scores_encoded(const PackedBatch& h,
+                                      core::Matrix& out) const {
+  assert(h.dims() == model_.dims());
+  assert(h.bits() == model_.bits());
+  out.resize(h.rows(), model_.num_classes());
+  if (h.rows() == 0) return;
+  model_.similarities_packed(h, out.row(0).data(), exec_);
+}
+
 void QuantizedCyberHd::scores_block(const core::Matrix& x,
                                     std::size_t begin, std::size_t end,
                                     core::Matrix& out) const {
   const std::size_t m = end - begin;
   if (m == 0) return;
-  // Stage 1: the shared cached-encode driver (hits replayed from the
-  // ring, misses encoded across the pool); staging is thread_local so the
-  // block loop reuses one allocation per calling thread.
+  if (model_.bits() <= 8) {
+    // Quantized end to end: stage 1 packs each row at encode time (the
+    // cache ring holds packed entries too), stage 2 streams packed tiles
+    // through the integer kernels. No float row crosses the stage
+    // boundary, and every score is bit-identical to the re-quantize
+    // path below.
+    thread_local PackedStaging staging;
+    const PackedBatch packed = encode_block_packed(x, begin, end, staging);
+    model_.similarities_packed(packed, out.row(begin).data(), exec_);
+    return;
+  }
+  // bits 16/32 keep the float pipeline: cached float encode, then per-row
+  // quantize-and-score. Staging is thread_local so the block loop reuses
+  // one allocation per calling thread.
   thread_local core::Matrix staging;
   const EncodedBatch encoded =
       encode_block_cached(*encoder_, encode_cache_.get(), x, begin, end,
@@ -183,8 +343,14 @@ void QuantizedCyberHd::set_encode_cache(std::size_t capacity_rows,
     encode_cache_.reset();
     return;
   }
+  // bits <= 8: arm the ring with the packed entry size — the same row
+  // capacity costs 1/4 (int8) to 1/32 (1-bit) of the float bytes, or put
+  // the other way, the default 4096 rows of budget hold 4-32x more flows.
+  const std::size_t entry_bytes =
+      model_.bits() <= 8 ? model_.packed_row_bytes() : 0;
   encode_cache_ = std::make_unique<EncodeCache>(
-      encoder_->input_dim(), encoder_->output_dim(), capacity_rows, shards);
+      encoder_->input_dim(), encoder_->output_dim(), capacity_rows, shards,
+      entry_bytes);
 }
 
 std::string QuantizedCyberHd::name() const {

@@ -52,6 +52,31 @@ class QuantizedHdcModel {
   void similarities(std::span<const float> h,
                     std::span<float> scores) const;
 
+  // -- packed-domain batch scoring (bits <= 8) -------------------------------
+  // The serving pipeline quantizes each row ONCE at encode time (pack_row)
+  // and scores whole packed tiles against the class block through the
+  // integer tile kernels — no float detour, 1-8 bits moved per dimension.
+  // Row for row bit-identical to quantize-then-similarities(): the tile
+  // dots are exact integers on every backend and the final cosine
+  // expression is the same.
+
+  /// Bytes one packed query row occupies (PackedBatch::row_bytes at this
+  /// model's width). Only meaningful when bits() <= 8.
+  std::size_t packed_row_bytes() const noexcept {
+    return PackedBatch::row_bytes(dims_, bits_);
+  }
+  /// Quantize a float-encoded query into its packed form: dims() int8
+  /// levels (bits 2..8) or ceil(dims/64) packed sign words (bits == 1),
+  /// written to `dst` (packed_row_bytes() bytes). Thread-safe.
+  /// Precondition: bits() <= 8.
+  void pack_row(std::span<const float> h, unsigned char* dst) const;
+  /// Quantized-domain cosine scores of a packed tile: writes
+  /// h.rows() x num_classes() floats to `out` (row-major, stride
+  /// num_classes()), split across `exec`'s pool. Thread-safe.
+  /// Preconditions: bits() <= 8, h.bits() == bits(), h.dims() == dims().
+  void similarities_packed(const PackedBatch& h, float* out,
+                           const core::ExecutionContext& exec) const;
+
   /// argmax-of-similarity prediction for a float-encoded query.
   std::size_t predict_encoded(std::span<const float> h) const;
 
@@ -86,10 +111,12 @@ class QuantizedHdcModel {
   std::size_t dims_;
   std::vector<core::PackedBits> packed_;        // bits == 1
   std::vector<core::QuantizedVector> levels_;   // bits > 1
-  // Scoring caches for bits in {2, 4, 8}: class levels mirrored as int8 for
-  // the SIMD dot, plus each class's sum of squared levels (exact integers
-  // held in double, matching cosine_quantized()'s accumulator).
-  std::vector<std::vector<std::int8_t>> levels_i8_;
+  // Scoring caches for bits in {2, 4, 8}: class levels mirrored as ONE
+  // contiguous num_classes x dims int8 block (the layout the
+  // similarities_tile_i8 kernel streams), plus each class's sum of squared
+  // levels (exact integers held in double, matching cosine_quantized()'s
+  // accumulator).
+  std::vector<std::int8_t, core::AlignedAllocator<std::int8_t>> classes_i8_;
   std::vector<double> level_sumsq_;
 };
 
@@ -115,24 +142,45 @@ class QuantizedCyberHd final : public core::Classifier {
   void scores(std::span<const float> x, std::span<float> out) const override;
 
   // -- stage-split serving pipeline (mirrors CyberHdClassifier) --------------
+  // For bits <= 8 the pipeline is QUANTIZED END TO END: stage 1 encodes a
+  // row once and immediately packs it (int8 levels, or sign words at
+  // bits == 1), the encode cache stores the packed entry, and stage 2
+  // scores packed tiles through the integer tile kernels — floats never
+  // round-trip between the stages. bits 16/32 keep the float pipeline.
 
   /// Sub-batch size of the staged scores_batch driver: the execution
-  /// context's L3-aware serving plan over the encoded width D.
+  /// context's L3-aware serving plan over the PACKED row size when
+  /// bits() <= 8 (a packed sub-batch fits 4-32x more rows in the same L3
+  /// budget), over the float row size otherwise.
   std::size_t preferred_batch_rows(const core::Matrix& x) const override;
   /// One planned block: cached encode of rows [begin, end), then
-  /// quantized scoring of the EncodedBatch view into the block's rows of
-  /// `out`, split across the execution context's pool. predict_batch
-  /// (from core::Classifier) rides the same driver.
+  /// quantized scoring of the packed (bits <= 8) or float view into the
+  /// block's rows of `out`, split across the execution context's pool.
+  /// predict_batch (from core::Classifier) rides the same driver.
   void scores_block(const core::Matrix& x, std::size_t begin,
                     std::size_t end, core::Matrix& out) const override;
-  /// Stage 2 alone: quantized-domain scores of an already-encoded view;
-  /// `out` is resized to h.rows() x num_classes().
+  /// Stage 1 alone (bits <= 8): encode rows [begin, end) of `x` straight
+  /// into packed form — through the packed encode cache when armed —
+  /// staged in `staging`. The returned view borrows `staging`'s bytes.
+  PackedBatch encode_block_packed(const core::Matrix& x, std::size_t begin,
+                                  std::size_t end,
+                                  PackedStaging& staging) const;
+  /// Stage 2 alone: quantized-domain scores of an already-encoded float
+  /// view (the query rows are re-quantized per row); `out` is resized to
+  /// h.rows() x num_classes().
   void scores_encoded(const EncodedBatch& h, core::Matrix& out) const;
+  /// Stage 2 alone, packed domain (bits <= 8): scores of an
+  /// encode_block_packed view, no float detour; `out` is resized to
+  /// h.rows() x num_classes(). Bit-identical to the float overload over
+  /// the same rows.
+  void scores_encoded(const PackedBatch& h, core::Matrix& out) const;
 
   /// Resize the serving encode cache (0 disables; `shards` = 0 picks the
   /// CYBERHD_CACHE_SHARDS / topology default). The constructor installs
   /// the CYBERHD_ENCODE_CACHE env default; the quantized snapshot owns
   /// its own cache — its cloned encoder's outputs are what it replays.
+  /// For bits <= 8 the cache is armed with the packed entry size, so the
+  /// same row capacity costs 4-32x fewer bytes than a float cache.
   /// Resets hit/miss statistics.
   void set_encode_cache(std::size_t capacity_rows, std::size_t shards = 0);
   /// The serving encode cache, or nullptr when disabled.

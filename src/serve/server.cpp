@@ -37,7 +37,9 @@ Server::Server(const core::Classifier& model, std::size_t input_dim,
   assert(num_classes_ > 0 && "serve a fitted model");
   if (max_batch_rows_ == 0) {
     // Consult the model's planner with an input-shaped probe. Planner-
-    // aware models (CyberHD) derive the answer from topology alone; the
+    // aware models (CyberHD) derive the answer from topology alone —
+    // quantized models plan from *packed* bytes per row, so their
+    // batches come back 4-32x larger for the same L3 budget; the
     // base-class default answers probe.rows(), which the guard below
     // turns into a sane batch.
     core::Matrix probe(1, input_dim_);

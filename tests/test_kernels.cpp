@@ -58,6 +58,8 @@ TEST(KernelDispatch, ActiveBackendIsAlwaysValid) {
   ASSERT_NE(k.cos_rbf_rows, nullptr);
   ASSERT_NE(k.xor_popcount_words, nullptr);
   ASSERT_NE(k.quantized_dot_i8, nullptr);
+  ASSERT_NE(k.similarities_tile_i8, nullptr);
+  ASSERT_NE(k.hamming_tile_1b, nullptr);
 }
 
 TEST(KernelParity, DotF32) {
@@ -160,6 +162,116 @@ TEST(KernelParity, QuantizedDotI8BitExact) {
   for (auto& v : b) v = -128;
   EXPECT_EQ(scalar.quantized_dot_i8(a.data(), b.data(), big),
             avx2->quantized_dot_i8(a.data(), b.data(), big));
+}
+
+// ---- the integer tile kernels (packed quantized serving) -------------------
+
+/// Every backend's int8 tile must reproduce the scalar per-pair
+/// quantized_dot_i8 bit-for-bit — all the math is exact integer, so unlike
+/// the float tile there is no rounding latitude, on any backend including
+/// the VNNI kernel when the avx512 table carries it. Rows straddle the
+/// 4-row register block, dims the 16- and 64-lane vector widths and tails.
+TEST(KernelTile, SimilaritiesTileI8MatchesPerPairDotExactly) {
+  std::vector<const core::Kernels*> backends = {&core::scalar_kernels()};
+  if (const core::Kernels* avx2 = runnable_avx2()) backends.push_back(avx2);
+  if (const core::Kernels* avx512 = runnable_avx512()) {
+    backends.push_back(avx512);
+  }
+  const core::Kernels& scalar = core::scalar_kernels();
+  core::Rng rng(21);
+  for (const core::Kernels* k : backends) {
+    for (std::size_t rows : {1u, 3u, 4u, 5u, 8u, 17u}) {
+      for (std::size_t classes : {1u, 2u, 3u, 10u}) {
+        for (std::size_t dims :
+             {1u, 15u, 16u, 17u, 63u, 64u, 65u, 100u, 118u, 512u}) {
+          std::vector<std::int8_t> h(rows * dims), cls(classes * dims);
+          for (auto& v : h) {
+            v = static_cast<std::int8_t>(rng.next_below(256));
+          }
+          for (auto& v : cls) {
+            v = static_cast<std::int8_t>(rng.next_below(256));
+          }
+          std::vector<std::int64_t> out(rows * classes, -1);
+          k->similarities_tile_i8(h.data(), rows, cls.data(), classes, dims,
+                                  out.data());
+          for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < classes; ++c) {
+              EXPECT_EQ(out[r * classes + c],
+                        scalar.quantized_dot_i8(h.data() + r * dims,
+                                                cls.data() + c * dims, dims))
+                  << k->name << " rows=" << rows << " classes=" << classes
+                  << " dims=" << dims << " r=" << r << " c=" << c;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelTile, SimilaritiesTileI8SaturatedAccumulatorChunks) {
+  // Saturated worst case across every backend's 32-bit accumulator chunk
+  // boundary (AVX2 caps at 32768 rounds of 16 lanes, VNNI at 8192 rounds
+  // of 64 — both 524288 dims), plus a ragged tail.
+  const std::size_t big = 64 * 8192 + 77;
+  const std::size_t rows = 5;
+  std::vector<std::int8_t> h(rows * big, 127);
+  std::vector<std::int8_t> cls(2 * big, 127);
+  for (std::size_t i = big; i < 2 * big; ++i) {
+    cls[i] = -128;
+  }
+  std::vector<const core::Kernels*> backends = {&core::scalar_kernels()};
+  if (const core::Kernels* avx2 = runnable_avx2()) backends.push_back(avx2);
+  if (const core::Kernels* avx512 = runnable_avx512()) {
+    backends.push_back(avx512);
+  }
+  const core::Kernels& scalar = core::scalar_kernels();
+  for (const core::Kernels* k : backends) {
+    std::vector<std::int64_t> out(rows * 2, 0);
+    k->similarities_tile_i8(h.data(), rows, cls.data(), 2, big, out.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < 2; ++c) {
+        EXPECT_EQ(out[r * 2 + c],
+                  scalar.quantized_dot_i8(h.data() + r * big,
+                                          cls.data() + c * big, big))
+            << k->name << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(KernelTile, HammingTile1bMatchesPerPairPopcountExactly) {
+  std::vector<const core::Kernels*> backends = {&core::scalar_kernels()};
+  if (const core::Kernels* avx2 = runnable_avx2()) backends.push_back(avx2);
+  if (const core::Kernels* avx512 = runnable_avx512()) {
+    backends.push_back(avx512);
+  }
+  const core::Kernels& scalar = core::scalar_kernels();
+  core::Rng rng(23);
+  for (const core::Kernels* k : backends) {
+    for (std::size_t rows : {1u, 3u, 4u, 5u, 8u, 17u}) {
+      for (std::size_t classes : {1u, 2u, 3u, 10u}) {
+        for (std::size_t words : {1u, 2u, 7u, 8u, 9u, 31u, 64u, 257u}) {
+          std::vector<std::uint64_t> h(rows * words), cls(classes * words);
+          for (auto& w : h) w = rng.next_u64();
+          for (auto& w : cls) w = rng.next_u64();
+          std::vector<std::uint32_t> out(rows * classes, 0xffffffffu);
+          k->hamming_tile_1b(h.data(), rows, cls.data(), classes, words,
+                             out.data());
+          for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < classes; ++c) {
+              EXPECT_EQ(out[r * classes + c],
+                        static_cast<std::uint32_t>(scalar.xor_popcount_words(
+                            h.data() + r * words, cls.data() + c * words,
+                            words)))
+                  << k->name << " rows=" << rows << " classes=" << classes
+                  << " words=" << words << " r=" << r << " c=" << c;
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 // ---- AVX-512 backend parity ------------------------------------------------

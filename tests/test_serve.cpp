@@ -32,6 +32,7 @@
 #include "hdc/cyberhd.hpp"
 #include "hdc/encode_cache.hpp"
 #include "hdc/encoder.hpp"
+#include "hdc/quantized.hpp"
 #include "serve/result_slot.hpp"
 #include "serve/server.hpp"
 #include "serve/submission_queue.hpp"
@@ -316,6 +317,77 @@ TEST(ServerBitIdentity, SerialModelZeroLinger) {
 
 TEST(ServerBitIdentity, InlineScoringNoDomainAffinity) {
   expect_bit_identical_streams(4, true, true, -1, false);
+}
+
+// ---------------------------------------------------------------------------
+// Quantized models through the same concurrent front-end: the packed
+// pipeline (packed encode cache, integer tile scoring, bytes-planned
+// batches) must deliver every stream's scores bit-identical to a serial
+// quantized scores_batch replay — at every packed bitwidth, cache on/off.
+
+void expect_bit_identical_quantized(std::size_t num_streams, int bits,
+                                    bool cache_on) {
+  ServeFixture f(true);
+  hdc::QuantizedCyberHd q(f.model, bits);
+  q.set_encode_cache(cache_on ? 1024 : 0);
+
+  std::vector<core::Matrix> flows;
+  std::vector<core::Matrix> reference(num_streams);
+  flows.reserve(num_streams);
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    flows.push_back(ServeFixture::stream_flows(s));
+    q.scores_batch(flows[s], reference[s]);
+  }
+
+  Server server(q, 5, ServerConfig{});
+  std::vector<std::vector<ResultSlot>> slots;
+  slots.reserve(num_streams);
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    slots.emplace_back(flows[s].rows());
+  }
+  std::vector<std::thread> streams;
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    streams.emplace_back([&, s] {
+      for (std::size_t i = 0; i < flows[s].rows(); ++i) {
+        ASSERT_TRUE(server.submit(flows[s].row(i), slots[s][i]));
+      }
+    });
+  }
+  for (auto& t : streams) t.join();
+
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    for (std::size_t i = 0; i < flows[s].rows(); ++i) {
+      slots[s][i].wait();
+      const auto got = slots[s][i].scores();
+      ASSERT_EQ(got.size(), 3u);
+      for (std::size_t c = 0; c < got.size(); ++c) {
+        ASSERT_EQ(got[c], reference[s](i, c))
+            << "bits " << bits << " stream " << s << " row " << i
+            << " class " << c;
+      }
+    }
+  }
+  server.shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, num_streams * flows[0].rows());
+}
+
+TEST(ServerQuantized, OneStreamEveryBitwidthCacheOn) {
+  for (int bits : {1, 4, 8}) {
+    expect_bit_identical_quantized(1, bits, true);
+  }
+}
+
+TEST(ServerQuantized, EightStreamsEveryBitwidthCacheOn) {
+  for (int bits : {1, 4, 8}) {
+    expect_bit_identical_quantized(8, bits, true);
+  }
+}
+
+TEST(ServerQuantized, EightStreamsEveryBitwidthCacheOff) {
+  for (int bits : {1, 4, 8}) {
+    expect_bit_identical_quantized(8, bits, false);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -309,8 +309,90 @@ TEST_P(QuantizedServing, ScoresEncodedConsumesAnyView) {
   }
 }
 
+TEST_P(QuantizedServing, PackedStageSplitMatchesTheDriver) {
+  // The packed stage-1/stage-2 API pulled apart: encode_block_packed's
+  // view scored through the packed scores_encoded must equal the fused
+  // scores_batch driver, and a sub-slice must score exactly its rows.
+  ServingFixture t;
+  QuantizedCyberHd q(t.model, GetParam());
+  core::Matrix reference;
+  q.scores_batch(t.queries, reference);
+
+  PackedStaging staging;
+  const PackedBatch packed =
+      q.encode_block_packed(t.queries, 0, t.queries.rows(), staging);
+  EXPECT_EQ(packed.rows(), t.queries.rows());
+  EXPECT_EQ(packed.bits(), GetParam());
+  EXPECT_EQ(packed.row_bytes(),
+            PackedBatch::row_bytes(q.model().dims(), GetParam()));
+  core::Matrix out;
+  q.scores_encoded(packed, out);
+  EXPECT_EQ(out, reference);
+
+  core::Matrix slice_out;
+  q.scores_encoded(packed.slice(8, 16), slice_out);
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < slice_out.cols(); ++c) {
+      EXPECT_EQ(slice_out(r, c), reference(8 + r, c));
+    }
+  }
+}
+
+TEST_P(QuantizedServing, CacheStoresPackedEntriesAndCountsBytes) {
+  // The quantized cache ring is armed with the PACKED entry size — the
+  // whole point of the packed pipeline's memory win — and the byte
+  // residency stats must track occupied slots times that entry size.
+  ServingFixture t;
+  QuantizedCyberHd q(t.model, GetParam());
+  q.set_encode_cache(256);
+  ASSERT_NE(q.encode_cache(), nullptr);
+  const std::size_t entry =
+      PackedBatch::row_bytes(q.model().dims(), GetParam());
+  EXPECT_EQ(q.encode_cache()->entry_bytes(), entry);
+
+  const EncodeCacheStats before = q.encode_cache()->stats();
+  EXPECT_EQ(before.bytes_resident, 0u);
+  EXPECT_EQ(before.bytes_capacity, 256u * entry);
+
+  core::Matrix scores;
+  q.scores_batch(t.queries, scores);
+  const EncodeCacheStats after = q.encode_cache()->stats();
+  EXPECT_EQ(after.bytes_resident, q.encode_cache()->size() * entry);
+  EXPECT_GT(after.bytes_resident, 0u);
+  EXPECT_LE(after.bytes_resident, after.bytes_capacity);
+}
+
 INSTANTIATE_TEST_SUITE_P(Bitwidths, QuantizedServing,
-                         ::testing::Values(1, 4, 8));
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(PackedBatchView, RowBytesAndSlicesAddressPackedRows) {
+  // int8 rows: one byte per dimension; 1-bit rows: whole 64-bit words.
+  EXPECT_EQ(PackedBatch::row_bytes(128, 8), 128u);
+  EXPECT_EQ(PackedBatch::row_bytes(128, 2), 128u);
+  EXPECT_EQ(PackedBatch::row_bytes(128, 1), 16u);
+  EXPECT_EQ(PackedBatch::row_bytes(65, 1), 16u);  // tail word rounds up
+  EXPECT_TRUE(PackedBatch().empty());
+
+  PackedStaging staging;
+  unsigned char* base = staging.prepare(4, 16, 8);
+  for (std::size_t i = 0; i < 4 * 16; ++i) {
+    base[i] = static_cast<unsigned char>(i);
+  }
+  const PackedBatch view = staging.view(4, 16, 8);
+  EXPECT_EQ(view.rows(), 4u);
+  EXPECT_EQ(view.row_bytes(), 16u);
+  EXPECT_EQ(view.i8_row(2)[0], static_cast<std::int8_t>(32));
+  const PackedBatch slice = view.slice(1, 2);
+  EXPECT_EQ(slice.rows(), 2u);
+  EXPECT_EQ(slice.i8_row(0), view.i8_row(1));
+
+  unsigned char* wbase = staging.prepare(2, 130, 1);
+  const PackedBatch words = staging.view(2, 130, 1);
+  EXPECT_EQ(words.words(), 3u);
+  EXPECT_EQ(words.row_bytes(), 24u);
+  EXPECT_EQ(reinterpret_cast<const unsigned char*>(words.word_row(1)),
+            wbase + 24);
+}
 
 TEST(EncodeCacheUnit, ContentVerificationDefeatsHashAliasing) {
   // Two different rows forced through the same cache: whatever the hash
