@@ -23,10 +23,19 @@
 // pipeline end to end (packed encode cache entries, integer tile scoring,
 // bytes-planned batches). The cache-bytes column shows the packed ring's
 // residency — 1/4 to 1/32 of the float bytes for the same flows.
+//
+// `--faults` appends a degraded-mode sweep: the same load with the fault
+// injector firing (batcher delays, encode failures, in-flight model bit
+// flips) and the self-healing auditor installed. The fault columns
+// quantify the cost of operating under failure — throughput/latency with
+// injection on, how many requests failed explicitly, and how many
+// corruption events the audit healed. Clean rows carry zeros in those
+// columns so the CSV schema is identical either way.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -34,9 +43,12 @@
 
 #include "common.hpp"
 #include "core/exec/execution_context.hpp"
+#include "fault/bitflip.hpp"
 #include "hdc/quantized.hpp"
+#include "serve/fault_injector.hpp"
 #include "serve/result_slot.hpp"
 #include "serve/server.hpp"
+#include "serve/snapshot.hpp"
 
 using namespace cyberhd;
 
@@ -63,11 +75,14 @@ double percentile(std::vector<std::uint64_t>& v, double p) {
 /// submitting `flows_per_stream` flows drawn from its own 64-row working
 /// set carved out of the test split. The caller arms the encode cache.
 RunResult run_point(const core::Classifier& model, const core::Matrix& pool,
-                    std::size_t num_streams, std::size_t flows_per_stream) {
+                    std::size_t num_streams, std::size_t flows_per_stream,
+                    const serve::ServerConfig& cfg = {},
+                    const std::function<void(serve::Server&)>& prime = {}) {
   constexpr std::size_t kWorkingSet = 64;
   constexpr std::size_t kWindow = 32;  // outstanding requests per stream
 
-  serve::Server server(model, pool.cols());
+  serve::Server server(model, pool.cols(), cfg);
+  if (prime) prime(server);
   std::vector<std::vector<std::uint64_t>> latencies(num_streams);
   std::vector<std::thread> streams;
   core::Timer timer;
@@ -117,11 +132,14 @@ RunResult run_point(const core::Classifier& model, const core::Matrix& pool,
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
   int bits = 0;  // 0 = float pipeline; {1,2,4,8} = packed quantized
+  bool faults = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc) {
       bits = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (std::strncmp(argv[i], "--bits=", 7) == 0) {
       bits = static_cast<int>(std::strtol(argv[i] + 7, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = true;
     }
   }
   if (bits != 0 && bits != 1 && bits != 2 && bits != 4 && bits != 8) {
@@ -168,49 +186,116 @@ int main(int argc, char** argv) {
               std::to_string(serve::Server::linger_from_env()).c_str());
 
   bench::print_row({"streams/cache", "flows/s", "p50", "p99", "batch rows",
-                    "batches", "cache KiB", "rejected"});
-  bench::print_rule(8);
+                    "batches", "cache KiB", "rejected", "failed", "healed"});
+  bench::print_rule(10);
 
   std::vector<core::CsvRow> csv_rows;
+  const auto record = [&](std::size_t streams, std::size_t cache_rows,
+                          bool faulted, const RunResult& r) {
+    const hdc::EncodeCacheStats cstats =
+        cache() != nullptr ? cache()->stats() : hdc::EncodeCacheStats{};
+    const std::string label = std::to_string(streams) + " x " +
+                              (cache_rows > 0 ? "hot" : "off") +
+                              (faulted ? "+F" : "");
+    bench::print_row(
+        {label, bench::fmt(r.flows_per_s, 0),
+         bench::fmt_time(r.p50_us * 1e-6), bench::fmt_time(r.p99_us * 1e-6),
+         bench::fmt(r.stats.mean_batch_rows, 1),
+         std::to_string(r.stats.batches),
+         bench::fmt(static_cast<double>(cstats.bytes_resident) / 1024.0, 1),
+         std::to_string(r.stats.rejected), std::to_string(r.stats.failed),
+         std::to_string(r.stats.recoveries)});
+    csv_rows.push_back(
+        {std::to_string(streams), std::to_string(cache_rows),
+         std::to_string(bits), std::to_string(r.stats.completed),
+         bench::fmt(r.flows_per_s, 1), bench::fmt(r.p50_us, 1),
+         bench::fmt(r.p99_us, 1), bench::fmt(r.stats.mean_batch_rows, 2),
+         std::to_string(r.stats.batches),
+         std::to_string(cstats.bytes_resident),
+         std::to_string(cstats.bytes_capacity),
+         std::to_string(r.stats.rejected),
+         std::to_string(serve::Server::linger_from_env()),
+         std::to_string(faulted ? 1 : 0), std::to_string(r.stats.ok),
+         std::to_string(r.stats.expired), std::to_string(r.stats.failed),
+         std::to_string(r.stats.injected_delays),
+         std::to_string(r.stats.injected_encode_failures),
+         std::to_string(r.stats.injected_bitflips),
+         std::to_string(r.stats.corruptions),
+         std::to_string(r.stats.recoveries)});
+  };
+
+  // Clean sweep: injection pinned off (not inherited from the
+  // environment) so the committed numbers stay comparable across hosts.
+  serve::ServerConfig clean_cfg;
+  clean_cfg.faults = serve::FaultConfig{};
   for (const std::size_t cache_rows : {std::size_t{0}, std::size_t{4096}}) {
     for (const std::size_t streams : stream_counts) {
       arm_cache(cache_rows);
-      const RunResult r =
-          run_point(served, data.test.x, streams, flows_per_stream);
-      const hdc::EncodeCacheStats cstats =
-          cache() != nullptr ? cache()->stats() : hdc::EncodeCacheStats{};
-      const std::string label = std::to_string(streams) + " x " +
-                                (cache_rows > 0 ? "hot" : "off");
-      bench::print_row(
-          {label, bench::fmt(r.flows_per_s, 0),
-           bench::fmt_time(r.p50_us * 1e-6), bench::fmt_time(r.p99_us * 1e-6),
-           bench::fmt(r.stats.mean_batch_rows, 1),
-           std::to_string(r.stats.batches),
-           bench::fmt(static_cast<double>(cstats.bytes_resident) / 1024.0, 1),
-           std::to_string(r.stats.rejected)});
-      csv_rows.push_back(
-          {std::to_string(streams), std::to_string(cache_rows),
-           std::to_string(bits), std::to_string(r.stats.completed),
-           bench::fmt(r.flows_per_s, 1), bench::fmt(r.p50_us, 1),
-           bench::fmt(r.p99_us, 1), bench::fmt(r.stats.mean_batch_rows, 2),
-           std::to_string(r.stats.batches),
-           std::to_string(cstats.bytes_resident),
-           std::to_string(cstats.bytes_capacity),
-           std::to_string(r.stats.rejected),
-           std::to_string(serve::Server::linger_from_env())});
+      record(streams, cache_rows, false,
+             run_point(served, data.test.x, streams, flows_per_stream,
+                       clean_cfg));
+    }
+  }
+
+  if (faults) {
+    // Degraded-mode sweep, hot cache only: a fixed injection mix (stall
+    // some flushes, fail some encodes, flip live model bits) with the
+    // snapshot-backed auditor healing corruption in-line. OK responses
+    // remain exact; the interesting delta is throughput and tail latency.
+    serve::FaultConfig mix;
+    mix.seed = 42;
+    mix.delay_p = 0.02;
+    mix.delay_us = 200;
+    mix.encode_fail_p = 0.01;
+    mix.bitflip_p = 0.02;
+    mix.bitflip_rate = 0.002;
+    serve::ServerConfig fault_cfg;
+    fault_cfg.faults = mix;
+
+    serve::SnapshotManager snapshots(3);
+    snapshots.capture(model);
+    std::unique_ptr<serve::ModelAuditor> auditor =
+        quantized != nullptr
+            ? std::make_unique<serve::ModelAuditor>(*quantized, snapshots)
+            : std::make_unique<serve::ModelAuditor>(model, snapshots);
+    const auto prime = [&](serve::Server& server) {
+      auditor->rebaseline();  // cache arming may have reset packed state
+      server.set_auditor(auditor.get());
+      server.fault_injector()->set_bitflip_hook(
+          [&](double rate, core::Rng& rng) {
+            if (quantized != nullptr) {
+              fault::inject_hdc(quantized->model(), rate, rng);
+            } else {
+              core::Matrix& w = model.model().weights();
+              fault::inject_floats({w.data(), w.rows() * w.cols()}, rate,
+                                   rng);
+            }
+          });
+    };
+    for (const std::size_t streams : stream_counts) {
+      arm_cache(4096);
+      record(streams, 4096, true,
+             run_point(served, data.test.x, streams, flows_per_stream,
+                       fault_cfg, prime));
     }
   }
 
   std::printf(
       "\nshape: flows/s should grow (or hold) with streams — coalescing "
       "turns concurrent streams into planner-sized batches; hot-cache rows "
-      "add the sharded replay path on top.\n");
+      "add the sharded replay path on top.%s\n",
+      faults ? " +F rows run the same load with fault injection firing and "
+               "the integrity auditor healing in-line — OK responses stay "
+               "exact; the cost shows up in flows/s and p99."
+             : "");
 
   bench::emit_csv("serving_concurrent.csv",
                   {"streams", "cache_rows", "bits", "flows", "flows_per_s",
                    "p50_us", "p99_us", "mean_batch_rows", "batches",
                    "bytes_resident", "bytes_capacity", "rejected",
-                   "linger_us"},
+                   "linger_us", "faults", "ok", "expired", "failed",
+                   "injected_delays", "injected_encode_failures",
+                   "injected_bitflips", "corruptions", "recoveries"},
                   csv_rows);
   return 0;
 }

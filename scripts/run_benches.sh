@@ -42,6 +42,13 @@ for bench in "$BENCH_DIR"/bench_*; do
         "$bench" --benchmark_format=csv > "$name.csv"
       fi
       ;;
+    bench_serving_concurrent)
+      # Degraded-mode rows ride along: the fault columns in the committed
+      # baseline are only meaningful if the injected sweep actually ran.
+      echo "== $name ${QUICK} --faults"
+      # shellcheck disable=SC2086  # intentional word-split of optional flag
+      "$bench" $QUICK --faults
+      ;;
     *)
       echo "== $name ${QUICK}"
       # shellcheck disable=SC2086  # intentional word-split of optional flag

@@ -1,0 +1,109 @@
+#include "core/env.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cyberhd::core::env {
+
+namespace {
+
+/// Parse a non-negative integer digit-by-digit (strtoull would wrap "-1"
+/// to ULLONG_MAX and accept leading whitespace/signs we want to reject).
+/// Returns false on any non-digit character or overflow.
+bool parse_u64(const char* raw, std::uint64_t& out) noexcept {
+  std::uint64_t v = 0;
+  const char* p = raw;
+  if (*p == '\0') return false;
+  for (; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(*p - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  out = v;
+  return true;
+}
+
+void warn(const char* name, const char* raw, const char* expected,
+          const char* used) noexcept {
+  std::fprintf(stderr,
+               "cyberhd: ignoring %s=\"%s\" (expected %s); using %s\n",
+               name, raw, expected, used);
+}
+
+}  // namespace
+
+std::uint64_t u64(const char* name, std::uint64_t fallback,
+                  std::uint64_t min_value, std::uint64_t max_value) noexcept {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::uint64_t v = 0;
+  if (parse_u64(raw, v) && v >= min_value && v <= max_value) return v;
+  char expected[96];
+  std::snprintf(expected, sizeof(expected),
+                "an integer in [%" PRIu64 ", %" PRIu64 "]", min_value,
+                max_value);
+  char used[32];
+  std::snprintf(used, sizeof(used), "%" PRIu64, fallback);
+  warn(name, raw, expected, used);
+  return fallback;
+}
+
+double probability(const char* name, double fallback) noexcept {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  // Reject leading signs/whitespace ourselves ("-0.1" must warn, and
+  // strtod skips whitespace); strtod handles the digits and the dot.
+  if ((*raw >= '0' && *raw <= '9') || *raw == '.') {
+    char* end = nullptr;
+    const double v = std::strtod(raw, &end);
+    if (end != raw && *end == '\0' && std::isfinite(v) && v >= 0.0 &&
+        v <= 1.0) {
+      return v;
+    }
+  }
+  char used[48];
+  std::snprintf(used, sizeof(used), "%g", fallback);
+  warn(name, raw, "a probability in [0, 1]", used);
+  return fallback;
+}
+
+std::size_t bytes(const char* name, std::size_t fallback) noexcept {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  constexpr std::uint64_t kMaxBytes = std::uint64_t{1} << 40;  // 1 TiB
+  // Split off one optional suffix character, then reuse the strict
+  // integer parser for the digits.
+  char digits[32];
+  std::size_t n = 0;
+  const char* p = raw;
+  while (*p >= '0' && *p <= '9' && n + 1 < sizeof(digits)) {
+    digits[n++] = *p++;
+  }
+  digits[n] = '\0';
+  std::uint64_t scale = 1;
+  bool ok = n > 0;
+  if (ok && *p != '\0') {
+    if (p[1] != '\0') {
+      ok = false;
+    } else {
+      switch (*p) {
+        case 'k': case 'K': scale = std::uint64_t{1} << 10; break;
+        case 'm': case 'M': scale = std::uint64_t{1} << 20; break;
+        case 'g': case 'G': scale = std::uint64_t{1} << 30; break;
+        default: ok = false; break;
+      }
+    }
+  }
+  std::uint64_t v = 0;
+  if (ok) ok = parse_u64(digits, v) && v <= kMaxBytes / scale;
+  if (ok) return static_cast<std::size_t>(v * scale);
+  char used[32];
+  std::snprintf(used, sizeof(used), "%zu", fallback);
+  warn(name, raw, "bytes with optional k/m/g suffix, at most 1 TiB", used);
+  return fallback;
+}
+
+}  // namespace cyberhd::core::env

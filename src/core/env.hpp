@@ -1,0 +1,34 @@
+// Shared parsing of CYBERHD_* environment knobs.
+//
+// Every runtime knob routes through these helpers so malformed values fail
+// the same way everywhere: unset (or empty) silently uses the documented
+// default; anything that does not parse cleanly — garbage, trailing junk,
+// negative numbers, overflow, out-of-range — earns exactly one stderr line
+// naming the variable, the offending value, and the default that replaced
+// it, then uses the default. Silent clamping is deliberately absent: a
+// typo'd knob that quietly pins the wrong value is how bad benchmark
+// numbers get published and how production misconfigurations hide.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cyberhd::core::env {
+
+/// Unsigned integer knob constrained to [min_value, max_value]. `fallback`
+/// is returned verbatim when the variable is unset/empty (no range check —
+/// 0 is a common "auto" sentinel) and after a warning when the value is
+/// malformed or out of range.
+std::uint64_t u64(const char* name, std::uint64_t fallback,
+                  std::uint64_t min_value, std::uint64_t max_value) noexcept;
+
+/// Probability knob: a decimal in [0, 1] (e.g. "0.05"). Same
+/// unset-is-silent / malformed-warns contract as u64().
+double probability(const char* name, double fallback) noexcept;
+
+/// Byte-count knob with an optional k/K, m/M, g/G binary suffix
+/// ("2m" == 2 MiB), capped at 1 TiB — beyond that is a typo, not a cache
+/// model. "0" parses as 0 (callers use it as "unset/auto").
+std::size_t bytes(const char* name, std::size_t fallback) noexcept;
+
+}  // namespace cyberhd::core::env

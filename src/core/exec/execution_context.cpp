@@ -5,6 +5,8 @@
 #include <fstream>
 #include <string>
 
+#include "core/env.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
 #endif
@@ -13,31 +15,10 @@ namespace cyberhd::core {
 
 namespace {
 
-/// Parse a positive byte count from an environment variable; 0 when unset
-/// or malformed. Accepts plain bytes plus k/K, m/M, g/G binary suffixes
-/// ("2m" == 2 MiB) so container launch scripts stay readable. The leading
-/// character must be a digit (strtoull would wrap "-1" to ULLONG_MAX);
-/// values above 1 TiB are treated as malformed, not as a cache model.
-std::size_t env_bytes(const char* name) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw < '0' || *raw > '9') return 0;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(raw, &end, 10);
-  if (end == raw || value == 0) return 0;
-  std::size_t scale = 1;
-  if (end != nullptr && *end != '\0') {
-    if (end[1] != '\0') return 0;
-    switch (*end) {
-      case 'k': case 'K': scale = 1024; break;
-      case 'm': case 'M': scale = 1024 * 1024; break;
-      case 'g': case 'G': scale = 1024 * 1024 * 1024; break;
-      default: return 0;
-    }
-  }
-  constexpr std::size_t kMaxBytes = std::size_t{1} << 40;  // 1 TiB
-  if (value > kMaxBytes / scale) return 0;
-  return static_cast<std::size_t>(value) * scale;
-}
+/// A cache-size override knob: bytes with k/m/g suffixes so container
+/// launch scripts stay readable; 0 when unset or (with a stderr warning)
+/// malformed — 0 means "use the detected topology".
+std::size_t env_bytes(const char* name) { return env::bytes(name, 0); }
 
 #if defined(__unix__) || defined(__APPLE__)
 std::size_t sysconf_bytes(int name) {

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/env.hpp"
 #include "core/exec/execution_context.hpp"
 
 #if defined(__linux__)
@@ -26,19 +27,12 @@ struct WorkerMark {
 };
 thread_local WorkerMark t_worker;
 
-/// Parse a small positive integer from an environment variable;
-/// `fallback` when unset, empty, malformed, or above `max`. Parsed
-/// digit-by-digit: strtoull would wrap "-1" to ULLONG_MAX.
+/// A small positive integer knob; `fallback` when unset or (with a
+/// stderr warning) malformed/out-of-range — the shared env-parsing
+/// contract.
 std::size_t env_count(const char* name, std::size_t fallback,
                       std::size_t max) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  std::size_t v = 0;
-  for (const char* p = env; *p != '\0'; ++p) {
-    if (*p < '0' || *p > '9' || v > max) return fallback;
-    v = v * 10 + static_cast<std::size_t>(*p - '0');
-  }
-  return (v >= 1 && v <= max) ? v : fallback;
+  return static_cast<std::size_t>(env::u64(name, fallback, 1, max));
 }
 
 }  // namespace

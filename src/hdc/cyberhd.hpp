@@ -187,6 +187,11 @@ class CyberHdClassifier final : public core::Classifier {
 
   /// The trained associative memory (valid after fit()).
   const HdcModel& model() const noexcept { return model_; }
+  /// Mutable access for the fault subsystem: bit-flip injection and the
+  /// serving integrity audit corrupt/heal the deployed weights in place
+  /// (mirrors QuantizedCyberHd::model()). Not for concurrent use with
+  /// scoring.
+  HdcModel& model() noexcept { return model_; }
   /// The (possibly regenerated) encoder (valid after fit()).
   const Encoder& encoder() const;
 

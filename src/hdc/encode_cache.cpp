@@ -5,40 +5,27 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/env.hpp"
 #include "hdc/encoder.hpp"
 
 namespace cyberhd::hdc {
 
 std::size_t EncodeCache::capacity_from_env() noexcept {
-  const char* raw = std::getenv("CYBERHD_ENCODE_CACHE");
-  if (raw == nullptr || *raw == '\0') return kDefaultCapacityRows;
-  if (*raw < '0' || *raw > '9') return kDefaultCapacityRows;  // malformed
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(raw, &end, 10);
-  if (end == raw || (end != nullptr && *end != '\0')) {
-    return kDefaultCapacityRows;
-  }
-  // "0" is an explicit disable; bound the rest so a typo cannot demand
-  // terabytes of ring storage.
-  constexpr unsigned long long kMaxRows = 1ULL << 24;  // 16M rows
-  return static_cast<std::size_t>(std::min(value, kMaxRows));
+  // "0" is an explicit disable; the ceiling keeps a typo from demanding
+  // terabytes of ring storage (rejected with a warning, not clamped —
+  // the shared env contract).
+  return static_cast<std::size_t>(core::env::u64(
+      "CYBERHD_ENCODE_CACHE", kDefaultCapacityRows, 0, 1ULL << 24));
 }
 
 std::size_t EncodeCache::shards_from_env() noexcept {
-  const char* raw = std::getenv("CYBERHD_CACHE_SHARDS");
-  if (raw != nullptr && *raw >= '1' && *raw <= '9') {
-    char* end = nullptr;
-    const unsigned long long value = std::strtoull(raw, &end, 10);
-    if (end != raw && (end == nullptr || *end == '\0') && value >= 1) {
-      return static_cast<std::size_t>(
-          std::min<unsigned long long>(value, 256));
-    }
-  }
-  // Auto: at least one shard per shared-L3 domain (the worker groups that
-  // probe concurrently), with a floor that keeps contention low even on
-  // single-domain hosts serving many client streams.
-  return std::max<std::size_t>(kDefaultShards,
-                               core::CacheTopology::detected().l3_domains);
+  // Auto default: at least one shard per shared-L3 domain (the worker
+  // groups that probe concurrently), with a floor that keeps contention
+  // low even on single-domain hosts serving many client streams.
+  const std::size_t auto_shards = std::max<std::size_t>(
+      kDefaultShards, core::CacheTopology::detected().l3_domains);
+  return static_cast<std::size_t>(
+      core::env::u64("CYBERHD_CACHE_SHARDS", auto_shards, 1, 256));
 }
 
 EncodeCache::EncodeCache(std::size_t input_dim, std::size_t encoded_dim,

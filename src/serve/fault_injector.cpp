@@ -1,0 +1,61 @@
+#include "serve/fault_injector.hpp"
+
+#include <utility>
+
+#include "core/env.hpp"
+
+namespace cyberhd::serve {
+
+FaultConfig FaultConfig::from_env() noexcept {
+  FaultConfig c;
+  c.seed = core::env::u64("CYBERHD_FAULT_SEED", c.seed, 0, UINT64_MAX);
+  c.delay_p = core::env::probability("CYBERHD_FAULT_DELAY_P", 0.0);
+  c.delay_us = core::env::u64("CYBERHD_FAULT_DELAY_US", 0, 0,
+                              1'000'000);  // 1 s: beyond this is a typo
+  c.encode_fail_p =
+      core::env::probability("CYBERHD_FAULT_ENCODE_FAIL_P", 0.0);
+  c.bitflip_p = core::env::probability("CYBERHD_FAULT_BITFLIP_P", 0.0);
+  c.bitflip_rate =
+      core::env::probability("CYBERHD_FAULT_BITFLIP_RATE", 0.0);
+  return c;
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+std::uint64_t FaultInjector::draw_delay_us() {
+  if (config_.delay_p <= 0.0 || config_.delay_us == 0) return 0;
+  return rng_.bernoulli(config_.delay_p) ? config_.delay_us : 0;
+}
+
+bool FaultInjector::draw_encode_failure() {
+  return config_.encode_fail_p > 0.0 && rng_.bernoulli(config_.encode_fail_p);
+}
+
+double FaultInjector::draw_bitflip_rate() {
+  if (config_.bitflip_p <= 0.0 || config_.bitflip_rate <= 0.0) return 0.0;
+  return rng_.bernoulli(config_.bitflip_p) ? config_.bitflip_rate : 0.0;
+}
+
+void FaultInjector::set_bitflip_hook(
+    std::function<void(double, core::Rng&)> hook) {
+  const std::lock_guard<std::mutex> lock(hook_mutex_);
+  hook_ = std::move(hook);
+}
+
+bool FaultInjector::has_bitflip_hook() const {
+  const std::lock_guard<std::mutex> lock(hook_mutex_);
+  return static_cast<bool>(hook_);
+}
+
+void FaultInjector::inject_bitflips(double rate) {
+  const std::lock_guard<std::mutex> lock(hook_mutex_);
+  if (!hook_) return;
+  // Fork a corruption stream so the hook's draws do not perturb the
+  // injector's own schedule (the same seed must fire the same flushes
+  // whether or not a hook is installed).
+  core::Rng corrupt = rng_.fork(0xb17f11b5);
+  hook_(rate, corrupt);
+}
+
+}  // namespace cyberhd::serve

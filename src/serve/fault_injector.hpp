@@ -1,0 +1,95 @@
+// Deterministic fault injection for the serving front-end.
+//
+// The paper's robustness claim is about bit errors in deployed model
+// memory; a serving stack additionally fails by stalling and by dropping
+// work. This injector lets tests and benchmarks drive all three fault
+// classes through the REAL production path — batcher delays, forced
+// encode/scoring failures, and in-flight model bit flips (via the
+// fault::bitflip machinery, wired in as a hook so this layer stays free
+// of model-type knowledge) — deterministically in one seed.
+//
+// Gating: off by default. ServerConfig::faults == nullopt reads the
+// CYBERHD_FAULT_* environment (still off unless one of the probabilities
+// is set); an explicit FaultConfig pins it for tests. When disabled the
+// server holds no injector at all, so the steady-state cost is one
+// null-pointer check per flush.
+//
+// All draw_*/inject_* calls are made by the single batcher thread;
+// set_bitflip_hook may be called from another thread before traffic
+// starts (a mutex covers the handoff).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "core/rng.hpp"
+
+namespace cyberhd::serve {
+
+/// Per-fault-class probabilities and magnitudes. Default-constructed ==
+/// everything off.
+struct FaultConfig {
+  /// Seed of the injector's RNG — one seed reproduces the whole fault
+  /// schedule (which flushes stall, which fail, which corrupt).
+  std::uint64_t seed = 42;
+  /// P(the batcher stalls for delay_us before scoring a flush).
+  double delay_p = 0.0;
+  /// Injected stall length in microseconds.
+  std::uint64_t delay_us = 0;
+  /// P(a flush fails as if the encode/score stage threw — every request
+  /// in it terminates MODEL_UNAVAILABLE).
+  double encode_fail_p = 0.0;
+  /// P(model bits are flipped in-flight before a flush). Takes effect
+  /// only when a bitflip hook AND an integrity auditor are installed —
+  /// corrupting the model with no auditor would silently serve wrong
+  /// scores, the one failure mode the server must never exhibit.
+  double bitflip_p = 0.0;
+  /// Per-bit flip probability handed to the hook when a flip fires
+  /// (fig-5 rates: 0.01 .. 0.15).
+  double bitflip_rate = 0.0;
+
+  /// True when any fault class can fire.
+  bool enabled() const noexcept {
+    return delay_p > 0.0 || encode_fail_p > 0.0 || bitflip_p > 0.0;
+  }
+
+  /// The CYBERHD_FAULT_{SEED, DELAY_P, DELAY_US, ENCODE_FAIL_P,
+  /// BITFLIP_P, BITFLIP_RATE} knobs, parsed with the shared env contract
+  /// (malformed values warn and fall back to off/defaults).
+  static FaultConfig from_env() noexcept;
+};
+
+/// Seeded decision source for the batcher's fault points. Owned by the
+/// Server when faults are enabled.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config);
+
+  const FaultConfig& config() const noexcept { return config_; }
+
+  /// Batcher, before scoring a flush: stall length in µs, or 0 (the
+  /// common case) for no injected delay this flush.
+  std::uint64_t draw_delay_us();
+  /// Batcher: true when this flush should fail as an encode failure.
+  bool draw_encode_failure();
+  /// Batcher: per-bit flip rate for this flush, or 0 for no corruption.
+  double draw_bitflip_rate();
+
+  /// Install the corruption hook: called as hook(rate, rng) under the
+  /// injector's mutex, on the batcher thread, between flushes — tests
+  /// wire it to fault::inject_hdc on the served model. Safe to call
+  /// before traffic starts.
+  void set_bitflip_hook(std::function<void(double, core::Rng&)> hook);
+  bool has_bitflip_hook() const;
+  /// Run the hook at `rate` with a forked corruption RNG.
+  void inject_bitflips(double rate);
+
+ private:
+  FaultConfig config_;
+  core::Rng rng_;  // batcher-thread only
+  mutable std::mutex hook_mutex_;
+  std::function<void(double, core::Rng&)> hook_;
+};
+
+}  // namespace cyberhd::serve

@@ -24,7 +24,24 @@
 
 namespace cyberhd::serve {
 
-/// Per-request completion slot: scores plus submit/complete timestamps.
+/// How a submission ended. Every submission reaches exactly one terminal
+/// status — there is no silent fourth outcome.
+enum class RequestStatus : std::uint8_t {
+  /// Scores delivered; the slot's scores() are valid.
+  kOk = 0,
+  /// The server refused the submission (ring full or shutting down).
+  /// try_submit also returned false; retry, shed, or back off.
+  kRejected,
+  /// The request's deadline passed before scoring; the batcher shed it
+  /// unscored (deliberately — stale scores would be wasted work).
+  kDeadlineExceeded,
+  /// The serving model is unavailable (integrity audit found corruption
+  /// it could not heal, or scoring failed). No scores were produced.
+  kModelUnavailable,
+};
+
+/// Per-request completion slot: terminal status, scores (when OK), and
+/// submit/complete timestamps.
 class ResultSlot {
  public:
   ResultSlot() = default;
@@ -37,24 +54,37 @@ class ResultSlot {
     scores_.resize(num_classes);
     submitted_at_us_ = 0;
     completed_at_us_ = 0;
+    status_ = RequestStatus::kOk;
     ready_.store(0, std::memory_order_relaxed);
   }
 
-  /// True once the scores have been delivered.
+  /// True once the request reached a terminal status (scores delivered
+  /// or explicit failure).
   bool ready() const noexcept {
     return ready_.load(std::memory_order_acquire) != 0;
   }
 
-  /// Block until the scores have been delivered (futex wait, no spin).
+  /// Block until the request reaches a terminal status (futex wait, no
+  /// spin).
   void wait() const noexcept {
     while (ready_.load(std::memory_order_acquire) == 0) {
       ready_.wait(0, std::memory_order_acquire);
     }
   }
 
-  /// The delivered per-class scores. Valid once ready().
-  std::span<const float> scores() const noexcept {
+  /// The terminal status. Valid once ready() — ordered by the same
+  /// release/acquire pair as the scores.
+  RequestStatus status() const noexcept {
     assert(ready());
+    return status_;
+  }
+
+  /// Shorthand: terminal and scored.
+  bool ok() const noexcept { return status() == RequestStatus::kOk; }
+
+  /// The delivered per-class scores. Valid once ready() with status OK.
+  std::span<const float> scores() const noexcept {
+    assert(ready() && status_ == RequestStatus::kOk);
     return scores_;
   }
 
@@ -76,6 +106,18 @@ class ResultSlot {
     assert(scores.size() == scores_.size());
     std::copy(scores.begin(), scores.end(), scores_.begin());
     completed_at_us_ = now_us;
+    status_ = RequestStatus::kOk;
+    ready_.store(1, std::memory_order_release);
+    ready_.notify_all();
+  }
+
+  /// Server side: terminate the request without scores — rejected, shed
+  /// past its deadline, or failed by an unavailable model. Same
+  /// release/notify protocol as deliver().
+  void fail(RequestStatus status, std::uint64_t now_us) noexcept {
+    assert(status != RequestStatus::kOk);
+    completed_at_us_ = now_us;
+    status_ = status;
     ready_.store(1, std::memory_order_release);
     ready_.notify_all();
   }
@@ -84,6 +126,7 @@ class ResultSlot {
   std::vector<float> scores_;
   std::uint64_t submitted_at_us_ = 0;
   std::uint64_t completed_at_us_ = 0;
+  RequestStatus status_ = RequestStatus::kOk;
   std::atomic<std::uint32_t> ready_{0};
 };
 

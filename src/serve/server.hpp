@@ -25,11 +25,24 @@
 // batcher interleaved and coalesced the streams. The concurrency stress
 // suite (tests/test_serve.cpp) pins exactly that.
 //
-// Shutdown contract: every accepted request is completed. shutdown()
-// waits for in-flight try_submit calls to quiesce (a seq_cst pusher
-// counter closes the race with the stopping flag), drains the ring, and
-// flushes the remainder before the batcher exits. Submissions arriving
-// after shutdown began are rejected.
+// Shutdown contract: every accepted request reaches a terminal status.
+// shutdown() waits for in-flight try_submit calls to quiesce (a seq_cst
+// pusher counter closes the race with the stopping flag), drains the
+// ring, and flushes the remainder before the batcher exits. Submissions
+// arriving after shutdown began are rejected.
+//
+// Failure contract (PR 8): every submission ends in exactly one
+// RequestStatus — scored (OK), refused at the ring (REJECTED), shed
+// unscored past its deadline (DEADLINE_EXCEEDED), or failed by a model
+// the server cannot trust (MODEL_UNAVAILABLE). The batcher sheds expired
+// requests before spending scoring work on them; an installed
+// IntegrityAuditor is polled between flushes (and forced after any
+// injected corruption) so corruption is healed from snapshot BEFORE the
+// next batch scores — an OK result is always bit-identical to a serial
+// replay against the clean model. When healing fails, the server latches
+// model-unavailable and fails requests explicitly instead of serving
+// garbage. A watchdog thread observes the batcher's heartbeat and kicks
+// its condition variable on a stall, self-healing a missed wakeup.
 #pragma once
 
 #include <atomic>
@@ -37,7 +50,9 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -45,10 +60,13 @@
 #include "core/classifier.hpp"
 #include "core/exec/execution_context.hpp"
 #include "core/matrix.hpp"
+#include "serve/fault_injector.hpp"
 #include "serve/result_slot.hpp"
 #include "serve/submission_queue.hpp"
 
 namespace cyberhd::serve {
+
+class IntegrityAuditor;  // serve/snapshot.hpp
 
 struct ServerConfig {
   /// Submission ring slots (rounded up to a power of two). A full ring
@@ -65,15 +83,54 @@ struct ServerConfig {
   /// domain) via ExecutionContext::for_each_block. false scores batches
   /// inline on the batcher thread (still through the staged pipeline).
   bool domain_affine = true;
+  /// Fault injection: nullopt reads the CYBERHD_FAULT_* environment
+  /// (off unless one of the probabilities is set there); pass an
+  /// explicit FaultConfig to pin it — FaultConfig{} forces off. When
+  /// disabled the server constructs no injector at all.
+  std::optional<FaultConfig> faults;
+  /// Integrity-audit cadence in µs (polled on the batcher thread through
+  /// the auditor installed with set_auditor). 0 disables periodic audits
+  /// (forced post-corruption audits still run); negative reads
+  /// CYBERHD_AUDIT_US (default 50000 = 50 ms).
+  long audit_interval_us = -1;
+  /// Watchdog poll interval in µs. 0 disables the watchdog thread;
+  /// negative reads CYBERHD_WATCHDOG_US (default 500000 = 500 ms).
+  long watchdog_us = -1;
 };
 
 struct ServerStats {
   std::uint64_t accepted = 0;   ///< requests the ring took
   std::uint64_t rejected = 0;   ///< try_submit calls refused (full/stopping)
-  std::uint64_t completed = 0;  ///< scores delivered
-  std::uint64_t batches = 0;    ///< flushes executed
-  /// Mean coalesced rows per flush (batching effectiveness).
+  /// Requests that reached a terminal status — ok + expired + failed.
+  /// Equals accepted after shutdown(): nothing is dropped silently.
+  std::uint64_t completed = 0;
+  std::uint64_t ok = 0;         ///< scores delivered
+  std::uint64_t expired = 0;    ///< shed past their deadline, unscored
+  std::uint64_t failed = 0;     ///< terminated MODEL_UNAVAILABLE
+  std::uint64_t batches = 0;    ///< flushes that scored
+  /// Mean coalesced rows per scoring flush (batching effectiveness).
   double mean_batch_rows = 0.0;
+  std::uint64_t retries = 0;    ///< backoff retries by submit_with_retry
+  std::uint64_t audits = 0;     ///< integrity audits run
+  std::uint64_t corruptions = 0;  ///< audits that found the model corrupt
+  std::uint64_t recoveries = 0;   ///< corruptions healed from snapshot
+  /// Watchdog intervals with in-flight work but no batcher heartbeat.
+  /// Approximate by design (a long linger sleep can trip it); each tick
+  /// also kicks the batcher awake, so a missed wakeup self-heals.
+  std::uint64_t watchdog_stalls = 0;
+  std::uint64_t injected_delays = 0;           ///< fault injector: stalls
+  std::uint64_t injected_encode_failures = 0;  ///< fault injector: flushes
+  std::uint64_t injected_bitflips = 0;         ///< fault injector: corruptions
+};
+
+/// Bounded retry schedule for submit_with_retry: exponential backoff
+/// with multiplicative jitter (0.5x-1.5x, seeded — give each client
+/// stream its own seed so contending streams decorrelate).
+struct RetryPolicy {
+  std::size_t max_attempts = 6;       ///< total tries, first included
+  std::uint64_t base_backoff_us = 100;
+  std::uint64_t max_backoff_us = 20'000;
+  std::uint64_t seed = 1;
 };
 
 /// The serving front-end over one fitted classifier. The model must
@@ -92,14 +149,43 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Submit one flow. `features` (input_dim floats) and `slot` are
-  /// borrowed until `slot` reports completion. Returns false — with no
-  /// side effects beyond a rejected tick — when the ring is full or the
-  /// server is shutting down. Thread-safe, lock-free.
-  bool try_submit(std::span<const float> features, ResultSlot& slot);
+  /// borrowed until `slot` reports completion. `deadline_us` is a
+  /// relative latency budget (0 = none): a request still unscored when
+  /// it expires is shed with status DEADLINE_EXCEEDED instead of wasting
+  /// scoring work. Returns false when the ring is full or the server is
+  /// shutting down — the slot then carries status REJECTED, so every
+  /// submission ends in exactly one terminal status either way.
+  /// Thread-safe, lock-free.
+  bool try_submit(std::span<const float> features, ResultSlot& slot,
+                  std::uint64_t deadline_us = 0);
 
   /// Blocking submit: retries through backpressure until accepted.
   /// Returns false only when the server is shutting down.
-  bool submit(std::span<const float> features, ResultSlot& slot);
+  bool submit(std::span<const float> features, ResultSlot& slot,
+              std::uint64_t deadline_us = 0);
+
+  /// Client-side bounded retry for REJECTED submissions: up to
+  /// policy.max_attempts tries with jittered exponential backoff between
+  /// them. Returns false when the attempts are exhausted (slot status
+  /// REJECTED) or the server is shutting down. Sleeping client-side is
+  /// the point — backoff sheds load off the ring instead of spinning on
+  /// it the way submit() does.
+  bool submit_with_retry(std::span<const float> features, ResultSlot& slot,
+                         const RetryPolicy& policy = {},
+                         std::uint64_t deadline_us = 0);
+
+  /// Install the integrity auditor the batcher polls between flushes
+  /// (borrowed; must outlive serving or be cleared with nullptr first).
+  /// Install it before traffic for full coverage — the pointer handoff
+  /// itself is release/acquire, so a late install is safe, just blind to
+  /// earlier flushes.
+  void set_auditor(IntegrityAuditor* auditor) noexcept {
+    auditor_.store(auditor, std::memory_order_release);
+  }
+
+  /// The fault injector, or nullptr when faults are disabled. Tests wire
+  /// its bitflip hook to fault::inject_hdc on the served model.
+  FaultInjector* fault_injector() noexcept { return injector_.get(); }
 
   /// Stop accepting, complete every accepted request, join the batcher.
   /// Idempotent; the destructor calls it.
@@ -114,14 +200,23 @@ class Server {
   /// Resolved linger deadline in microseconds.
   std::uint64_t linger_us() const noexcept { return linger_us_; }
 
-  /// The CYBERHD_BATCH_LINGER_US knob: microseconds (clamped to 1s);
-  /// 200 when unset or malformed, 0 is a valid "never linger".
+  /// The CYBERHD_BATCH_LINGER_US knob: microseconds, at most 1 s; 200
+  /// when unset or (with a warning) malformed. 0 is a valid "never
+  /// linger".
   static std::uint64_t linger_from_env() noexcept;
 
  private:
   void batcher_loop();
-  /// Score the gathered batch and deliver per-row results.
+  void watchdog_loop();
+  /// Shed expired work, run injected faults and due audits, then score
+  /// the surviving rows and deliver per-row results — or fail them
+  /// explicitly when the model cannot be trusted.
   void flush(std::size_t n);
+  /// Fail rows [0, n) of the pending batch with `status`.
+  void fail_pending(std::size_t n, RequestStatus status);
+  /// Run the installed auditor when `forced` or the periodic interval
+  /// elapsed; latch model_unavailable_ on an unhealable corruption.
+  void maybe_audit(bool forced);
   /// Sleep until woken by a producer or `max_wait_us` elapses. Publishes
   /// sleep intent and re-checks the ring so a concurrent push is never
   /// missed (producers fence-then-check the intent flag).
@@ -145,6 +240,25 @@ class Server {
   core::Matrix batch_scores_;
   std::vector<Request> pending_;
 
+  // Fault tolerance: the injector (null when disabled — one pointer
+  // check per flush is the entire steady-state cost), the polled
+  // auditor, and the model-unavailable latch the batcher sets when an
+  // audit finds corruption it cannot heal.
+  std::unique_ptr<FaultInjector> injector_;
+  std::atomic<IntegrityAuditor*> auditor_{nullptr};
+  std::uint64_t audit_us_ = 0;       // 0 = periodic audits off
+  std::uint64_t next_audit_us_ = 0;  // batcher-thread only
+  std::atomic<bool> model_unavailable_{false};
+
+  // Watchdog: the batcher bumps the heartbeat each loop iteration; the
+  // watchdog thread flags intervals where work was in flight but the
+  // heartbeat never moved, and kicks wake_cv_ as the recovery action.
+  std::uint64_t watchdog_interval_us_ = 0;  // 0 = no watchdog thread
+  std::atomic<std::uint64_t> heartbeat_{0};
+  std::thread watchdog_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+
   // Producer→batcher wakeup (Dekker-style sleep/notify handshake).
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;
@@ -158,8 +272,19 @@ class Server {
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_rows_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> audits_{0};
+  std::atomic<std::uint64_t> corruptions_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> watchdog_stalls_{0};
+  std::atomic<std::uint64_t> injected_delays_{0};
+  std::atomic<std::uint64_t> injected_encode_failures_{0};
+  std::atomic<std::uint64_t> injected_bitflips_{0};
 
   std::chrono::steady_clock::time_point epoch_;
 };

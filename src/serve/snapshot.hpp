@@ -1,0 +1,127 @@
+// Self-healing model integrity for the serving front-end.
+//
+// Two pieces:
+//
+//  * SnapshotManager — a last-N ring of serialized model snapshots (the
+//    save() v2 byte stream, which is already CRC32C-checksummed per
+//    section) with one extra whole-buffer CRC so a snapshot rotted in
+//    RAM is detected before a parse is attempted. restore() walks
+//    newest-to-oldest and returns the first snapshot that passes both
+//    layers of checking — a corrupt newest snapshot falls back to an
+//    older good one instead of failing the heal.
+//
+//  * ModelAuditor — the audit-and-heal step the server runs on its
+//    batcher thread between flushes. It keeps a reference CRC32C of the
+//    live model's deployed representation (float class weights, packed
+//    sign words at 1 bit, or level codes at 2-8 bits), detects drift,
+//    and heals by hot-swapping the last good snapshot back in: the float
+//    classifier is move-assigned in place (the Server's reference stays
+//    valid — same object, restored guts), and a quantized model is
+//    re-quantized from the restored float weights — deterministic, so
+//    healed scores are bit-identical to the pre-corruption ones.
+//
+// Threading: audits and heals run on the batcher thread while no flush
+// is scoring, so the hot-swap needs no synchronization with scoring by
+// construction. SnapshotManager itself is mutex-guarded (capture may be
+// called from a training/control thread while the batcher restores).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "hdc/cyberhd.hpp"
+#include "hdc/quantized.hpp"
+
+namespace cyberhd::serve {
+
+/// Last-N ring of CRC32C-checksummed save()-v2 model snapshots.
+class SnapshotManager {
+ public:
+  /// Keep the newest `keep` snapshots; 0 reads CYBERHD_SNAPSHOT_KEEP
+  /// (default 3, range 1-64).
+  explicit SnapshotManager(std::size_t keep = 0);
+
+  std::size_t keep() const noexcept { return keep_; }
+  /// Snapshots currently held (<= keep()).
+  std::size_t size() const;
+
+  /// Serialize `model` and append it as the newest snapshot, evicting
+  /// the oldest beyond keep().
+  void capture(const hdc::CyberHdClassifier& model);
+
+  /// Reconstruct a classifier from the newest intact snapshot — one
+  /// whose whole-buffer CRC matches AND whose save()-v2 section CRCs
+  /// parse clean. Corrupt snapshots are skipped, not fatal. nullopt when
+  /// nothing intact remains (or nothing was ever captured).
+  std::optional<hdc::CyberHdClassifier> restore() const;
+
+  /// Test hook: mutable bytes of snapshot `i` (0 = newest). Corrupting
+  /// them WITHOUT updating the stored CRC is exactly the rot the
+  /// restore() walk must detect.
+  std::vector<unsigned char>& buffer(std::size_t i);
+
+ private:
+  struct Snapshot {
+    std::vector<unsigned char> bytes;
+    std::uint32_t crc = 0;
+  };
+
+  std::size_t keep_;
+  mutable std::mutex mutex_;
+  std::deque<Snapshot> snaps_;  // front = newest
+};
+
+/// What one audit pass concluded.
+enum class AuditOutcome : std::uint8_t {
+  kClean = 0,  ///< live model matches its reference CRC
+  kRecovered,  ///< corruption detected and healed from a snapshot
+  kFailed,     ///< corruption detected, no intact snapshot to heal from
+};
+
+/// The audit step the server polls between flushes. Abstract so tests
+/// can substitute counting/scripted auditors.
+class IntegrityAuditor {
+ public:
+  virtual ~IntegrityAuditor() = default;
+  /// Check the live model; heal it from a snapshot when corrupt.
+  virtual AuditOutcome audit_and_heal() = 0;
+};
+
+/// CRC32C audit + snapshot heal over a served classifier (float or
+/// quantized). Construct AFTER the model is fitted/quantized and at
+/// least one snapshot is captured; the constructor baselines the
+/// reference CRC from the live model.
+class ModelAuditor final : public IntegrityAuditor {
+ public:
+  /// Audit a float classifier: CRC over the class-weight matrix; heal by
+  /// move-assigning the restored snapshot into `model` (its address —
+  /// what the Server references — is unchanged).
+  ModelAuditor(hdc::CyberHdClassifier& model, SnapshotManager& snapshots);
+  /// Audit a quantized classifier: CRC over the deployed representation
+  /// (packed sign words at 1 bit, level codes at 2-8 bits); heal by
+  /// re-quantizing the restored float snapshot at the same bitwidth
+  /// (deterministic — bit-identical to the original quantization) and
+  /// clearing the packed encode cache.
+  ModelAuditor(hdc::QuantizedCyberHd& model, SnapshotManager& snapshots);
+
+  AuditOutcome audit_and_heal() override;
+
+  /// Re-baseline the reference CRC from the live model (after a
+  /// legitimate model update, e.g. online retraining + capture()).
+  void rebaseline();
+
+ private:
+  std::uint32_t live_crc() const;
+  bool heal();
+
+  hdc::CyberHdClassifier* float_model_ = nullptr;
+  hdc::QuantizedCyberHd* quant_model_ = nullptr;
+  SnapshotManager* snapshots_;
+  std::uint32_t reference_crc_ = 0;
+};
+
+}  // namespace cyberhd::serve

@@ -36,6 +36,9 @@ struct Request {
   const float* features = nullptr;  ///< input_dim floats, caller-owned
   ResultSlot* slot = nullptr;       ///< completion slot, caller-owned
   std::uint64_t submitted_at_us = 0;  ///< steady-clock stamp at accept
+  /// Absolute steady-clock deadline (µs since the server's epoch); 0 means
+  /// no deadline. The batcher sheds expired requests before scoring them.
+  std::uint64_t deadline_us = 0;
 };
 
 /// Bounded lock-free multi-producer single-consumer ring of Requests.

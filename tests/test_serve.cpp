@@ -29,12 +29,15 @@
 #include "core/matrix.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
+#include "fault/bitflip.hpp"
 #include "hdc/cyberhd.hpp"
 #include "hdc/encode_cache.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/quantized.hpp"
+#include "serve/fault_injector.hpp"
 #include "serve/result_slot.hpp"
 #include "serve/server.hpp"
+#include "serve/snapshot.hpp"
 #include "serve/submission_queue.hpp"
 
 namespace cyberhd::serve {
@@ -273,10 +276,20 @@ void expect_bit_identical_streams(std::size_t num_streams, bool cache_on,
   }
   for (auto& t : streams) t.join();
 
+  // CI's fault-injection leg runs this binary with CYBERHD_FAULT_* set:
+  // explicit non-OK terminations are then legal, but an OK result must
+  // STILL be bit-identical — degraded throughput, never degraded scores.
+  const bool env_faults = FaultConfig::from_env().enabled();
   const std::size_t total = num_streams * flows[0].rows();
   for (std::size_t s = 0; s < num_streams; ++s) {
     for (std::size_t i = 0; i < flows[s].rows(); ++i) {
       slots[s][i].wait();
+      if (slots[s][i].status() != RequestStatus::kOk) {
+        ASSERT_TRUE(env_faults)
+            << "non-OK status without fault injection: stream " << s
+            << " row " << i;
+        continue;
+      }
       const auto got = slots[s][i].scores();
       ASSERT_EQ(got.size(), 3u);
       for (std::size_t c = 0; c < got.size(); ++c) {
@@ -291,8 +304,11 @@ void expect_bit_identical_streams(std::size_t num_streams, bool cache_on,
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.accepted, total);
   EXPECT_EQ(stats.completed, total);
-  EXPECT_GT(stats.batches, 0u);
-  EXPECT_GT(stats.mean_batch_rows, 0.0);
+  if (!env_faults) {
+    EXPECT_EQ(stats.ok, total);
+    EXPECT_GT(stats.batches, 0u);
+    EXPECT_GT(stats.mean_batch_rows, 0.0);
+  }
 }
 
 TEST(ServerBitIdentity, OneStreamCacheOn) {
@@ -355,9 +371,16 @@ void expect_bit_identical_quantized(std::size_t num_streams, int bits,
   }
   for (auto& t : streams) t.join();
 
+  const bool env_faults = FaultConfig::from_env().enabled();
   for (std::size_t s = 0; s < num_streams; ++s) {
     for (std::size_t i = 0; i < flows[s].rows(); ++i) {
       slots[s][i].wait();
+      if (slots[s][i].status() != RequestStatus::kOk) {
+        ASSERT_TRUE(env_faults)
+            << "non-OK status without fault injection: stream " << s
+            << " row " << i;
+        continue;
+      }
       const auto got = slots[s][i].scores();
       ASSERT_EQ(got.size(), 3u);
       for (std::size_t c = 0; c < got.size(); ++c) {
@@ -370,6 +393,7 @@ void expect_bit_identical_quantized(std::size_t num_streams, int bits,
   server.shutdown();
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.completed, num_streams * flows[0].rows());
+  if (!env_faults) EXPECT_EQ(stats.ok, stats.completed);
 }
 
 TEST(ServerQuantized, OneStreamEveryBitwidthCacheOn) {
@@ -423,6 +447,7 @@ TEST(ServerShutdown, EveryAcceptedRequestCompletes) {
   for (auto& t : producers) t.join();
   server.shutdown();  // idempotent
 
+  const bool env_faults = FaultConfig::from_env().enabled();
   std::uint64_t accepted_count = 0;
   for (std::size_t p = 0; p < kProducers; ++p) {
     for (std::size_t i = 0; i < flows.rows(); ++i) {
@@ -430,7 +455,11 @@ TEST(ServerShutdown, EveryAcceptedRequestCompletes) {
       ++accepted_count;
       ASSERT_TRUE(slots[p][i].ready())
           << "accepted request " << p << "/" << i << " never completed";
-      EXPECT_EQ(slots[p][i].scores().size(), 3u);
+      if (slots[p][i].ok()) {
+        EXPECT_EQ(slots[p][i].scores().size(), 3u);
+      } else {
+        ASSERT_TRUE(env_faults) << "non-OK status without fault injection";
+      }
     }
   }
   const ServerStats stats = server.stats();
@@ -472,6 +501,7 @@ TEST(ServerBackpressure, FullRingRejectsAndAcceptedStillComplete) {
   cfg.max_linger_us = 0;
   cfg.max_batch_rows = 4;
   cfg.domain_affine = false;
+  cfg.faults = FaultConfig{};  // exact-score pins: force injection off
   Server server(stub, 3, cfg);
 
   constexpr std::size_t kRequests = 200;
@@ -480,6 +510,12 @@ TEST(ServerBackpressure, FullRingRejectsAndAcceptedStillComplete) {
   const std::array<float, 3> row{0.5f, 1.0f, -1.0f};
   for (std::size_t i = 0; i < kRequests; ++i) {
     accepted[i] = server.try_submit(row, slots[i]);  // no retry: shed
+    // A rejected submission is terminal too — status on the slot, not
+    // just a false return.
+    if (!accepted[i]) {
+      ASSERT_TRUE(slots[i].ready());
+      EXPECT_EQ(slots[i].status(), RequestStatus::kRejected);
+    }
   }
   server.shutdown();
 
@@ -489,6 +525,7 @@ TEST(ServerBackpressure, FullRingRejectsAndAcceptedStillComplete) {
     if (!accepted[i]) continue;
     ++accepted_count;
     ASSERT_TRUE(slots[i].ready());
+    ASSERT_TRUE(slots[i].ok());
     EXPECT_EQ(slots[i].scores()[0], -0.5f);
     EXPECT_EQ(slots[i].scores()[1], 0.5f);
   }
@@ -508,10 +545,13 @@ TEST(ServerEdge, ZeroFlowShutdownIsClean) {
   EXPECT_EQ(stats.completed, 0u);
   EXPECT_EQ(stats.batches, 0u);
   EXPECT_EQ(stats.mean_batch_rows, 0.0);
-  // Submissions after shutdown are rejected, not lost.
+  // Submissions after shutdown are rejected, not lost — and the slot
+  // carries the terminal REJECTED status.
   ResultSlot slot;
   const core::Matrix flows = ServeFixture::stream_flows(0);
   EXPECT_FALSE(server.try_submit(flows.row(0), slot));
+  ASSERT_TRUE(slot.ready());
+  EXPECT_EQ(slot.status(), RequestStatus::kRejected);
 }
 
 TEST(ServerEdge, ResolvesPlannerBatchAndEnvLinger) {
@@ -521,6 +561,630 @@ TEST(ServerEdge, ResolvesPlannerBatchAndEnvLinger) {
   EXPECT_EQ(server.max_batch_rows(), f.model.preferred_batch_rows(probe));
   EXPECT_EQ(server.num_classes(), 3u);
   EXPECT_EQ(server.input_dim(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines, load shedding, and client-side retry.
+
+TEST(ServerDeadline, ExpiredRequestsAreShedWithStatus) {
+  SlowStub stub;  // 2 ms per batch: later requests queue behind scoring
+  ServerConfig cfg;
+  cfg.queue_capacity = 512;
+  cfg.max_linger_us = 0;
+  cfg.max_batch_rows = 4;
+  cfg.domain_affine = false;
+  cfg.faults = FaultConfig{};
+  Server server(stub, 3, cfg);
+
+  constexpr std::size_t kRequests = 64;
+  std::vector<ResultSlot> slots(kRequests);
+  const std::array<float, 3> row{0.5f, 1.0f, -1.0f};
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    // A 1 µs budget: anything that waits behind even one 2 ms batch has
+    // expired by the time the batcher reaches it.
+    ASSERT_TRUE(server.submit(row, slots[i], /*deadline_us=*/1));
+  }
+  server.shutdown();
+
+  std::uint64_t ok = 0, expired = 0;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(slots[i].ready());
+    switch (slots[i].status()) {
+      case RequestStatus::kOk:
+        ++ok;
+        EXPECT_EQ(slots[i].scores()[0], -0.5f);  // scored rows are right
+        break;
+      case RequestStatus::kDeadlineExceeded:
+        ++expired;
+        break;
+      default:
+        FAIL() << "unexpected status for request " << i;
+    }
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, kRequests);
+  EXPECT_EQ(stats.completed, kRequests);
+  EXPECT_EQ(stats.ok, ok);
+  EXPECT_EQ(stats.expired, expired);
+  EXPECT_EQ(ok + expired, kRequests);
+  // The scorer takes 2 ms per batch and every budget is 1 µs: shedding
+  // must actually have happened.
+  EXPECT_GT(stats.expired, 0u);
+}
+
+TEST(ServerDeadline, GenerousDeadlinesAllScore) {
+  ServeFixture f(true);
+  f.model.set_encode_cache(0);
+  ServerConfig cfg;
+  cfg.max_linger_us = 0;
+  cfg.faults = FaultConfig{};
+  Server server(f.model, 5, cfg);
+  const core::Matrix flows = ServeFixture::stream_flows(0);
+  core::Matrix reference;
+  f.model.scores_batch(flows, reference);
+  std::vector<ResultSlot> slots(flows.rows());
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    ASSERT_TRUE(
+        server.submit(flows.row(i), slots[i], /*deadline_us=*/10'000'000));
+  }
+  server.shutdown();
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    ASSERT_TRUE(slots[i].ready());
+    ASSERT_TRUE(slots[i].ok());
+    for (std::size_t c = 0; c < 3; ++c) {
+      ASSERT_EQ(slots[i].scores()[c], reference(i, c));
+    }
+  }
+  EXPECT_EQ(server.stats().expired, 0u);
+}
+
+TEST(ServerRetry, BoundedJitteredBackoffOnFullRing) {
+  SlowStub stub;
+  ServerConfig cfg;
+  cfg.queue_capacity = 2;
+  cfg.max_linger_us = 0;
+  cfg.max_batch_rows = 4;
+  cfg.domain_affine = false;
+  cfg.faults = FaultConfig{};
+  Server server(stub, 3, cfg);
+
+  constexpr std::size_t kRequests = 60;
+  std::vector<ResultSlot> slots(kRequests);
+  std::vector<bool> accepted(kRequests, false);
+  const std::array<float, 3> row{0.5f, 1.0f, -1.0f};
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff_us = 50;
+  policy.max_backoff_us = 2'000;
+  std::uint64_t exhausted = 0;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    policy.seed = i + 1;  // per-request stream, decorrelated jitter
+    accepted[i] = server.submit_with_retry(row, slots[i], policy);
+    if (!accepted[i]) {
+      ++exhausted;
+      // Exhaustion is explicit: the slot's last rejection is terminal.
+      ASSERT_TRUE(slots[i].ready());
+      EXPECT_EQ(slots[i].status(), RequestStatus::kRejected);
+    }
+  }
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    if (!accepted[i]) continue;
+    ASSERT_TRUE(slots[i].ready());
+    ASSERT_TRUE(slots[i].ok());
+    EXPECT_EQ(slots[i].scores()[1], 0.5f);
+  }
+  // A 2-slot ring over a 2 ms scorer forces backoff; the retry budget is
+  // bounded, so with 4 attempts against sustained pressure some requests
+  // may exhaust — but every accepted one completed and every outcome is
+  // accounted for.
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.accepted, kRequests - exhausted);
+  EXPECT_EQ(stats.completed, stats.accepted);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: the server must degrade explicitly — terminal statuses
+// and healed corruption — never hang and never serve silently wrong
+// scores. These tests pin injection explicitly (they do not depend on the
+// CYBERHD_FAULT_* environment).
+
+TEST(ServerFault, InjectedDelaysStallButEveryRequestScores) {
+  ServeFixture f(true);
+  f.model.set_encode_cache(1024);
+  const core::Matrix flows = ServeFixture::stream_flows(0);
+  core::Matrix reference;
+  f.model.scores_batch(flows, reference);
+
+  ServerConfig cfg;
+  cfg.max_linger_us = 0;
+  cfg.max_batch_rows = 8;
+  FaultConfig faults;
+  faults.seed = 7;
+  faults.delay_p = 1.0;  // every flush stalls
+  faults.delay_us = 300;
+  cfg.faults = faults;
+  Server server(f.model, 5, cfg);
+
+  std::vector<ResultSlot> slots(flows.rows());
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    ASSERT_TRUE(server.submit(flows.row(i), slots[i]));
+  }
+  server.shutdown();
+
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    ASSERT_TRUE(slots[i].ready());
+    ASSERT_TRUE(slots[i].ok());
+    for (std::size_t c = 0; c < 3; ++c) {
+      ASSERT_EQ(slots[i].scores()[c], reference(i, c));
+    }
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_GT(stats.injected_delays, 0u);
+  EXPECT_EQ(stats.ok, flows.rows());
+  EXPECT_EQ(stats.completed, stats.accepted);
+}
+
+TEST(ServerFault, WatchdogObservesInjectedStallAndAllComplete) {
+  SlowStub stub;
+  ServerConfig cfg;
+  cfg.queue_capacity = 256;
+  cfg.max_linger_us = 0;
+  cfg.max_batch_rows = 4;
+  cfg.domain_affine = false;
+  FaultConfig faults;
+  faults.seed = 11;
+  faults.delay_p = 1.0;
+  faults.delay_us = 30'000;  // 30 ms dark per flush
+  cfg.faults = faults;
+  cfg.watchdog_us = 5'000;  // polls 6x per injected stall
+  Server server(stub, 3, cfg);
+
+  constexpr std::size_t kRequests = 8;
+  std::vector<ResultSlot> slots(kRequests);
+  const std::array<float, 3> row{0.5f, 1.0f, -1.0f};
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(server.submit(row, slots[i]));
+  }
+  for (auto& slot : slots) {
+    slot.wait();  // no hang: the batcher stalls but always resumes
+    EXPECT_TRUE(slot.ok());
+  }
+  server.shutdown();
+  const ServerStats stats = server.stats();
+  // At least one 5 ms watchdog interval fell entirely inside a 30 ms
+  // injected stall with requests in flight.
+  EXPECT_GT(stats.watchdog_stalls, 0u);
+  EXPECT_EQ(stats.completed, stats.accepted);
+}
+
+TEST(ServerFault, EncodeFailuresFailExplicitlyAndOkRowsStayIdentical) {
+  ServeFixture f(true);
+  f.model.set_encode_cache(1024);
+  const core::Matrix flows = ServeFixture::stream_flows(0);
+  core::Matrix reference;
+  f.model.scores_batch(flows, reference);
+
+  ServerConfig cfg;
+  cfg.max_linger_us = 0;
+  cfg.max_batch_rows = 8;
+  FaultConfig faults;
+  faults.seed = 13;
+  faults.encode_fail_p = 0.5;
+  cfg.faults = faults;
+  Server server(f.model, 5, cfg);
+
+  std::vector<ResultSlot> slots(flows.rows());
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    ASSERT_TRUE(server.submit(flows.row(i), slots[i]));
+  }
+  server.shutdown();
+
+  std::uint64_t ok = 0, failed = 0;
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    ASSERT_TRUE(slots[i].ready());
+    if (slots[i].ok()) {
+      ++ok;
+      for (std::size_t c = 0; c < 3; ++c) {
+        ASSERT_EQ(slots[i].scores()[c], reference(i, c))
+            << "OK row " << i << " diverged under injected failures";
+      }
+    } else {
+      ++failed;
+      EXPECT_EQ(slots[i].status(), RequestStatus::kModelUnavailable);
+    }
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.ok, ok);
+  EXPECT_EQ(stats.failed, failed);
+  EXPECT_EQ(ok + failed, flows.rows());
+  EXPECT_EQ(stats.completed, stats.accepted);
+  // p = 0.5 over ≥ 12 flushes (96 rows, ≤ 8 per batch): both outcomes
+  // occur, with a flake probability of 2^-12 per direction.
+  EXPECT_GT(stats.injected_encode_failures, 0u);
+  EXPECT_GT(ok, 0u);
+}
+
+TEST(ServerFault, BitflipCorruptionHealsToBitIdenticalScores) {
+  ServeFixture f(true);
+  f.model.set_encode_cache(1024);
+  const core::Matrix flows = ServeFixture::stream_flows(0);
+  core::Matrix reference;
+  f.model.scores_batch(flows, reference);
+
+  SnapshotManager snapshots(3);
+  snapshots.capture(f.model);
+  ModelAuditor auditor(f.model, snapshots);
+
+  ServerConfig cfg;
+  cfg.max_linger_us = 0;
+  cfg.max_batch_rows = 8;
+  FaultConfig faults;
+  faults.seed = 29;
+  faults.bitflip_p = 0.5;
+  faults.bitflip_rate = 0.01;
+  cfg.faults = faults;
+  Server server(f.model, 5, cfg);
+  server.set_auditor(&auditor);
+  // The hook runs on the batcher thread between flushes — corruption of
+  // the live model races nothing.
+  server.fault_injector()->set_bitflip_hook(
+      [&f](double rate, core::Rng& rng) {
+        core::Matrix& w = f.model.model().weights();
+        fault::inject_floats({w.data(), w.rows() * w.cols()}, rate, rng);
+      });
+
+  std::vector<ResultSlot> slots(flows.rows());
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    ASSERT_TRUE(server.submit(flows.row(i), slots[i]));
+  }
+  server.shutdown();
+
+  // Every request scored, and every score is bit-identical to the clean
+  // replay: each injected corruption was audited and healed BEFORE the
+  // next batch scored.
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    ASSERT_TRUE(slots[i].ready());
+    ASSERT_TRUE(slots[i].ok());
+    for (std::size_t c = 0; c < 3; ++c) {
+      ASSERT_EQ(slots[i].scores()[c], reference(i, c))
+          << "row " << i << ": corruption leaked into served scores";
+    }
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_GT(stats.injected_bitflips, 0u);
+  EXPECT_GT(stats.corruptions, 0u);
+  EXPECT_EQ(stats.recoveries, stats.corruptions);
+  EXPECT_EQ(stats.ok, flows.rows());
+  EXPECT_EQ(stats.completed, stats.accepted);
+}
+
+void expect_quantized_bitflip_heals(int bits) {
+  ServeFixture f(true);
+  hdc::QuantizedCyberHd q(f.model, bits);
+  q.set_encode_cache(1024);
+  const core::Matrix flows = ServeFixture::stream_flows(0);
+  core::Matrix reference;
+  q.scores_batch(flows, reference);
+
+  // Snapshots hold the float source; the heal re-quantizes it at the
+  // live bitwidth (deterministic, so bit-identical to the original).
+  SnapshotManager snapshots(2);
+  snapshots.capture(f.model);
+  ModelAuditor auditor(q, snapshots);
+
+  ServerConfig cfg;
+  cfg.max_linger_us = 0;
+  cfg.max_batch_rows = 16;
+  FaultConfig faults;
+  faults.seed = 31;
+  faults.bitflip_p = 0.5;
+  faults.bitflip_rate = 0.02;  // a fig-5 rate, in the packed domain
+  cfg.faults = faults;
+  Server server(q, 5, cfg);
+  server.set_auditor(&auditor);
+  server.fault_injector()->set_bitflip_hook(
+      [&q](double rate, core::Rng& rng) {
+        fault::inject_hdc(q.model(), rate, rng);
+      });
+
+  std::vector<ResultSlot> slots(flows.rows());
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    ASSERT_TRUE(server.submit(flows.row(i), slots[i]));
+  }
+  server.shutdown();
+
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    ASSERT_TRUE(slots[i].ready());
+    ASSERT_TRUE(slots[i].ok());
+    for (std::size_t c = 0; c < 3; ++c) {
+      ASSERT_EQ(slots[i].scores()[c], reference(i, c))
+          << "bits " << bits << " row " << i
+          << ": corruption leaked into served scores";
+    }
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_GT(stats.injected_bitflips, 0u);
+  EXPECT_EQ(stats.recoveries, stats.corruptions);
+  EXPECT_GT(stats.recoveries, 0u);
+  EXPECT_EQ(stats.ok, flows.rows());
+}
+
+TEST(ServerFault, QuantizedBitflipHealsPacked1Bit) {
+  expect_quantized_bitflip_heals(1);
+}
+
+TEST(ServerFault, QuantizedBitflipHealsLevels8Bit) {
+  expect_quantized_bitflip_heals(8);
+}
+
+TEST(ServerFault, UnhealableCorruptionFailsRequestsNotServesGarbage) {
+  ServeFixture f(true);
+  const core::Matrix flows = ServeFixture::stream_flows(0);
+
+  SnapshotManager snapshots(2);  // deliberately empty: nothing to heal from
+  ModelAuditor auditor(f.model, snapshots);
+
+  ServerConfig cfg;
+  cfg.max_linger_us = 0;
+  cfg.max_batch_rows = 8;
+  FaultConfig faults;
+  faults.seed = 37;
+  faults.bitflip_p = 1.0;  // corrupt before every scoring flush
+  faults.bitflip_rate = 0.01;
+  cfg.faults = faults;
+  Server server(f.model, 5, cfg);
+  server.set_auditor(&auditor);
+  server.fault_injector()->set_bitflip_hook(
+      [&f](double rate, core::Rng& rng) {
+        core::Matrix& w = f.model.model().weights();
+        fault::inject_floats({w.data(), w.rows() * w.cols()}, rate, rng);
+      });
+
+  std::vector<ResultSlot> slots(flows.rows());
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    ASSERT_TRUE(server.submit(flows.row(i), slots[i]));
+  }
+  server.shutdown();
+
+  // Corruption before every flush and no snapshot to restore: the server
+  // must fail every request explicitly — zero scores from a corrupt model.
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    ASSERT_TRUE(slots[i].ready());
+    EXPECT_EQ(slots[i].status(), RequestStatus::kModelUnavailable);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.ok, 0u);
+  EXPECT_EQ(stats.failed, flows.rows());
+  EXPECT_GT(stats.corruptions, 0u);
+  EXPECT_EQ(stats.recoveries, 0u);
+  EXPECT_EQ(stats.completed, stats.accepted);
+}
+
+TEST(ServerFault, ShutdownUnderFaultCompletesEveryAcceptedRequest) {
+  ServeFixture f(true);
+  f.model.set_encode_cache(1024);
+  ServerConfig cfg;
+  cfg.max_linger_us = 50'000;
+  cfg.max_batch_rows = 8;
+  FaultConfig faults;
+  faults.seed = 41;
+  faults.delay_p = 0.3;
+  faults.delay_us = 500;
+  faults.encode_fail_p = 0.3;
+  cfg.faults = faults;
+  Server server(f.model, 5, cfg);
+
+  constexpr std::size_t kProducers = 4;
+  const core::Matrix flows = ServeFixture::stream_flows(0);
+  std::vector<std::vector<ResultSlot>> slots;
+  std::vector<std::vector<bool>> accepted(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    slots.emplace_back(flows.rows());
+    accepted[p].assign(flows.rows(), false);
+  }
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < flows.rows(); ++i) {
+        accepted[p][i] = server.try_submit(flows.row(i), slots[p][i],
+                                           /*deadline_us=*/2'000);
+      }
+    });
+  }
+  server.shutdown();  // mid-flight, with faults firing
+  for (auto& t : producers) t.join();
+
+  std::uint64_t accepted_count = 0;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    for (std::size_t i = 0; i < flows.rows(); ++i) {
+      ASSERT_TRUE(slots[p][i].ready())
+          << "request " << p << "/" << i << " has no terminal status";
+      if (accepted[p][i]) {
+        ++accepted_count;
+        EXPECT_NE(slots[p][i].status(), RequestStatus::kRejected);
+      } else {
+        EXPECT_EQ(slots[p][i].status(), RequestStatus::kRejected);
+      }
+    }
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, accepted_count);
+  EXPECT_EQ(stats.completed, accepted_count);
+  EXPECT_EQ(stats.ok + stats.expired + stats.failed, stats.completed);
+}
+
+TEST(FaultInjectorUnit, DisabledByDefaultAndDeterministicWhenSeeded) {
+  EXPECT_FALSE(FaultConfig{}.enabled());
+  FaultConfig c;
+  c.seed = 5;
+  c.delay_p = 0.5;
+  c.delay_us = 100;
+  c.encode_fail_p = 0.25;
+  EXPECT_TRUE(c.enabled());
+  FaultInjector a(c), b(c);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.draw_delay_us(), b.draw_delay_us());
+    EXPECT_EQ(a.draw_encode_failure(), b.draw_encode_failure());
+  }
+}
+
+TEST(FaultInjectorUnit, FromEnvParsesAndDefaultsOff) {
+  const char* vars[] = {"CYBERHD_FAULT_SEED", "CYBERHD_FAULT_DELAY_P",
+                        "CYBERHD_FAULT_DELAY_US",
+                        "CYBERHD_FAULT_ENCODE_FAIL_P",
+                        "CYBERHD_FAULT_BITFLIP_P",
+                        "CYBERHD_FAULT_BITFLIP_RATE"};
+  std::vector<std::string> saved;
+  std::vector<bool> had;
+  for (const char* v : vars) {
+    const char* cur = std::getenv(v);
+    had.push_back(cur != nullptr);
+    saved.push_back(cur != nullptr ? cur : "");
+    ::unsetenv(v);
+  }
+  EXPECT_FALSE(FaultConfig::from_env().enabled());
+  ::setenv("CYBERHD_FAULT_SEED", "123", 1);
+  ::setenv("CYBERHD_FAULT_DELAY_P", "0.05", 1);
+  ::setenv("CYBERHD_FAULT_DELAY_US", "200", 1);
+  ::setenv("CYBERHD_FAULT_BITFLIP_RATE", "garbage", 1);  // warns, stays 0
+  const FaultConfig c = FaultConfig::from_env();
+  EXPECT_TRUE(c.enabled());
+  EXPECT_EQ(c.seed, 123u);
+  EXPECT_DOUBLE_EQ(c.delay_p, 0.05);
+  EXPECT_EQ(c.delay_us, 200u);
+  EXPECT_DOUBLE_EQ(c.bitflip_rate, 0.0);
+  for (std::size_t i = 0; i < saved.size(); ++i) {
+    if (had[i]) {
+      ::setenv(vars[i], saved[i].c_str(), 1);
+    } else {
+      ::unsetenv(vars[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotManager + ModelAuditor, exercised directly (no server).
+
+TEST(SnapshotIntegrity, CaptureRestoreRoundTripsBitIdentical) {
+  ServeFixture f(false);
+  SnapshotManager snapshots(3);
+  snapshots.capture(f.model);
+  EXPECT_EQ(snapshots.size(), 1u);
+
+  std::optional<hdc::CyberHdClassifier> restored = snapshots.restore();
+  ASSERT_TRUE(restored.has_value());
+  const core::Matrix flows = ServeFixture::stream_flows(0);
+  core::Matrix want, got;
+  f.model.scores_batch(flows, want);
+  restored->scores_batch(flows, got);
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      ASSERT_EQ(got(i, c), want(i, c));
+    }
+  }
+}
+
+TEST(SnapshotIntegrity, CorruptNewestFallsBackToOlderThenFailsCleanly) {
+  ServeFixture f(false);
+  SnapshotManager snapshots(3);
+  snapshots.capture(f.model);
+  snapshots.capture(f.model);
+  EXPECT_EQ(snapshots.size(), 2u);
+
+  // Rot the newest buffer without touching its stored CRC: restore()
+  // must skip it and land on the older good one.
+  snapshots.buffer(0)[100] ^= 0x40;
+  std::optional<hdc::CyberHdClassifier> restored = snapshots.restore();
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_classes(), 3u);
+
+  // Rot the older one too: now nothing is intact.
+  snapshots.buffer(1)[100] ^= 0x40;
+  EXPECT_FALSE(snapshots.restore().has_value());
+}
+
+TEST(SnapshotIntegrity, KeepsOnlyLastN) {
+  ServeFixture f(false);
+  SnapshotManager snapshots(2);
+  snapshots.capture(f.model);
+  snapshots.capture(f.model);
+  snapshots.capture(f.model);
+  EXPECT_EQ(snapshots.size(), 2u);
+  EXPECT_EQ(snapshots.keep(), 2u);
+}
+
+TEST(SnapshotIntegrity, AuditorDetectsCorruptionAndHealsFloatModel) {
+  ServeFixture f(false);
+  const core::Matrix flows = ServeFixture::stream_flows(0);
+  core::Matrix want;
+  f.model.scores_batch(flows, want);
+
+  SnapshotManager snapshots(3);
+  snapshots.capture(f.model);
+  ModelAuditor auditor(f.model, snapshots);
+  EXPECT_EQ(auditor.audit_and_heal(), AuditOutcome::kClean);
+
+  core::Rng rng(99);
+  core::Matrix& w = f.model.model().weights();
+  fault::inject_floats({w.data(), w.rows() * w.cols()}, 0.05, rng);
+  EXPECT_EQ(auditor.audit_and_heal(), AuditOutcome::kRecovered);
+  EXPECT_EQ(auditor.audit_and_heal(), AuditOutcome::kClean);
+
+  core::Matrix got;
+  f.model.scores_batch(flows, got);
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      ASSERT_EQ(got(i, c), want(i, c)) << "heal was not bit-identical";
+    }
+  }
+}
+
+void expect_auditor_heals_quantized(int bits) {
+  ServeFixture f(false);
+  hdc::QuantizedCyberHd q(f.model, bits);
+  const core::Matrix flows = ServeFixture::stream_flows(0);
+  core::Matrix want;
+  q.scores_batch(flows, want);
+
+  SnapshotManager snapshots(2);
+  snapshots.capture(f.model);
+  ModelAuditor auditor(q, snapshots);
+  EXPECT_EQ(auditor.audit_and_heal(), AuditOutcome::kClean);
+
+  core::Rng rng(77);
+  fault::inject_hdc(q.model(), 0.05, rng);
+  EXPECT_EQ(auditor.audit_and_heal(), AuditOutcome::kRecovered);
+  EXPECT_EQ(auditor.audit_and_heal(), AuditOutcome::kClean);
+
+  core::Matrix got;
+  q.scores_batch(flows, got);
+  for (std::size_t i = 0; i < flows.rows(); ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      ASSERT_EQ(got(i, c), want(i, c))
+          << "bits " << bits << ": re-quantized heal not bit-identical";
+    }
+  }
+}
+
+TEST(SnapshotIntegrity, AuditorHealsQuantized1BitPacked) {
+  expect_auditor_heals_quantized(1);
+}
+
+TEST(SnapshotIntegrity, AuditorHealsQuantized8BitLevels) {
+  expect_auditor_heals_quantized(8);
+}
+
+TEST(SnapshotIntegrity, AuditorFailsWithoutAnyIntactSnapshot) {
+  ServeFixture f(false);
+  SnapshotManager snapshots(2);  // empty on purpose
+  ModelAuditor auditor(f.model, snapshots);
+  core::Rng rng(55);
+  core::Matrix& w = f.model.model().weights();
+  fault::inject_floats({w.data(), w.rows() * w.cols()}, 0.05, rng);
+  EXPECT_EQ(auditor.audit_and_heal(), AuditOutcome::kFailed);
 }
 
 // ---------------------------------------------------------------------------
@@ -555,8 +1219,11 @@ TEST(ShardedEncodeCache, ShardKnobParsesAndClampsToCapacity) {
             hdc::EncodeCache::kDefaultShards);
   ::setenv("CYBERHD_CACHE_SHARDS", "4", 1);
   EXPECT_EQ(hdc::EncodeCache::shards_from_env(), 4u);
+  // Out-of-range values are rejected with a warning, not clamped — the
+  // shared env-parsing contract (core/env.hpp).
   ::setenv("CYBERHD_CACHE_SHARDS", "9999", 1);
-  EXPECT_EQ(hdc::EncodeCache::shards_from_env(), 256u);
+  EXPECT_GE(hdc::EncodeCache::shards_from_env(),
+            hdc::EncodeCache::kDefaultShards);
   ::setenv("CYBERHD_CACHE_SHARDS", "banana", 1);
   EXPECT_GE(hdc::EncodeCache::shards_from_env(),
             hdc::EncodeCache::kDefaultShards);
