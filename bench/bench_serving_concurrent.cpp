@@ -181,24 +181,46 @@ int main(int argc, char** argv) {
                                 : model.encode_cache();
   };
 
+  // Stage-1 cost in isolation, measured bench-side (ServerStats carries no
+  // per-stage split): one staged encode pass over a probe block with the
+  // cache disarmed, so every row rides the batched tile miss path. The
+  // caller re-arms the cache before the serving run, so the run still
+  // starts cold. Returns microseconds per flow.
+  const std::size_t probe_rows =
+      std::min<std::size_t>(data.test.x.rows(), 1024);
+  const auto cold_encode_us = [&]() -> double {
+    arm_cache(0);
+    core::Timer timer;
+    if (quantized != nullptr) {
+      hdc::PackedStaging staging;
+      quantized->encode_block_packed(data.test.x, 0, probe_rows, staging);
+    } else {
+      core::Matrix staging;
+      model.encode_block(data.test.x, 0, probe_rows, staging);
+    }
+    return timer.seconds() * 1e6 / static_cast<double>(probe_rows);
+  };
+
   std::printf("model %s, planner batch %zu rows, linger %sus\n\n",
               served.name().c_str(), served.preferred_batch_rows(data.test.x),
               std::to_string(serve::Server::linger_from_env()).c_str());
 
-  bench::print_row({"streams/cache", "flows/s", "p50", "p99", "batch rows",
-                    "batches", "cache KiB", "rejected", "failed", "healed"});
-  bench::print_rule(10);
+  bench::print_row({"streams/cache", "flows/s", "cold enc/s", "p50", "p99",
+                    "batch rows", "batches", "cache KiB", "rejected",
+                    "failed", "healed"});
+  bench::print_rule(11);
 
   std::vector<core::CsvRow> csv_rows;
   const auto record = [&](std::size_t streams, std::size_t cache_rows,
-                          bool faulted, const RunResult& r) {
+                          bool faulted, double encode_us,
+                          const RunResult& r) {
     const hdc::EncodeCacheStats cstats =
         cache() != nullptr ? cache()->stats() : hdc::EncodeCacheStats{};
     const std::string label = std::to_string(streams) + " x " +
                               (cache_rows > 0 ? "hot" : "off") +
                               (faulted ? "+F" : "");
     bench::print_row(
-        {label, bench::fmt(r.flows_per_s, 0),
+        {label, bench::fmt(r.flows_per_s, 0), bench::fmt(1e6 / encode_us, 0),
          bench::fmt_time(r.p50_us * 1e-6), bench::fmt_time(r.p99_us * 1e-6),
          bench::fmt(r.stats.mean_batch_rows, 1),
          std::to_string(r.stats.batches),
@@ -209,7 +231,8 @@ int main(int argc, char** argv) {
         {std::to_string(streams), std::to_string(cache_rows),
          std::to_string(bits), std::to_string(r.stats.completed),
          bench::fmt(r.flows_per_s, 1), bench::fmt(r.p50_us, 1),
-         bench::fmt(r.p99_us, 1), bench::fmt(r.stats.mean_batch_rows, 2),
+         bench::fmt(r.p99_us, 1), bench::fmt(encode_us, 2),
+         bench::fmt(r.stats.mean_batch_rows, 2),
          std::to_string(r.stats.batches),
          std::to_string(cstats.bytes_resident),
          std::to_string(cstats.bytes_capacity),
@@ -230,8 +253,9 @@ int main(int argc, char** argv) {
   clean_cfg.faults = serve::FaultConfig{};
   for (const std::size_t cache_rows : {std::size_t{0}, std::size_t{4096}}) {
     for (const std::size_t streams : stream_counts) {
+      const double encode_us = cold_encode_us();
       arm_cache(cache_rows);
-      record(streams, cache_rows, false,
+      record(streams, cache_rows, false, encode_us,
              run_point(served, data.test.x, streams, flows_per_stream,
                        clean_cfg));
     }
@@ -273,8 +297,9 @@ int main(int argc, char** argv) {
           });
     };
     for (const std::size_t streams : stream_counts) {
+      const double encode_us = cold_encode_us();
       arm_cache(4096);
-      record(streams, 4096, true,
+      record(streams, 4096, true, encode_us,
              run_point(served, data.test.x, streams, flows_per_stream,
                        fault_cfg, prime));
     }
@@ -291,7 +316,8 @@ int main(int argc, char** argv) {
 
   bench::emit_csv("serving_concurrent.csv",
                   {"streams", "cache_rows", "bits", "flows", "flows_per_s",
-                   "p50_us", "p99_us", "mean_batch_rows", "batches",
+                   "p50_us", "p99_us", "encode_us", "mean_batch_rows",
+                   "batches",
                    "bytes_resident", "bytes_capacity", "rejected",
                    "linger_us", "faults", "ok", "expired", "failed",
                    "injected_delays", "injected_encode_failures",

@@ -1,17 +1,29 @@
 #!/usr/bin/env sh
 # Run every macro bench and collect the emitted CSVs into one results dir.
 #
-#   scripts/run_benches.sh [build-dir] [--quick]
+#   scripts/run_benches.sh [build-dir] [--quick] [--cold]
 #
 # CSVs are written to <build-dir>/bench-results/ (benches emit into the CWD,
-# so we cd there first). Pass --quick for smoke-sized workloads.
+# so we cd there first). Pass --quick for smoke-sized workloads. Pass
+# --cold to append a cold-encode pass after the sweep: the encode-tile
+# micro-kernels plus a cache-off serving run, i.e. every flow rides the
+# batched tile miss path. Its CSV lands in bench-results/cold/ so it never
+# clobbers the baseline tables the main sweep collected.
 set -eu
 
-# Both args are optional: a leading --quick means the build dir was omitted.
-case "${1:-}" in
-  --*) BUILD_DIR=build; QUICK="$1" ;;
-  *)   BUILD_DIR="${1:-build}"; QUICK="${2:-}" ;;
-esac
+# All args are optional: leading flags mean the build dir was omitted.
+BUILD_DIR=""
+QUICK=""
+COLD=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    --cold)  COLD=1 ;;
+    --*) echo "unknown flag: $arg" >&2; exit 2 ;;
+    *)   BUILD_DIR="$arg" ;;
+  esac
+done
+BUILD_DIR="${BUILD_DIR:-build}"
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
   echo "error: $BUILD_DIR/bench not found — configure and build first:" >&2
@@ -56,6 +68,22 @@ for bench in "$BENCH_DIR"/bench_*; do
       ;;
   esac
 done
+
+if [ -n "$COLD" ]; then
+  echo "== cold-encode pass (encode cache off: miss-path tile encode)"
+  if [ -x "$BENCH_DIR/bench_micro_ops" ]; then
+    "$BENCH_DIR/bench_micro_ops" \
+      --benchmark_filter='BM_EncodeTile|BM_KernelRbfEncode' \
+      --benchmark_min_time=0.05
+  fi
+  COLD_DIR="$OUT_DIR/cold"
+  mkdir -p "$COLD_DIR"
+  # The serving bench arms its own cache per point; its cache-off rows are
+  # the cold measurement. The env pin keeps any default-armed cache out of
+  # the picture, and the subdirectory keeps its CSV out of the baseline.
+  (cd "$COLD_DIR" && \
+   CYBERHD_ENCODE_CACHE=0 "$BENCH_DIR/bench_serving_concurrent" --quick)
+fi
 
 echo "results in $OUT_DIR:"
 ls "$OUT_DIR"

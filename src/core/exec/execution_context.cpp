@@ -251,6 +251,32 @@ std::size_t ExecutionContext::serving_block_rows_bytes(
       4096);
 }
 
+EncodeTilePlan ExecutionContext::plan_encode_tile(
+    std::size_t dims, std::size_t features) const noexcept {
+  EncodeTilePlan plan;
+  const std::size_t row_bytes =
+      std::max<std::size_t>(1, features) * sizeof(float);
+  // Flow block from L1d: a third for the block's raw feature rows (the
+  // current base row and the angle stores take the rest), so the rows a
+  // base panel is replayed against never leave level 1.
+  const std::size_t flows = (cache_.l1d_bytes / 3) / row_bytes;
+  plan.flow_rows = std::clamp<std::size_t>(
+      largest_pow2_at_most(std::max<std::size_t>(1, flows)), 8, 256);
+  // Base panel from L2: a third for the panel's base rows (the flow block
+  // and slack take the rest) — the panel streams from L2 once per flow
+  // block instead of from memory once per flow.
+  const std::size_t panel = (cache_.l2_bytes / 3) / row_bytes;
+  plan.panel_rows = std::clamp<std::size_t>(
+      largest_pow2_at_most(std::max<std::size_t>(1, panel)), 16, 8192);
+  if (dims > 0 && plan.panel_rows > dims) {
+    // Wider than D buys nothing; snap to the pow2 that covers D in one
+    // panel when it can.
+    plan.panel_rows =
+        std::max<std::size_t>(16, largest_pow2_at_most(dims));
+  }
+  return plan;
+}
+
 ServingPlan ExecutionContext::plan_serving(std::size_t dims) const noexcept {
   return plan_serving_bytes(dims * sizeof(float), score_block_rows(dims));
 }

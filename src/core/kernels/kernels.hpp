@@ -81,6 +81,26 @@ struct Kernels {
   void (*cos_rbf_rows)(const float* bases, std::size_t rows, std::size_t cols,
                        const float* x, const float* biases, float* h);
 
+  /// Multi-flow fused RBF encode tile — the GEMM-shaped batched form of
+  /// cos_rbf_rows:
+  ///   h[f * h_stride + r] =
+  ///       cos(dot(bases + r * cols, x + f * x_stride) + biases[r])
+  /// for f in [0, num_x), r in [0, rows). `bases` is a row-major
+  /// rows x cols panel, `x` holds num_x flow rows at stride `x_stride`
+  /// floats, and `h` receives each flow's encodings at stride `h_stride`
+  /// floats (callers pass bases + p0 * cols, biases + p0, and
+  /// h + p0 to fill an interior base panel [p0, p0 + rows)). SIMD
+  /// backends register-block over FLOWS so each base row loaded from
+  /// L2/L3 is reused once per flow in the block, but every (base, flow)
+  /// dot accumulates in exactly dot_f32's order and the cosine epilogue
+  /// is lane-independent — so each h entry is bit-identical to a
+  /// cos_rbf_rows call over the same flow on the same backend.
+  void (*cos_rbf_tile_f32)(const float* bases, std::size_t rows,
+                           std::size_t cols, const float* x,
+                           std::size_t num_x, std::size_t x_stride,
+                           const float* biases, float* h,
+                           std::size_t h_stride);
+
   /// sum_i popcount(a[i] ^ b[i]) — the Hamming distance of two packed
   /// bipolar hypervectors (bitpack.hpp guarantees padding bits are zero).
   std::size_t (*xor_popcount_words)(const std::uint64_t* a,

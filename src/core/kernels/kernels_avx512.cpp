@@ -293,6 +293,11 @@ CYBERHD_AVX512_VNNI void similarities_tile_i8_avx512vnni(
 const Kernels make_avx512_table() noexcept {
   Kernels k = *avx2_kernels();
   k.name = "avx512";
+  // cos_rbf_rows AND cos_rbf_tile_f32 stay inherited from avx2: the
+  // avx512 backend has always encoded through the avx2 cosine path, and a
+  // 512-bit tile would change the per-dot accumulation order — breaking
+  // the tile's bit-identity with this backend's cos_rbf_rows and with
+  // every pre-tile golden output.
   k.dot_f32 = dot_f32_avx512;
   k.axpy_f32 = axpy_f32_avx512;
   k.mul_acc_f32 = mul_acc_f32_avx512;

@@ -57,6 +57,24 @@ void cos_rbf_rows_scalar(const float* bases, std::size_t rows,
   }
 }
 
+void cos_rbf_tile_f32_scalar(const float* bases, std::size_t rows,
+                             std::size_t cols, const float* x,
+                             std::size_t num_x, std::size_t x_stride,
+                             const float* biases, float* h,
+                             std::size_t h_stride) {
+  // Reference semantics: per (flow, base) pair exactly the cos_rbf_rows
+  // expression. SIMD backends block over flows for base-row reuse but must
+  // reproduce exactly these per-pair values.
+  for (std::size_t f = 0; f < num_x; ++f) {
+    const float* xf = x + f * x_stride;
+    float* hf = h + f * h_stride;
+    for (std::size_t r = 0; r < rows; ++r) {
+      hf[r] =
+          std::cos(dot_f32_scalar(bases + r * cols, xf, cols) + biases[r]);
+    }
+  }
+}
+
 std::size_t xor_popcount_words_scalar(const std::uint64_t* a,
                                       const std::uint64_t* b, std::size_t n) {
   std::size_t count = 0;
@@ -110,6 +128,7 @@ constexpr Kernels kScalarKernels = {
     .mul_acc_f32 = mul_acc_f32_scalar,
     .similarities_tile_f32 = similarities_tile_f32_scalar,
     .cos_rbf_rows = cos_rbf_rows_scalar,
+    .cos_rbf_tile_f32 = cos_rbf_tile_f32_scalar,
     .xor_popcount_words = xor_popcount_words_scalar,
     .quantized_dot_i8 = quantized_dot_i8_scalar,
     .similarities_tile_i8 = similarities_tile_i8_scalar,

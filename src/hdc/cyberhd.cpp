@@ -134,11 +134,23 @@ void CyberHdClassifier::fit_streamed(const core::Matrix& x,
         },
         /*grain=*/16);
   };
-  // Encode `m` samples picked by `pick` into the first m rows of enc_tile.
-  const auto encode_tile = [&](std::size_t m, auto&& pick) {
-    for_rows(m, [&](std::size_t i) {
-      encoder_->encode(x.row(pick(i)), enc_tile.row(i));
-    });
+  // Both encode phases ride the GEMM-shaped tile path (bit-identical to
+  // per-row encodes): the bundle phase tiles contiguous ranges of x
+  // directly; the shuffled epoch phase gathers its picks' raw F-float
+  // rows into one contiguous block first — the gather is tiny next to
+  // the D x F encode it batches.
+  core::Matrix raw_tile(tile, x.cols());
+  const auto encode_range = [&](std::size_t t, std::size_t m) {
+    encoder_->encode_tile(x, t, t + m, enc_tile.data(), config_.dims,
+                          exec_ctx);
+  };
+  const auto encode_gathered = [&](std::size_t m, auto&& pick) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto src = x.row(pick(i));
+      std::copy(src.begin(), src.end(), raw_tile.row(i).begin());
+    }
+    encoder_->encode_tile(raw_tile, 0, m, enc_tile.data(), config_.dims,
+                          exec_ctx);
   };
 
   SchedulePhases phases;
@@ -149,7 +161,7 @@ void CyberHdClassifier::fit_streamed(const core::Matrix& x,
     InitAccumulator acc(num_classes, config_.dims, n);
     for (std::size_t t = 0; t < n; t += tile) {
       const std::size_t m = std::min(tile, n - t);
-      encode_tile(m, [&](std::size_t i) { return t + i; });
+      encode_range(t, m);
       acc.accumulate(enc_tile, y.subspan(t, m), 0, m, /*row_offset=*/t);
     }
     acc.finish(model_, trainer.config());
@@ -165,7 +177,7 @@ void CyberHdClassifier::fit_streamed(const core::Matrix& x,
     stats.samples = n;
     for (std::size_t t = 0; t < n; t += tile) {
       const std::size_t m = std::min(tile, n - t);
-      encode_tile(m, [&](std::size_t i) { return order[t + i]; });
+      encode_gathered(m, [&](std::size_t i) { return order[t + i]; });
       for (std::size_t i = 0; i < m; ++i) {
         tile_labels[i] = y[order[t + i]];
       }

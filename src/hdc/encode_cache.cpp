@@ -193,9 +193,24 @@ std::size_t EncodeCache::encode_rows(const Encoder& encoder,
   const std::size_t stride = h.cols() * sizeof(float);
   return encode_entries(
       x, begin, end, out, stride,
-      [&](std::size_t i, unsigned char* dst) {
-        encoder.encode(x.row(begin + i),
-                       {reinterpret_cast<float*>(dst), encoded_dim_});
+      [&](std::span<const std::size_t> rows, unsigned char* o,
+          std::size_t o_stride) {
+        // Batched miss encode: gather the miss rows into one contiguous
+        // block, run the whole list through the encoder's tile path, then
+        // scatter to the miss slots (a D-float memcpy per row — cheap
+        // next to the encode it rides on).
+        const std::size_t k = rows.size();
+        core::Matrix raw(k, input_dim_);
+        for (std::size_t j = 0; j < k; ++j) {
+          const auto src = x.row(begin + rows[j]);
+          std::copy(src.begin(), src.end(), raw.row(j).begin());
+        }
+        core::Matrix enc(k, encoded_dim_);
+        encoder.encode_tile(raw, 0, k, enc.data(), encoded_dim_, exec);
+        for (std::size_t j = 0; j < k; ++j) {
+          std::memcpy(o + rows[j] * o_stride, enc.row(j).data(),
+                      entry_bytes_);
+        }
       },
       exec);
 }
@@ -203,8 +218,9 @@ std::size_t EncodeCache::encode_rows(const Encoder& encoder,
 std::size_t EncodeCache::encode_entries(
     const core::Matrix& x, std::size_t begin, std::size_t end,
     unsigned char* out, std::size_t out_stride,
-    const std::function<void(std::size_t, unsigned char*)>& encode_miss,
-    const core::ExecutionContext& exec) {
+    const std::function<void(std::span<const std::size_t>, unsigned char*,
+                             std::size_t)>& encode_misses,
+    const core::ExecutionContext& /*exec*/) {
   assert(end >= begin && end <= x.rows());
   assert(x.cols() == input_dim_);
   assert(out_stride >= entry_bytes_);
@@ -268,18 +284,15 @@ std::size_t EncodeCache::encode_entries(
     }
   }
 
-  // Encode pass (parallel, lock-free): every miss encodes into its own
-  // output entry; per-row encodes are independent, so results never
-  // depend on the split.
-  exec.parallel_for(
-      misses.size(),
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t j = lo; j < hi; ++j) {
-          const std::size_t i = misses[j];
-          encode_miss(i, out + i * out_stride);
-        }
-      },
-      /*grain=*/16);
+  // Encode pass (lock-free): the whole miss list in one batched callback.
+  // The callback owns gather, tiling, and pool-parallelism — the tile
+  // encoders turn the list into GEMM-shaped kernel calls, so every base
+  // row fetched from cache is reused across the batch's misses instead of
+  // re-streamed per row. Per-row results are independent of the batching,
+  // so output never depends on the miss mix.
+  if (!misses.empty()) {
+    encode_misses(misses, out, out_stride);
+  }
 
   // In-batch duplicates replay the fresh encode of their first occurrence
   // (bit-identical by encoder determinism, like any cache hit).
@@ -322,14 +335,10 @@ EncodedBatch encode_block_cached(const Encoder& encoder, EncodeCache* cache,
   if (cache != nullptr) {
     cache->encode_rows(encoder, x, begin, end, storage, exec);
   } else {
-    exec.parallel_for(
-        m,
-        [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t i = lo; i < hi; ++i) {
-            encoder.encode(x.row(begin + i), storage.row(i));
-          }
-        },
-        /*grain=*/16);
+    // Cache-off path: the block is one contiguous tile call — the
+    // dominant shape under cold (non-replay) traffic.
+    encoder.encode_tile(x, begin, end, storage.data(), storage.cols(),
+                        exec);
   }
   return EncodedBatch::front_of(storage, m);
 }

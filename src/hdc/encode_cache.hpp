@@ -138,11 +138,12 @@ class EncodeCache {
 
   /// The float stage-1 driver: fill rows [0, end - begin) of `h` with the
   /// encodings of rows [begin, end) of `x` — hits copied out of their
-  /// shard's ring, misses encoded through `encoder` (split across the
-  /// context's pool) and then inserted. `h` must already be sized to at
-  /// least (end - begin) x encoded_dim. Returns the number of hits
-  /// (including in-batch replays). Safe to call concurrently from any
-  /// number of threads. Only valid for float-armed caches (entry_bytes ==
+  /// shard's ring, misses gathered into one contiguous block and batched
+  /// through `encoder.encode_tile` (split across the context's pool),
+  /// then inserted. `h` must already be sized to at least
+  /// (end - begin) x encoded_dim. Returns the number of hits (including
+  /// in-batch replays). Safe to call concurrently from any number of
+  /// threads. Only valid for float-armed caches (entry_bytes ==
   /// encoded_dim * 4); a thin wrapper over encode_entries.
   std::size_t encode_rows(const Encoder& encoder, const core::Matrix& x,
                           std::size_t begin, std::size_t end,
@@ -153,18 +154,23 @@ class EncodeCache {
   /// fill entries [0, end - begin) of `out` (entry i at
   /// out + i * out_stride, entry_bytes() bytes each; out_stride >=
   /// entry_bytes()) with the cached encodings of rows [begin, end) of `x`.
-  /// Hits are byte-copied out of their shard's ring; misses call
-  /// `encode_miss(i, dst)` — which must write exactly entry_bytes() bytes
-  /// of the encoding of batch row i into dst, be deterministic, and be
-  /// safe to call concurrently (it runs split across the context's pool) —
-  /// and are then inserted. In-batch duplicates replay the first
+  /// Hits are byte-copied out of their shard's ring; misses are handed to
+  /// `encode_misses` in ONE batched call — `encode_misses(rows, out,
+  /// out_stride)` must write, for every batch-row index i in `rows`,
+  /// exactly entry_bytes() bytes of the encoding of batch row i
+  /// (x.row(begin + i)) to out + i * out_stride, deterministically. The
+  /// callback owns its own gather/tile/parallelism (the tile encoders
+  /// batch the whole miss list into GEMM-shaped kernel calls instead of
+  /// per-row encodes); it runs outside every shard lock. Fresh entries
+  /// are then inserted, and in-batch duplicates replay the first
   /// occurrence's fresh entry. Returns the number of hits (including
   /// in-batch replays). Safe to call concurrently from any number of
   /// threads.
   std::size_t encode_entries(
       const core::Matrix& x, std::size_t begin, std::size_t end,
       unsigned char* out, std::size_t out_stride,
-      const std::function<void(std::size_t, unsigned char*)>& encode_miss,
+      const std::function<void(std::span<const std::size_t>, unsigned char*,
+                               std::size_t)>& encode_misses,
       const core::ExecutionContext& exec);
 
  private:

@@ -16,15 +16,42 @@ EncodedBatch Encoder::encode_batch(const core::Matrix& x, core::Matrix& h,
                                    const core::ExecutionContext& exec) const {
   assert(x.cols() == input_dim());
   h.resize(x.rows(), output_dim());
+  encode_tile(x, 0, x.rows(), h.data(), h.cols(), exec);
+  return EncodedBatch::of(h);
+}
+
+void Encoder::encode_tile(const core::Matrix& x, std::size_t begin,
+                          std::size_t end, float* out,
+                          std::size_t out_stride,
+                          const core::ExecutionContext& exec) const {
+  assert(x.cols() == input_dim());
+  assert(begin <= end && end <= x.rows());
+  assert(out_stride >= output_dim());
+  const std::size_t m = end - begin;
+  if (m == 0) return;
+  // Flow-block split: chunk boundaries only group independent per-row
+  // encodes, so results never depend on the block size or worker count.
+  const core::EncodeTilePlan plan =
+      exec.plan_encode_tile(output_dim(), input_dim());
   exec.parallel_for(
-      x.rows(),
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          encode(x.row(i), h.row(i));
+      m,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t t = lo; t < hi; t += plan.flow_rows) {
+          const std::size_t e = std::min(hi, t + plan.flow_rows);
+          encode_tile_block(x, begin + t, begin + e, out + t * out_stride,
+                            out_stride, exec);
         }
       },
-      /*grain=*/16);
-  return EncodedBatch::of(h);
+      /*grain=*/plan.flow_rows);
+}
+
+void Encoder::encode_tile_block(const core::Matrix& x, std::size_t begin,
+                                std::size_t end, float* out,
+                                std::size_t out_stride,
+                                const core::ExecutionContext&) const {
+  for (std::size_t i = begin; i < end; ++i) {
+    encode(x.row(i), {out + (i - begin) * out_stride, output_dim()});
+  }
 }
 
 void Encoder::encode_batch_dims(const core::Matrix& x,
@@ -82,6 +109,28 @@ void RbfEncoder::encode_dims(std::span<const float> x,
     // (kernels.hpp contract), so regenerated columns match a fresh encode.
     k.cos_rbf_rows(bases_.row(d).data(), 1, input_dim(), x.data(),
                    &biases_[d], &h[d]);
+  }
+}
+
+void RbfEncoder::encode_tile_block(const core::Matrix& x, std::size_t begin,
+                                   std::size_t end, float* out,
+                                   std::size_t out_stride,
+                                   const core::ExecutionContext& exec) const {
+  assert(x.cols() == input_dim());
+  const std::size_t m = end - begin;
+  if (m == 0) return;
+  const std::size_t dims = output_dim();
+  const std::size_t features = input_dim();
+  const core::EncodeTilePlan plan = exec.plan_encode_tile(dims, features);
+  const core::Kernels& k = exec.kernels();
+  // Walk the base matrix in L2-resident panels; the tile kernel replays
+  // each panel row across the whole flow block. x rows [begin, end) are
+  // contiguous at stride x.cols(), so the kernel streams them directly.
+  for (std::size_t p = 0; p < dims; p += plan.panel_rows) {
+    const std::size_t pr = std::min(plan.panel_rows, dims - p);
+    k.cos_rbf_tile_f32(bases_.data() + p * features, pr, features,
+                       x.row(begin).data(), m, x.cols(),
+                       biases_.data() + p, out + p, out_stride);
   }
 }
 
@@ -153,6 +202,36 @@ void SignProjectionEncoder::encode(std::span<const float> x,
   for (std::size_t d = 0; d < output_dim(); ++d) {
     h[d] = k.dot_f32(bases_.row(d).data(), x.data(), cols) >= 0.0f ? 1.0f
                                                                    : -1.0f;
+  }
+}
+
+void SignProjectionEncoder::encode_tile_block(
+    const core::Matrix& x, std::size_t begin, std::size_t end, float* out,
+    std::size_t out_stride, const core::ExecutionContext& exec) const {
+  assert(x.cols() == input_dim());
+  const std::size_t m = end - begin;
+  if (m == 0) return;
+  const std::size_t dims = output_dim();
+  const std::size_t features = input_dim();
+  const core::EncodeTilePlan plan = exec.plan_encode_tile(dims, features);
+  const core::Kernels& k = exec.kernels();
+  // The similarity tile already computes exactly the dots this encoder
+  // signs (flows as query rows, a base panel as the class block), with
+  // per-pair values bit-identical to encode()'s dot_f32 calls. The sign
+  // epilogue scatters the pr-stride panel into the out rows.
+  std::vector<float> dots(m * std::min<std::size_t>(plan.panel_rows, dims));
+  for (std::size_t p = 0; p < dims; p += plan.panel_rows) {
+    const std::size_t pr = std::min(plan.panel_rows, dims - p);
+    k.similarities_tile_f32(x.row(begin).data(), m,
+                            bases_.data() + p * features, pr, features,
+                            dots.data());
+    for (std::size_t i = 0; i < m; ++i) {
+      float* dst = out + i * out_stride + p;
+      const float* src = dots.data() + i * pr;
+      for (std::size_t r = 0; r < pr; ++r) {
+        dst[r] = src[r] >= 0.0f ? 1.0f : -1.0f;
+      }
+    }
   }
 }
 

@@ -74,10 +74,31 @@ class Encoder {
   /// X.rows() x output_dim()). The sample range splits across the
   /// context's pool when it has one. Returns the stage-1 handoff view over
   /// H that the scoring stage (HdcModel::similarities_batch, the quantized
-  /// scorer) consumes.
+  /// scorer) consumes. Rides encode_tile().
   EncodedBatch encode_batch(const core::Matrix& x, core::Matrix& h,
                             const core::ExecutionContext& exec =
                                 core::ExecutionContext::serial()) const;
+
+  /// Batched encode of rows [begin, end) of X, row i landing at
+  /// out + (i - begin) * out_stride (out_stride >= output_dim() floats).
+  /// The range is split into plan_encode_tile flow blocks across the
+  /// context's pool; each block runs through encode_tile_block. Every
+  /// batch-encode consumer — encode_batch, the encode-cache miss driver,
+  /// the streamed trainer, the quantized packer — funnels through here.
+  void encode_tile(const core::Matrix& x, std::size_t begin, std::size_t end,
+                   float* out, std::size_t out_stride,
+                   const core::ExecutionContext& exec) const;
+
+  /// Serial building block of encode_tile: encode rows [begin, end) of X
+  /// on the calling thread. The default walks the rows one encode() at a
+  /// time; families whose per-dimension state is one contiguous block (the
+  /// RBF and sign-projection encoders) override it with a register-blocked
+  /// tile over the flow block — every value bit-identical to the per-row
+  /// walk on the same backend.
+  virtual void encode_tile_block(const core::Matrix& x, std::size_t begin,
+                                 std::size_t end, float* out,
+                                 std::size_t out_stride,
+                                 const core::ExecutionContext& exec) const;
 
   /// Recompute columns `dims` of H for every row of X (after regeneration).
   /// The default loops encode_dims() row by row; families whose
@@ -111,6 +132,15 @@ class RbfEncoder final : public Encoder {
   void encode_dims(std::span<const float> x,
                    std::span<const std::size_t> dims,
                    std::span<float> h) const override;
+  /// GEMM-shaped batched encode: streams the base matrix in L2-sized
+  /// panels through cos_rbf_tile_f32, register-blocking over the block's
+  /// flows so each base row is fetched once per block instead of once per
+  /// flow. Bit-identical per backend to per-row encode() (the tile
+  /// kernel's contract).
+  void encode_tile_block(const core::Matrix& x, std::size_t begin,
+                         std::size_t end, float* out,
+                         std::size_t out_stride,
+                         const core::ExecutionContext& exec) const override;
   /// Regeneration-refresh fast path: gathers the listed dimensions' bases
   /// and biases into one contiguous block once, then fuses each sample's
   /// refresh into a single cos_rbf_rows call (the default would issue
@@ -156,6 +186,14 @@ class SignProjectionEncoder final : public Encoder {
   void encode_dims(std::span<const float> x,
                    std::span<const std::size_t> dims,
                    std::span<float> h) const override;
+  /// Batched encode through the existing similarities_tile_f32 kernel
+  /// (flows in the role of query rows, base panels in the role of class
+  /// blocks) with a trivial sign epilogue — the tile's per-pair dots are
+  /// bit-identical to encode()'s dot_f32 calls on the same backend.
+  void encode_tile_block(const core::Matrix& x, std::size_t begin,
+                         std::size_t end, float* out,
+                         std::size_t out_stride,
+                         const core::ExecutionContext& exec) const override;
   void regenerate(std::span<const std::size_t> dims,
                   core::Rng& rng) override;
   std::unique_ptr<Encoder> clone() const override;
@@ -172,6 +210,13 @@ class SignProjectionEncoder final : public Encoder {
 /// by progressive flipping (so nearby levels stay similar); a sample encodes
 /// as sum_f ID_f * L_{level(x_f)} (elementwise bind, then bundle).
 /// Inputs are expected in [0, 1] (values are clamped).
+///
+/// Deliberately NOT routed through the encode-tile kernel: each output
+/// value gathers from per-feature level rows selected by the sample's
+/// quantized feature values, so there is no shared contiguous base panel
+/// two flows could stream together — the batched form would be a
+/// different (gather-heavy) kernel, not a reuse win. It keeps the
+/// base-class per-row encode_tile_block.
 class IdLevelEncoder final : public Encoder {
  public:
   IdLevelEncoder(std::size_t input_dim, std::size_t output_dim,

@@ -260,6 +260,44 @@ void QuantizedCyberHd::scores_encoded(const EncodedBatch& h,
       /*grain=*/32);
 }
 
+void QuantizedCyberHd::encode_tile_packed(const core::Matrix& x,
+                                          std::size_t begin, std::size_t end,
+                                          unsigned char* dst,
+                                          std::size_t dst_stride) const {
+  assert(model_.bits() <= 8);
+  assert(dst_stride >= model_.packed_row_bytes());
+  const std::size_t m = end - begin;
+  if (m == 0) return;
+  const std::size_t dims = model_.dims();
+  const core::EncodeTilePlan plan =
+      exec_.plan_encode_tile(dims, encoder_->input_dim());
+  // Quantize in the tile epilogue: each flow block tile-encodes into a
+  // per-worker flow_rows x D float scratch (L2-resident, reused across
+  // blocks), and every finished row quantizes straight into its packed
+  // slot. The quantize scale is a full-row statistic, so the row-sized
+  // float scratch is the minimum staging possible — no batch-sized float
+  // matrix. pack_row is the one quantize expression, so the packed bytes
+  // match encode-then-pack bit for bit.
+  exec_.parallel_for(
+      m,
+      [&](std::size_t lo, std::size_t hi) {
+        thread_local core::Matrix scratch;
+        for (std::size_t t = lo; t < hi; t += plan.flow_rows) {
+          const std::size_t e = std::min(hi, t + plan.flow_rows);
+          const std::size_t rows = e - t;
+          if (scratch.rows() < rows || scratch.cols() != dims) {
+            scratch.resize(plan.flow_rows, dims);
+          }
+          encoder_->encode_tile_block(x, begin + t, begin + e,
+                                      scratch.data(), dims, exec_);
+          for (std::size_t i = 0; i < rows; ++i) {
+            model_.pack_row(scratch.row(i), dst + (t + i) * dst_stride);
+          }
+        }
+      },
+      /*grain=*/plan.flow_rows);
+}
+
 PackedBatch QuantizedCyberHd::encode_block_packed(
     const core::Matrix& x, std::size_t begin, std::size_t end,
     PackedStaging& staging) const {
@@ -269,27 +307,31 @@ PackedBatch QuantizedCyberHd::encode_block_packed(
   const int bits = model_.bits();
   unsigned char* out = staging.prepare(m, dims, bits);
   const std::size_t row_bytes = model_.packed_row_bytes();
-  // Quantize ONCE, here: the encoder's float row lives only in a
-  // per-worker scratch buffer; what gets staged (and cached) is the
-  // packed row.
-  const auto encode_pack = [&](std::size_t i, unsigned char* dst) {
-    thread_local std::vector<float> scratch;
-    scratch.resize(dims);
-    encoder_->encode(x.row(begin + i), scratch);
-    model_.pack_row(scratch, dst);
-  };
   if (encode_cache_ != nullptr) {
-    encode_cache_->encode_entries(x, begin, end, out, row_bytes,
-                                  encode_pack, exec_);
-  } else {
-    exec_.parallel_for(
-        m,
-        [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t i = lo; i < hi; ++i) {
-            encode_pack(i, out + i * row_bytes);
+    // Batched miss path: gather the lookup's misses into one contiguous
+    // block, run them through the fused tile-encode-and-pack, scatter the
+    // packed rows (a packed_row_bytes memcpy each) to their slots.
+    encode_cache_->encode_entries(
+        x, begin, end, out, row_bytes,
+        [&](std::span<const std::size_t> rows, unsigned char* o,
+            std::size_t o_stride) {
+          const std::size_t k = rows.size();
+          core::Matrix raw(k, x.cols());
+          for (std::size_t j = 0; j < k; ++j) {
+            const auto src = x.row(begin + rows[j]);
+            std::copy(src.begin(), src.end(), raw.row(j).begin());
+          }
+          std::vector<unsigned char, core::AlignedAllocator<unsigned char>>
+              packed(k * row_bytes);
+          encode_tile_packed(raw, 0, k, packed.data(), row_bytes);
+          for (std::size_t j = 0; j < k; ++j) {
+            std::memcpy(o + rows[j] * o_stride,
+                        packed.data() + j * row_bytes, row_bytes);
           }
         },
-        /*grain=*/16);
+        exec_);
+  } else {
+    encode_tile_packed(x, begin, end, out, row_bytes);
   }
   return staging.view(m, dims, bits);
 }

@@ -165,6 +165,18 @@ class QuantizedCyberHd final : public core::Classifier {
   PackedBatch encode_block_packed(const core::Matrix& x, std::size_t begin,
                                   std::size_t end,
                                   PackedStaging& staging) const;
+  /// Fused tile-encode-and-quantize (bits <= 8), bypassing the cache:
+  /// rows [begin, end) of `x` run through the encoder's GEMM-shaped tile
+  /// in flow blocks, and each finished float row is quantized straight
+  /// out of the block's L2-resident scratch into packed entry i at
+  /// dst + i * dst_stride (packed_row_bytes() bytes each) — no
+  /// batch-sized float staging matrix ever exists. Same quantize
+  /// expression as pack_row, so the packed bytes are bit-identical to
+  /// encode-then-pack. Both encode_block_packed paths (cache miss batch,
+  /// cache off) ride this.
+  void encode_tile_packed(const core::Matrix& x, std::size_t begin,
+                          std::size_t end, unsigned char* dst,
+                          std::size_t dst_stride) const;
   /// Stage 2 alone: quantized-domain scores of an already-encoded float
   /// view (the query rows are re-quantized per row); `out` is resized to
   /// h.rows() x num_classes().

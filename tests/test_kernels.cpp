@@ -56,6 +56,7 @@ TEST(KernelDispatch, ActiveBackendIsAlwaysValid) {
   ASSERT_NE(k.mul_acc_f32, nullptr);
   ASSERT_NE(k.similarities_tile_f32, nullptr);
   ASSERT_NE(k.cos_rbf_rows, nullptr);
+  ASSERT_NE(k.cos_rbf_tile_f32, nullptr);
   ASSERT_NE(k.xor_popcount_words, nullptr);
   ASSERT_NE(k.quantized_dot_i8, nullptr);
   ASSERT_NE(k.similarities_tile_i8, nullptr);
@@ -409,6 +410,125 @@ TEST(KernelParity, CosRbfRowsHugeAngleFallsBackToLibm) {
   avx2->cos_rbf_rows(base, 2, 1, x, bias, h);
   EXPECT_NEAR(h[0], std::cos(30000.0f + 0.25f), 1e-5);
   EXPECT_NEAR(h[1], std::cos(1.0f), 1e-6);
+}
+
+// ---- the multi-flow RBF encode tile ----------------------------------------
+
+/// Every backend's encode tile must reproduce its own per-flow
+/// cos_rbf_rows bit-for-bit — the contract the batched encode path (cache
+/// miss batches, encode_batch, the streamed trainer) builds its
+/// "tiling never changes encodings" guarantee on. Flow counts straddle the
+/// 4-flow register block, base-row counts the 8-lane cosine epilogue
+/// groups, cols the dot kernel's 16/8-lane chunks and scalar tail. The
+/// output is written at h_stride > rows — the interior-panel shape — and
+/// the pad bytes between rows and h_stride must come back untouched.
+TEST(KernelTile, CosRbfTileMatchesPerFlowRowsBitExactly) {
+  std::vector<const core::Kernels*> backends = {&core::scalar_kernels()};
+  if (const core::Kernels* avx2 = runnable_avx2()) backends.push_back(avx2);
+  if (const core::Kernels* avx512 = runnable_avx512()) {
+    backends.push_back(avx512);
+  }
+  for (const core::Kernels* k : backends) {
+    for (std::size_t flows : {1u, 3u, 4u, 5u, 7u, 8u, 9u, 17u}) {
+      for (std::size_t rows : {1u, 5u, 8u, 16u, 17u, 100u}) {
+        for (std::size_t cols : {1u, 3u, 24u, 118u}) {
+          const auto bases = gaussian_vec(rows * cols, 5000 + rows * cols);
+          const auto x = gaussian_vec(flows * cols, 6000 + flows * cols);
+          auto biases = gaussian_vec(rows, 7000 + rows);
+          for (auto& v : biases) v *= 3.0f;
+          const std::size_t h_stride = rows + 5;
+          std::vector<float> h_tile(flows * h_stride, -2.0f);
+          k->cos_rbf_tile_f32(bases.data(), rows, cols, x.data(), flows,
+                              cols, biases.data(), h_tile.data(), h_stride);
+          std::vector<float> h_row(rows);
+          for (std::size_t f = 0; f < flows; ++f) {
+            k->cos_rbf_rows(bases.data(), rows, cols, x.data() + f * cols,
+                            biases.data(), h_row.data());
+            for (std::size_t r = 0; r < rows; ++r) {
+              EXPECT_EQ(h_tile[f * h_stride + r], h_row[r])
+                  << k->name << " flows=" << flows << " rows=" << rows
+                  << " cols=" << cols << " f=" << f << " r=" << r;
+            }
+            for (std::size_t r = rows; r < h_stride; ++r) {
+              EXPECT_EQ(h_tile[f * h_stride + r], -2.0f)
+                  << k->name << " pad overwritten at f=" << f << " r=" << r;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelTile, CosRbfTilePanelDecompositionIsExact) {
+  // The encoder walks D in cache-sized panels, pointing the kernel at
+  // bases + p * cols, biases + p, h + p per panel. Panel boundaries must
+  // be invisible: any split — including a ragged tail panel when D is not
+  // a multiple of the panel size — reassembles the one-shot tile result
+  // bit-for-bit on every backend.
+  std::vector<const core::Kernels*> backends = {&core::scalar_kernels()};
+  if (const core::Kernels* avx2 = runnable_avx2()) backends.push_back(avx2);
+  if (const core::Kernels* avx512 = runnable_avx512()) {
+    backends.push_back(avx512);
+  }
+  const std::size_t dims = 53;  // not a multiple of any panel below
+  const std::size_t cols = 24;
+  const std::size_t flows = 6;
+  const auto bases = gaussian_vec(dims * cols, 8100);
+  const auto x = gaussian_vec(flows * cols, 8200);
+  auto biases = gaussian_vec(dims, 8300);
+  for (auto& v : biases) v *= 3.0f;
+  for (const core::Kernels* k : backends) {
+    std::vector<float> whole(flows * dims, -2.0f);
+    k->cos_rbf_tile_f32(bases.data(), dims, cols, x.data(), flows, cols,
+                        biases.data(), whole.data(), dims);
+    for (std::size_t panel : {1u, 8u, 16u, 32u}) {
+      std::vector<float> split(flows * dims, -3.0f);
+      for (std::size_t p = 0; p < dims; p += panel) {
+        const std::size_t pr = std::min(panel, dims - p);
+        k->cos_rbf_tile_f32(bases.data() + p * cols, pr, cols, x.data(),
+                            flows, cols, biases.data() + p,
+                            split.data() + p, dims);
+      }
+      for (std::size_t i = 0; i < split.size(); ++i) {
+        EXPECT_EQ(split[i], whole[i])
+            << k->name << " panel=" << panel << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelTile, CosRbfTileHonorsFlowStride) {
+  // Flows handed to the kernel straight out of a wider row layout
+  // (x_stride > cols): only the first `cols` entries of each flow row may
+  // participate — the pad columns are garbage on purpose.
+  std::vector<const core::Kernels*> backends = {&core::scalar_kernels()};
+  if (const core::Kernels* avx2 = runnable_avx2()) backends.push_back(avx2);
+  if (const core::Kernels* avx512 = runnable_avx512()) {
+    backends.push_back(avx512);
+  }
+  const std::size_t rows = 19;
+  const std::size_t cols = 118;
+  const std::size_t flows = 5;
+  const std::size_t x_stride = cols + 7;
+  const auto bases = gaussian_vec(rows * cols, 8400);
+  const auto x = gaussian_vec(flows * x_stride, 8500);
+  auto biases = gaussian_vec(rows, 8600);
+  for (auto& v : biases) v *= 3.0f;
+  for (const core::Kernels* k : backends) {
+    std::vector<float> h_tile(flows * rows, -2.0f);
+    k->cos_rbf_tile_f32(bases.data(), rows, cols, x.data(), flows, x_stride,
+                        biases.data(), h_tile.data(), rows);
+    std::vector<float> h_row(rows);
+    for (std::size_t f = 0; f < flows; ++f) {
+      k->cos_rbf_rows(bases.data(), rows, cols, x.data() + f * x_stride,
+                      biases.data(), h_row.data());
+      for (std::size_t r = 0; r < rows; ++r) {
+        EXPECT_EQ(h_tile[f * rows + r], h_row[r])
+            << k->name << " f=" << f << " r=" << r;
+      }
+    }
+  }
 }
 
 // ---- batch inference parity ------------------------------------------------

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
@@ -154,6 +155,50 @@ TEST(QuantizedCyberHd, IndependentOfSourceAfterSnapshot) {
   f.model = CyberHdClassifier(cfg);
   f.model.fit(f.x, f.y, 3);
   EXPECT_EQ(q.predict(f.x.row(0)), before);
+}
+
+TEST(QuantizedCyberHd, FusedTileEncodeMatchesEncodeThenPack) {
+  // encode_tile_packed quantizes each finished float row straight out of
+  // the tile's scratch — the packed bytes must be identical to the
+  // encode-then-pack_row reference at every packed bitwidth, for full
+  // batches, sub-ranges, and strided destinations alike.
+  TrainedFixture f;
+  std::vector<float> h(f.model.physical_dims());
+  for (int bits : {1, 2, 4, 8}) {
+    const QuantizedCyberHd q(f.model, bits);
+    const std::size_t row_bytes = q.model().packed_row_bytes();
+    std::vector<unsigned char> ref(row_bytes);
+
+    std::vector<unsigned char> fused(f.x.rows() * row_bytes, 0xaa);
+    q.encode_tile_packed(f.x, 0, f.x.rows(), fused.data(), row_bytes);
+    for (std::size_t i = 0; i < f.x.rows(); ++i) {
+      f.model.encode(f.x.row(i), h);
+      q.model().pack_row(h, ref.data());
+      EXPECT_EQ(std::memcmp(fused.data() + i * row_bytes, ref.data(),
+                            row_bytes),
+                0)
+          << "bits=" << bits << " row " << i;
+    }
+
+    // A sub-range into a strided destination: rows land at dst + i *
+    // dst_stride and the pad bytes between row_bytes and the stride stay
+    // untouched.
+    const std::size_t begin = 17, end = 60;
+    const std::size_t stride = row_bytes + 13;
+    std::vector<unsigned char> strided((end - begin) * stride, 0xc3);
+    q.encode_tile_packed(f.x, begin, end, strided.data(), stride);
+    for (std::size_t i = 0; i < end - begin; ++i) {
+      f.model.encode(f.x.row(begin + i), h);
+      q.model().pack_row(h, ref.data());
+      EXPECT_EQ(
+          std::memcmp(strided.data() + i * stride, ref.data(), row_bytes), 0)
+          << "bits=" << bits << " row " << begin + i;
+      for (std::size_t b = row_bytes; b < stride; ++b) {
+        EXPECT_EQ(strided[i * stride + b], 0xc3)
+            << "bits=" << bits << " pad overwritten at row " << i;
+      }
+    }
+  }
 }
 
 // Bitwidth sweep: quantized accuracy is monotone (allowing small noise) in

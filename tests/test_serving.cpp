@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -360,6 +361,35 @@ TEST_P(QuantizedServing, CacheStoresPackedEntriesAndCountsBytes) {
   EXPECT_EQ(after.bytes_resident, q.encode_cache()->size() * entry);
   EXPECT_GT(after.bytes_resident, 0u);
   EXPECT_LE(after.bytes_resident, after.bytes_capacity);
+}
+
+TEST_P(QuantizedServing, FusedTileEncodeMatchesEncodeThenPack) {
+  // The fused quantize-on-encode epilogue: encode_tile_packed's bytes must
+  // be identical to float-encoding the same rows (the cloned encoder's
+  // stage 1) and pack_row-ing them one at a time — the contract that lets
+  // the cache-miss batch and the cache-off path ride the tile without
+  // perturbing a single packed entry.
+  ServingFixture t;
+  QuantizedCyberHd q(t.model, GetParam());
+  const std::size_t row_bytes = q.model().packed_row_bytes();
+
+  const std::size_t stride = row_bytes + 9;
+  std::vector<unsigned char> fused(t.queries.rows() * stride, 0xc3);
+  q.encode_tile_packed(t.queries, 0, t.queries.rows(), fused.data(), stride);
+
+  core::Matrix staging;
+  const EncodedBatch encoded =
+      t.model.encode_block(t.queries, 0, t.queries.rows(), staging);
+  std::vector<unsigned char> ref(row_bytes);
+  for (std::size_t i = 0; i < t.queries.rows(); ++i) {
+    q.model().pack_row(encoded.row(i), ref.data());
+    EXPECT_EQ(std::memcmp(fused.data() + i * stride, ref.data(), row_bytes),
+              0)
+        << "row " << i;
+    for (std::size_t b = row_bytes; b < stride; ++b) {
+      EXPECT_EQ(fused[i * stride + b], 0xc3) << "pad overwritten, row " << i;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Bitwidths, QuantizedServing,
