@@ -244,7 +244,9 @@ int main(int argc, char** argv) {
          std::to_string(r.stats.injected_encode_failures),
          std::to_string(r.stats.injected_bitflips),
          std::to_string(r.stats.corruptions),
-         std::to_string(r.stats.recoveries)});
+         std::to_string(r.stats.recoveries),
+         std::to_string(cstats.copied_bytes),
+         std::to_string(cstats.borrowed_rows)});
   };
 
   // Clean sweep: injection pinned off (not inherited from the
@@ -321,7 +323,8 @@ int main(int argc, char** argv) {
                    "bytes_resident", "bytes_capacity", "rejected",
                    "linger_us", "faults", "ok", "expired", "failed",
                    "injected_delays", "injected_encode_failures",
-                   "injected_bitflips", "corruptions", "recoveries"},
+                   "injected_bitflips", "corruptions", "recoveries",
+                   "copy_bytes", "borrowed_rows"},
                   csv_rows);
   return 0;
 }

@@ -188,17 +188,6 @@ const ExecutionContext& ExecutionContext::serial() {
   return ctx;
 }
 
-void ExecutionContext::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
-    std::size_t grain) const {
-  if (n == 0) return;
-  if (pool_ != nullptr) {
-    pool_->parallel_for(n, fn, grain);
-  } else {
-    fn(0, n);
-  }
-}
-
 void ExecutionContext::for_each_block(
     std::size_t n, std::size_t block_rows,
     const std::function<void(std::size_t, std::size_t)>& fn) const {

@@ -132,9 +132,24 @@ class ExecutionContext {
   /// Run fn(begin, end) over [0, n): split across the pool when one is
   /// attached, inline otherwise. The single call site replaces the
   /// `if (pool) pool->parallel_for(...) else body(0, n)` pattern.
-  void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, std::size_t)>& fn,
-                    std::size_t grain = 256) const;
+  ///
+  /// Templated so the serial path invokes the callable DIRECTLY — no
+  /// std::function is ever constructed, which is what keeps a serial
+  /// steady-state serving flush at zero heap allocations. The pooled path
+  /// wraps `fn` in a std::reference_wrapper (guaranteed non-allocating by
+  /// [func.wrap.func.con]) before handing it to the pool; only the pool's
+  /// own per-chunk task boxing allocates there.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 256) const {
+    if (n == 0) return;
+    if (pool_ == nullptr) {
+      fn(0, n);
+      return;
+    }
+    pool_->parallel_for(
+        n, std::function<void(std::size_t, std::size_t)>(std::ref(fn)),
+        grain);
+  }
 
   /// Domain-affine block dispatch — the serving shape. Run
   /// fn(begin, end) over [0, n) in `block_rows`-row blocks, each block

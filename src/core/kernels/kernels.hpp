@@ -137,6 +137,38 @@ struct Kernels {
                           const std::uint64_t* classes,
                           std::size_t num_classes, std::size_t words,
                           std::uint32_t* out);
+
+  // -- gather (indirect) tile variants ---------------------------------------
+  // The zero-copy serving path scores cache hits IN PLACE: instead of
+  // memcpying each hit row into a contiguous staging batch, stage 1 hands
+  // stage 2 a per-row pointer table (rows borrowed from the cache ring,
+  // miss rows from the staging block — any mix). The gather variants below
+  // read query rows through that table; each backend implements them with
+  // THE SAME register-blocked inner body as its contiguous sibling (only
+  // the row-pointer derivation differs), so every out entry is
+  // bit-identical to the contiguous kernel over the same row bytes — the
+  // float contract per backend, the exact-integer contract everywhere.
+
+  /// similarities_tile_f32 over a row-pointer table: h_rows[r] points at
+  /// row r's dims floats (rows need not be contiguous or ordered).
+  void (*similarities_tile_f32_gather)(const float* const* h_rows,
+                                       std::size_t rows, const float* classes,
+                                       std::size_t num_classes,
+                                       std::size_t dims, float* out);
+
+  /// similarities_tile_i8 over a row-pointer table.
+  void (*similarities_tile_i8_gather)(const std::int8_t* const* h_rows,
+                                      std::size_t rows,
+                                      const std::int8_t* classes,
+                                      std::size_t num_classes,
+                                      std::size_t dims, std::int64_t* out);
+
+  /// hamming_tile_1b over a row-pointer table.
+  void (*hamming_tile_1b_gather)(const std::uint64_t* const* h_rows,
+                                 std::size_t rows,
+                                 const std::uint64_t* classes,
+                                 std::size_t num_classes, std::size_t words,
+                                 std::uint32_t* out);
 };
 
 /// The portable reference backend. Always available.

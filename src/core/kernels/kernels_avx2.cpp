@@ -62,63 +62,90 @@ CYBERHD_AVX2 float dot_f32_avx2(const float* a, const float* b,
 // keeps its own (acc0, acc1) pair and walks dims in exactly dot_f32_avx2's
 // order — the out entries are bit-identical to per-pair dot_f32 calls,
 // which is the contract HdcModel::similarities_batch relies on.
+//
+// The 4-row inner body is factored out over explicit row pointers so the
+// contiguous tile and its gather (row-pointer-table) variant share the
+// IDENTICAL instruction sequence — bit-identity between the two is by
+// construction, not by parallel maintenance.
+CYBERHD_AVX2 inline void sim_tile_f32_block4_avx2(
+    const float* h0, const float* h1, const float* h2, const float* h3,
+    const float* classes, std::size_t num_classes, std::size_t dims,
+    float* out_block) {
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const float* cls = classes + c * dims;
+    __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+    __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+    __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
+    __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 16 <= dims; i += 16) {
+      const __m256 v0 = _mm256_loadu_ps(cls + i);
+      const __m256 v1 = _mm256_loadu_ps(cls + i + 8);
+      a00 = _mm256_fmadd_ps(_mm256_loadu_ps(h0 + i), v0, a00);
+      a01 = _mm256_fmadd_ps(_mm256_loadu_ps(h0 + i + 8), v1, a01);
+      a10 = _mm256_fmadd_ps(_mm256_loadu_ps(h1 + i), v0, a10);
+      a11 = _mm256_fmadd_ps(_mm256_loadu_ps(h1 + i + 8), v1, a11);
+      a20 = _mm256_fmadd_ps(_mm256_loadu_ps(h2 + i), v0, a20);
+      a21 = _mm256_fmadd_ps(_mm256_loadu_ps(h2 + i + 8), v1, a21);
+      a30 = _mm256_fmadd_ps(_mm256_loadu_ps(h3 + i), v0, a30);
+      a31 = _mm256_fmadd_ps(_mm256_loadu_ps(h3 + i + 8), v1, a31);
+    }
+    for (; i + 8 <= dims; i += 8) {
+      const __m256 v0 = _mm256_loadu_ps(cls + i);
+      a00 = _mm256_fmadd_ps(_mm256_loadu_ps(h0 + i), v0, a00);
+      a10 = _mm256_fmadd_ps(_mm256_loadu_ps(h1 + i), v0, a10);
+      a20 = _mm256_fmadd_ps(_mm256_loadu_ps(h2 + i), v0, a20);
+      a30 = _mm256_fmadd_ps(_mm256_loadu_ps(h3 + i), v0, a30);
+    }
+    float s0 = hsum8(_mm256_add_ps(a00, a01));
+    float s1 = hsum8(_mm256_add_ps(a10, a11));
+    float s2 = hsum8(_mm256_add_ps(a20, a21));
+    float s3 = hsum8(_mm256_add_ps(a30, a31));
+    for (; i < dims; ++i) {
+      const float v = cls[i];
+      s0 += h0[i] * v;
+      s1 += h1[i] * v;
+      s2 += h2[i] * v;
+      s3 += h3[i] * v;
+    }
+    out_block[0 * num_classes + c] = s0;
+    out_block[1 * num_classes + c] = s1;
+    out_block[2 * num_classes + c] = s2;
+    out_block[3 * num_classes + c] = s3;
+  }
+}
+
 CYBERHD_AVX2 void similarities_tile_f32_avx2(const float* h, std::size_t rows,
                                              const float* classes,
                                              std::size_t num_classes,
                                              std::size_t dims, float* out) {
   std::size_t r = 0;
   for (; r + 4 <= rows; r += 4) {
-    const float* h0 = h + (r + 0) * dims;
-    const float* h1 = h + (r + 1) * dims;
-    const float* h2 = h + (r + 2) * dims;
-    const float* h3 = h + (r + 3) * dims;
-    for (std::size_t c = 0; c < num_classes; ++c) {
-      const float* cls = classes + c * dims;
-      __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
-      __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
-      __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
-      __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
-      std::size_t i = 0;
-      for (; i + 16 <= dims; i += 16) {
-        const __m256 v0 = _mm256_loadu_ps(cls + i);
-        const __m256 v1 = _mm256_loadu_ps(cls + i + 8);
-        a00 = _mm256_fmadd_ps(_mm256_loadu_ps(h0 + i), v0, a00);
-        a01 = _mm256_fmadd_ps(_mm256_loadu_ps(h0 + i + 8), v1, a01);
-        a10 = _mm256_fmadd_ps(_mm256_loadu_ps(h1 + i), v0, a10);
-        a11 = _mm256_fmadd_ps(_mm256_loadu_ps(h1 + i + 8), v1, a11);
-        a20 = _mm256_fmadd_ps(_mm256_loadu_ps(h2 + i), v0, a20);
-        a21 = _mm256_fmadd_ps(_mm256_loadu_ps(h2 + i + 8), v1, a21);
-        a30 = _mm256_fmadd_ps(_mm256_loadu_ps(h3 + i), v0, a30);
-        a31 = _mm256_fmadd_ps(_mm256_loadu_ps(h3 + i + 8), v1, a31);
-      }
-      for (; i + 8 <= dims; i += 8) {
-        const __m256 v0 = _mm256_loadu_ps(cls + i);
-        a00 = _mm256_fmadd_ps(_mm256_loadu_ps(h0 + i), v0, a00);
-        a10 = _mm256_fmadd_ps(_mm256_loadu_ps(h1 + i), v0, a10);
-        a20 = _mm256_fmadd_ps(_mm256_loadu_ps(h2 + i), v0, a20);
-        a30 = _mm256_fmadd_ps(_mm256_loadu_ps(h3 + i), v0, a30);
-      }
-      float s0 = hsum8(_mm256_add_ps(a00, a01));
-      float s1 = hsum8(_mm256_add_ps(a10, a11));
-      float s2 = hsum8(_mm256_add_ps(a20, a21));
-      float s3 = hsum8(_mm256_add_ps(a30, a31));
-      for (; i < dims; ++i) {
-        const float v = cls[i];
-        s0 += h0[i] * v;
-        s1 += h1[i] * v;
-        s2 += h2[i] * v;
-        s3 += h3[i] * v;
-      }
-      out[(r + 0) * num_classes + c] = s0;
-      out[(r + 1) * num_classes + c] = s1;
-      out[(r + 2) * num_classes + c] = s2;
-      out[(r + 3) * num_classes + c] = s3;
-    }
+    sim_tile_f32_block4_avx2(h + (r + 0) * dims, h + (r + 1) * dims,
+                             h + (r + 2) * dims, h + (r + 3) * dims, classes,
+                             num_classes, dims, out + r * num_classes);
   }
   for (; r < rows; ++r) {
     for (std::size_t c = 0; c < num_classes; ++c) {
       out[r * num_classes + c] =
           dot_f32_avx2(h + r * dims, classes + c * dims, dims);
+    }
+  }
+}
+
+CYBERHD_AVX2 void similarities_tile_f32_gather_avx2(
+    const float* const* h_rows, std::size_t rows, const float* classes,
+    std::size_t num_classes, std::size_t dims, float* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    sim_tile_f32_block4_avx2(h_rows[r + 0], h_rows[r + 1], h_rows[r + 2],
+                             h_rows[r + 3], classes, num_classes, dims,
+                             out + r * num_classes);
+  }
+  for (; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] =
+          dot_f32_avx2(h_rows[r], classes + c * dims, dims);
     }
   }
 }
@@ -527,6 +554,68 @@ CYBERHD_AVX2 inline std::int64_t hsum_i64x4(__m256i acc64) {
   return lanes[0] + lanes[1] + lanes[2] + lanes[3];
 }
 
+// 4-row inner body over explicit row pointers, shared by the contiguous
+// tile and its gather variant (exact-integer contract: both are exact, so
+// the sharing is about code size, not numerics).
+CYBERHD_AVX2 inline void sim_tile_i8_block4_avx2(
+    const std::int8_t* h0, const std::int8_t* h1, const std::int8_t* h2,
+    const std::int8_t* h3, const std::int8_t* classes,
+    std::size_t num_classes, std::size_t dims, std::int64_t* out_block) {
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const std::int8_t* cls = classes + c * dims;
+    __m256i a0 = _mm256_setzero_si256(), a1 = _mm256_setzero_si256();
+    __m256i a2 = _mm256_setzero_si256(), a3 = _mm256_setzero_si256();
+    std::size_t i = 0;
+    while (dims - i >= 16) {
+      const std::size_t rounds =
+          std::min<std::size_t>((dims - i) / 16, 32768);
+      __m256i b0 = _mm256_setzero_si256(), b1 = _mm256_setzero_si256();
+      __m256i b2 = _mm256_setzero_si256(), b3 = _mm256_setzero_si256();
+      for (std::size_t k = 0; k < rounds; ++k, i += 16) {
+        const __m256i cv = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(cls + i)));
+        b0 = _mm256_add_epi32(
+            b0, _mm256_madd_epi16(
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(h0 + i))),
+                    cv));
+        b1 = _mm256_add_epi32(
+            b1, _mm256_madd_epi16(
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(h1 + i))),
+                    cv));
+        b2 = _mm256_add_epi32(
+            b2, _mm256_madd_epi16(
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(h2 + i))),
+                    cv));
+        b3 = _mm256_add_epi32(
+            b3, _mm256_madd_epi16(
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(h3 + i))),
+                    cv));
+      }
+      a0 = widen_add_i32_to_i64(a0, b0);
+      a1 = widen_add_i32_to_i64(a1, b1);
+      a2 = widen_add_i32_to_i64(a2, b2);
+      a3 = widen_add_i32_to_i64(a3, b3);
+    }
+    std::int64_t s0 = hsum_i64x4(a0), s1 = hsum_i64x4(a1);
+    std::int64_t s2 = hsum_i64x4(a2), s3 = hsum_i64x4(a3);
+    for (; i < dims; ++i) {
+      const std::int64_t v = cls[i];
+      s0 += static_cast<std::int64_t>(h0[i]) * v;
+      s1 += static_cast<std::int64_t>(h1[i]) * v;
+      s2 += static_cast<std::int64_t>(h2[i]) * v;
+      s3 += static_cast<std::int64_t>(h3[i]) * v;
+    }
+    out_block[0 * num_classes + c] = s0;
+    out_block[1 * num_classes + c] = s1;
+    out_block[2 * num_classes + c] = s2;
+    out_block[3 * num_classes + c] = s3;
+  }
+}
+
 CYBERHD_AVX2 void similarities_tile_i8_avx2(const std::int8_t* h,
                                             std::size_t rows,
                                             const std::int8_t* classes,
@@ -535,68 +624,32 @@ CYBERHD_AVX2 void similarities_tile_i8_avx2(const std::int8_t* h,
                                             std::int64_t* out) {
   std::size_t r = 0;
   for (; r + 4 <= rows; r += 4) {
-    const std::int8_t* h0 = h + (r + 0) * dims;
-    const std::int8_t* h1 = h + (r + 1) * dims;
-    const std::int8_t* h2 = h + (r + 2) * dims;
-    const std::int8_t* h3 = h + (r + 3) * dims;
-    for (std::size_t c = 0; c < num_classes; ++c) {
-      const std::int8_t* cls = classes + c * dims;
-      __m256i a0 = _mm256_setzero_si256(), a1 = _mm256_setzero_si256();
-      __m256i a2 = _mm256_setzero_si256(), a3 = _mm256_setzero_si256();
-      std::size_t i = 0;
-      while (dims - i >= 16) {
-        const std::size_t rounds =
-            std::min<std::size_t>((dims - i) / 16, 32768);
-        __m256i b0 = _mm256_setzero_si256(), b1 = _mm256_setzero_si256();
-        __m256i b2 = _mm256_setzero_si256(), b3 = _mm256_setzero_si256();
-        for (std::size_t k = 0; k < rounds; ++k, i += 16) {
-          const __m256i cv = _mm256_cvtepi8_epi16(
-              _mm_loadu_si128(reinterpret_cast<const __m128i*>(cls + i)));
-          b0 = _mm256_add_epi32(
-              b0, _mm256_madd_epi16(
-                      _mm256_cvtepi8_epi16(_mm_loadu_si128(
-                          reinterpret_cast<const __m128i*>(h0 + i))),
-                      cv));
-          b1 = _mm256_add_epi32(
-              b1, _mm256_madd_epi16(
-                      _mm256_cvtepi8_epi16(_mm_loadu_si128(
-                          reinterpret_cast<const __m128i*>(h1 + i))),
-                      cv));
-          b2 = _mm256_add_epi32(
-              b2, _mm256_madd_epi16(
-                      _mm256_cvtepi8_epi16(_mm_loadu_si128(
-                          reinterpret_cast<const __m128i*>(h2 + i))),
-                      cv));
-          b3 = _mm256_add_epi32(
-              b3, _mm256_madd_epi16(
-                      _mm256_cvtepi8_epi16(_mm_loadu_si128(
-                          reinterpret_cast<const __m128i*>(h3 + i))),
-                      cv));
-        }
-        a0 = widen_add_i32_to_i64(a0, b0);
-        a1 = widen_add_i32_to_i64(a1, b1);
-        a2 = widen_add_i32_to_i64(a2, b2);
-        a3 = widen_add_i32_to_i64(a3, b3);
-      }
-      std::int64_t s0 = hsum_i64x4(a0), s1 = hsum_i64x4(a1);
-      std::int64_t s2 = hsum_i64x4(a2), s3 = hsum_i64x4(a3);
-      for (; i < dims; ++i) {
-        const std::int64_t v = cls[i];
-        s0 += static_cast<std::int64_t>(h0[i]) * v;
-        s1 += static_cast<std::int64_t>(h1[i]) * v;
-        s2 += static_cast<std::int64_t>(h2[i]) * v;
-        s3 += static_cast<std::int64_t>(h3[i]) * v;
-      }
-      out[(r + 0) * num_classes + c] = s0;
-      out[(r + 1) * num_classes + c] = s1;
-      out[(r + 2) * num_classes + c] = s2;
-      out[(r + 3) * num_classes + c] = s3;
-    }
+    sim_tile_i8_block4_avx2(h + (r + 0) * dims, h + (r + 1) * dims,
+                            h + (r + 2) * dims, h + (r + 3) * dims, classes,
+                            num_classes, dims, out + r * num_classes);
   }
   for (; r < rows; ++r) {
     for (std::size_t c = 0; c < num_classes; ++c) {
       out[r * num_classes + c] =
           quantized_dot_i8_avx2(h + r * dims, classes + c * dims, dims);
+    }
+  }
+}
+
+CYBERHD_AVX2 void similarities_tile_i8_gather_avx2(
+    const std::int8_t* const* h_rows, std::size_t rows,
+    const std::int8_t* classes, std::size_t num_classes, std::size_t dims,
+    std::int64_t* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    sim_tile_i8_block4_avx2(h_rows[r + 0], h_rows[r + 1], h_rows[r + 2],
+                            h_rows[r + 3], classes, num_classes, dims,
+                            out + r * num_classes);
+  }
+  for (; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] =
+          quantized_dot_i8_avx2(h_rows[r], classes + c * dims, dims);
     }
   }
 }
@@ -618,6 +671,22 @@ CYBERHD_AVX2 void hamming_tile_1b_avx2(const std::uint64_t* h,
   }
 }
 
+CYBERHD_AVX2 void hamming_tile_1b_gather_avx2(const std::uint64_t* const* h_rows,
+                                              std::size_t rows,
+                                              const std::uint64_t* classes,
+                                              std::size_t num_classes,
+                                              std::size_t words,
+                                              std::uint32_t* out) {
+  // Same per-pair structure as the contiguous tile with row r read through
+  // h_rows[r]; exact-integer, so trivially bit-identical.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] = static_cast<std::uint32_t>(
+          xor_popcount_words_avx2(h_rows[r], classes + c * words, words));
+    }
+  }
+}
+
 constexpr Kernels kAvx2Kernels = {
     .name = "avx2",
     .dot_f32 = dot_f32_avx2,
@@ -630,6 +699,9 @@ constexpr Kernels kAvx2Kernels = {
     .quantized_dot_i8 = quantized_dot_i8_avx2,
     .similarities_tile_i8 = similarities_tile_i8_avx2,
     .hamming_tile_1b = hamming_tile_1b_avx2,
+    .similarities_tile_f32_gather = similarities_tile_f32_gather_avx2,
+    .similarities_tile_i8_gather = similarities_tile_i8_gather_avx2,
+    .hamming_tile_1b_gather = hamming_tile_1b_gather_avx2,
 };
 
 }  // namespace

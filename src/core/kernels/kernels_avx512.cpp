@@ -95,62 +95,89 @@ CYBERHD_AVX512 void mul_acc_f32_avx512(const float* a, const float* b,
 // version: 4 query rows share each class-row load, and every dot keeps its
 // own (acc0, acc1) pair walking dims in dot_f32_avx512's exact order so
 // the per-pair bit-identity contract holds.
+//
+// As in the avx2 backend, the 4-row inner body is factored over explicit
+// row pointers so the contiguous tile and the gather (row-pointer-table)
+// variant share the identical instruction sequence.
+CYBERHD_AVX512 inline void sim_tile_f32_block4_avx512(
+    const float* h0, const float* h1, const float* h2, const float* h3,
+    const float* classes, std::size_t num_classes, std::size_t dims,
+    float* out_block) {
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const float* cls = classes + c * dims;
+    __m512 a00 = _mm512_setzero_ps(), a01 = _mm512_setzero_ps();
+    __m512 a10 = _mm512_setzero_ps(), a11 = _mm512_setzero_ps();
+    __m512 a20 = _mm512_setzero_ps(), a21 = _mm512_setzero_ps();
+    __m512 a30 = _mm512_setzero_ps(), a31 = _mm512_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 32 <= dims; i += 32) {
+      const __m512 v0 = _mm512_loadu_ps(cls + i);
+      const __m512 v1 = _mm512_loadu_ps(cls + i + 16);
+      a00 = _mm512_fmadd_ps(_mm512_loadu_ps(h0 + i), v0, a00);
+      a01 = _mm512_fmadd_ps(_mm512_loadu_ps(h0 + i + 16), v1, a01);
+      a10 = _mm512_fmadd_ps(_mm512_loadu_ps(h1 + i), v0, a10);
+      a11 = _mm512_fmadd_ps(_mm512_loadu_ps(h1 + i + 16), v1, a11);
+      a20 = _mm512_fmadd_ps(_mm512_loadu_ps(h2 + i), v0, a20);
+      a21 = _mm512_fmadd_ps(_mm512_loadu_ps(h2 + i + 16), v1, a21);
+      a30 = _mm512_fmadd_ps(_mm512_loadu_ps(h3 + i), v0, a30);
+      a31 = _mm512_fmadd_ps(_mm512_loadu_ps(h3 + i + 16), v1, a31);
+    }
+    for (; i + 16 <= dims; i += 16) {
+      const __m512 v0 = _mm512_loadu_ps(cls + i);
+      a00 = _mm512_fmadd_ps(_mm512_loadu_ps(h0 + i), v0, a00);
+      a10 = _mm512_fmadd_ps(_mm512_loadu_ps(h1 + i), v0, a10);
+      a20 = _mm512_fmadd_ps(_mm512_loadu_ps(h2 + i), v0, a20);
+      a30 = _mm512_fmadd_ps(_mm512_loadu_ps(h3 + i), v0, a30);
+    }
+    float s0 = _mm512_reduce_add_ps(_mm512_add_ps(a00, a01));
+    float s1 = _mm512_reduce_add_ps(_mm512_add_ps(a10, a11));
+    float s2 = _mm512_reduce_add_ps(_mm512_add_ps(a20, a21));
+    float s3 = _mm512_reduce_add_ps(_mm512_add_ps(a30, a31));
+    for (; i < dims; ++i) {
+      const float v = cls[i];
+      s0 += h0[i] * v;
+      s1 += h1[i] * v;
+      s2 += h2[i] * v;
+      s3 += h3[i] * v;
+    }
+    out_block[0 * num_classes + c] = s0;
+    out_block[1 * num_classes + c] = s1;
+    out_block[2 * num_classes + c] = s2;
+    out_block[3 * num_classes + c] = s3;
+  }
+}
+
 CYBERHD_AVX512 void similarities_tile_f32_avx512(
     const float* h, std::size_t rows, const float* classes,
     std::size_t num_classes, std::size_t dims, float* out) {
   std::size_t r = 0;
   for (; r + 4 <= rows; r += 4) {
-    const float* h0 = h + (r + 0) * dims;
-    const float* h1 = h + (r + 1) * dims;
-    const float* h2 = h + (r + 2) * dims;
-    const float* h3 = h + (r + 3) * dims;
-    for (std::size_t c = 0; c < num_classes; ++c) {
-      const float* cls = classes + c * dims;
-      __m512 a00 = _mm512_setzero_ps(), a01 = _mm512_setzero_ps();
-      __m512 a10 = _mm512_setzero_ps(), a11 = _mm512_setzero_ps();
-      __m512 a20 = _mm512_setzero_ps(), a21 = _mm512_setzero_ps();
-      __m512 a30 = _mm512_setzero_ps(), a31 = _mm512_setzero_ps();
-      std::size_t i = 0;
-      for (; i + 32 <= dims; i += 32) {
-        const __m512 v0 = _mm512_loadu_ps(cls + i);
-        const __m512 v1 = _mm512_loadu_ps(cls + i + 16);
-        a00 = _mm512_fmadd_ps(_mm512_loadu_ps(h0 + i), v0, a00);
-        a01 = _mm512_fmadd_ps(_mm512_loadu_ps(h0 + i + 16), v1, a01);
-        a10 = _mm512_fmadd_ps(_mm512_loadu_ps(h1 + i), v0, a10);
-        a11 = _mm512_fmadd_ps(_mm512_loadu_ps(h1 + i + 16), v1, a11);
-        a20 = _mm512_fmadd_ps(_mm512_loadu_ps(h2 + i), v0, a20);
-        a21 = _mm512_fmadd_ps(_mm512_loadu_ps(h2 + i + 16), v1, a21);
-        a30 = _mm512_fmadd_ps(_mm512_loadu_ps(h3 + i), v0, a30);
-        a31 = _mm512_fmadd_ps(_mm512_loadu_ps(h3 + i + 16), v1, a31);
-      }
-      for (; i + 16 <= dims; i += 16) {
-        const __m512 v0 = _mm512_loadu_ps(cls + i);
-        a00 = _mm512_fmadd_ps(_mm512_loadu_ps(h0 + i), v0, a00);
-        a10 = _mm512_fmadd_ps(_mm512_loadu_ps(h1 + i), v0, a10);
-        a20 = _mm512_fmadd_ps(_mm512_loadu_ps(h2 + i), v0, a20);
-        a30 = _mm512_fmadd_ps(_mm512_loadu_ps(h3 + i), v0, a30);
-      }
-      float s0 = _mm512_reduce_add_ps(_mm512_add_ps(a00, a01));
-      float s1 = _mm512_reduce_add_ps(_mm512_add_ps(a10, a11));
-      float s2 = _mm512_reduce_add_ps(_mm512_add_ps(a20, a21));
-      float s3 = _mm512_reduce_add_ps(_mm512_add_ps(a30, a31));
-      for (; i < dims; ++i) {
-        const float v = cls[i];
-        s0 += h0[i] * v;
-        s1 += h1[i] * v;
-        s2 += h2[i] * v;
-        s3 += h3[i] * v;
-      }
-      out[(r + 0) * num_classes + c] = s0;
-      out[(r + 1) * num_classes + c] = s1;
-      out[(r + 2) * num_classes + c] = s2;
-      out[(r + 3) * num_classes + c] = s3;
-    }
+    sim_tile_f32_block4_avx512(h + (r + 0) * dims, h + (r + 1) * dims,
+                               h + (r + 2) * dims, h + (r + 3) * dims,
+                               classes, num_classes, dims,
+                               out + r * num_classes);
   }
   for (; r < rows; ++r) {
     for (std::size_t c = 0; c < num_classes; ++c) {
       out[r * num_classes + c] =
           dot_f32_avx512(h + r * dims, classes + c * dims, dims);
+    }
+  }
+}
+
+CYBERHD_AVX512 void similarities_tile_f32_gather_avx512(
+    const float* const* h_rows, std::size_t rows, const float* classes,
+    std::size_t num_classes, std::size_t dims, float* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    sim_tile_f32_block4_avx512(h_rows[r + 0], h_rows[r + 1], h_rows[r + 2],
+                               h_rows[r + 3], classes, num_classes, dims,
+                               out + r * num_classes);
+  }
+  for (; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] =
+          dot_f32_avx512(h_rows[r], classes + c * dims, dims);
     }
   }
 }
@@ -187,6 +214,18 @@ CYBERHD_AVX512_POPCNT void hamming_tile_1b_avx512(
   }
 }
 
+CYBERHD_AVX512_POPCNT void hamming_tile_1b_gather_avx512(
+    const std::uint64_t* const* h_rows, std::size_t rows,
+    const std::uint64_t* classes, std::size_t num_classes, std::size_t words,
+    std::uint32_t* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] = static_cast<std::uint32_t>(
+          xor_popcount_words_avx512(h_rows[r], classes + c * words, words));
+    }
+  }
+}
+
 /// acc64 += the 16 i32 lanes of acc32, widened.
 CYBERHD_AVX512 inline __m512i widen_add_i32_to_i64_512(__m512i acc64,
                                                        __m512i acc32) {
@@ -207,20 +246,17 @@ CYBERHD_AVX512 inline __m512i widen_add_i32_to_i64_512(__m512i acc64,
 // reference. Overflow cap: each 64-element vpdpbusd round moves an i32
 // lane by at most 4 * 255 * 128, so 8192 rounds (512k dims) stay inside
 // i32 before the i64 widening.
-CYBERHD_AVX512_VNNI void similarities_tile_i8_avx512vnni(
-    const std::int8_t* h, std::size_t rows, const std::int8_t* classes,
-    std::size_t num_classes, std::size_t dims, std::int64_t* out) {
+// Per-row-block VNNI body over an explicit 4-entry row-pointer block
+// (tail blocks alias hr[0]; lanes beyond `block` compute values that go
+// unused). Shared by the contiguous tile and the gather variant.
+CYBERHD_AVX512_VNNI inline void sim_tile_i8_vnni_block4(
+    const std::int8_t* const hr[4], std::size_t block,
+    const std::int8_t* classes, std::size_t num_classes, std::size_t dims,
+    std::int64_t* out_block) {
   const __m512i bias = _mm512_set1_epi8(static_cast<char>(0x80));
   const __m512i ones = _mm512_set1_epi8(1);
   const std::size_t vec_dims = dims & ~std::size_t{63};
-  for (std::size_t r0 = 0; r0 < rows; r0 += 4) {
-    const std::size_t block = std::min<std::size_t>(4, rows - r0);
-    const std::int8_t* hr[4];
-    for (std::size_t k = 0; k < 4; ++k) {
-      // Degenerate tail blocks alias the first row; their lanes compute
-      // real values that simply go unused.
-      hr[k] = h + (r0 + (k < block ? k : 0)) * dims;
-    }
+  {
     for (std::size_t c = 0; c < num_classes; ++c) {
       const std::int8_t* cls = classes + c * dims;
       __m512i a0 = _mm512_setzero_si512(), a1 = _mm512_setzero_si512();
@@ -281,9 +317,38 @@ CYBERHD_AVX512_VNNI void similarities_tile_i8_avx512vnni(
         s[3] += static_cast<std::int64_t>(hr[3][i]) * v;
       }
       for (std::size_t k = 0; k < block; ++k) {
-        out[(r0 + k) * num_classes + c] = s[k];
+        out_block[k * num_classes + c] = s[k];
       }
     }
+  }
+}
+
+CYBERHD_AVX512_VNNI void similarities_tile_i8_avx512vnni(
+    const std::int8_t* h, std::size_t rows, const std::int8_t* classes,
+    std::size_t num_classes, std::size_t dims, std::int64_t* out) {
+  for (std::size_t r0 = 0; r0 < rows; r0 += 4) {
+    const std::size_t block = std::min<std::size_t>(4, rows - r0);
+    const std::int8_t* hr[4];
+    for (std::size_t k = 0; k < 4; ++k) {
+      hr[k] = h + (r0 + (k < block ? k : 0)) * dims;
+    }
+    sim_tile_i8_vnni_block4(hr, block, classes, num_classes, dims,
+                            out + r0 * num_classes);
+  }
+}
+
+CYBERHD_AVX512_VNNI void similarities_tile_i8_gather_avx512vnni(
+    const std::int8_t* const* h_rows, std::size_t rows,
+    const std::int8_t* classes, std::size_t num_classes, std::size_t dims,
+    std::int64_t* out) {
+  for (std::size_t r0 = 0; r0 < rows; r0 += 4) {
+    const std::size_t block = std::min<std::size_t>(4, rows - r0);
+    const std::int8_t* hr[4];
+    for (std::size_t k = 0; k < 4; ++k) {
+      hr[k] = h_rows[r0 + (k < block ? k : 0)];
+    }
+    sim_tile_i8_vnni_block4(hr, block, classes, num_classes, dims,
+                            out + r0 * num_classes);
   }
 }
 
@@ -302,12 +367,15 @@ const Kernels make_avx512_table() noexcept {
   k.axpy_f32 = axpy_f32_avx512;
   k.mul_acc_f32 = mul_acc_f32_avx512;
   k.similarities_tile_f32 = similarities_tile_f32_avx512;
+  k.similarities_tile_f32_gather = similarities_tile_f32_gather_avx512;
   if (cpu_supports_avx512_vpopcntdq()) {
     k.xor_popcount_words = xor_popcount_words_avx512;
     k.hamming_tile_1b = hamming_tile_1b_avx512;
+    k.hamming_tile_1b_gather = hamming_tile_1b_gather_avx512;
   }
   if (cpu_supports_avx512_vnni()) {
     k.similarities_tile_i8 = similarities_tile_i8_avx512vnni;
+    k.similarities_tile_i8_gather = similarities_tile_i8_gather_avx512vnni;
   }
   return k;
 }

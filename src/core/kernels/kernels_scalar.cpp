@@ -121,6 +121,49 @@ void hamming_tile_1b_scalar(const std::uint64_t* h, std::size_t rows,
   }
 }
 
+// Gather (indirect) tile variants: identical per-pair loops, with row r
+// read through h_rows[r] instead of h + r * dims. Same dot per pair, so
+// each out entry is bit-identical to the contiguous kernel over the same
+// row bytes.
+void similarities_tile_f32_gather_scalar(const float* const* h_rows,
+                                         std::size_t rows,
+                                         const float* classes,
+                                         std::size_t num_classes,
+                                         std::size_t dims, float* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] =
+          dot_f32_scalar(h_rows[r], classes + c * dims, dims);
+    }
+  }
+}
+
+void similarities_tile_i8_gather_scalar(const std::int8_t* const* h_rows,
+                                        std::size_t rows,
+                                        const std::int8_t* classes,
+                                        std::size_t num_classes,
+                                        std::size_t dims, std::int64_t* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] =
+          quantized_dot_i8_scalar(h_rows[r], classes + c * dims, dims);
+    }
+  }
+}
+
+void hamming_tile_1b_gather_scalar(const std::uint64_t* const* h_rows,
+                                   std::size_t rows,
+                                   const std::uint64_t* classes,
+                                   std::size_t num_classes,
+                                   std::size_t words, std::uint32_t* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      out[r * num_classes + c] = static_cast<std::uint32_t>(
+          xor_popcount_words_scalar(h_rows[r], classes + c * words, words));
+    }
+  }
+}
+
 constexpr Kernels kScalarKernels = {
     .name = "scalar",
     .dot_f32 = dot_f32_scalar,
@@ -133,6 +176,9 @@ constexpr Kernels kScalarKernels = {
     .quantized_dot_i8 = quantized_dot_i8_scalar,
     .similarities_tile_i8 = similarities_tile_i8_scalar,
     .hamming_tile_1b = hamming_tile_1b_scalar,
+    .similarities_tile_f32_gather = similarities_tile_f32_gather_scalar,
+    .similarities_tile_i8_gather = similarities_tile_i8_gather_scalar,
+    .hamming_tile_1b_gather = hamming_tile_1b_gather_scalar,
 };
 
 }  // namespace

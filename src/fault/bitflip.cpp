@@ -58,6 +58,10 @@ FlipReport inject_hdc(hdc::QuantizedHdcModel& model, double rate,
         }
       }
     }
+    // The packed store was edited in place; rebuild the contiguous
+    // class-word block the hamming tile streams so inference sees the
+    // upsets.
+    model.resync();
     return report;
   }
   const int bits = model.bits();

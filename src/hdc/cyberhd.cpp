@@ -246,14 +246,25 @@ void CyberHdClassifier::scores_block(const core::Matrix& x,
                                      std::size_t begin, std::size_t end,
                                      core::Matrix& out) const {
   assert(encoder_ != nullptr && "scores_batch() before fit()");
-  // Stage 1: encode the block (cache hits replayed, misses encoded across
-  // the pool). Stage 2: stream the still-L3-resident view through the
-  // tile scorer, writing straight into the block's rows of `out`. The
-  // staging buffer is thread_local so the driver's block loop reuses one
-  // allocation per calling thread without breaking const-concurrency.
+  const std::size_t m = end - begin;
+  if (m == 0) return;
+  // The staging buffer is thread_local so the driver's block loop reuses
+  // one allocation per calling thread without breaking const-concurrency.
   thread_local core::Matrix staging;
+  if (encode_cache_ != nullptr) {
+    // Zero-copy serving: stage 1 PINS cache hits in the ring instead of
+    // memcpying them out and encodes only the misses into staging; stage 2
+    // streams the resulting row-pointer view through the gather tile
+    // kernel — bit-identical to the contiguous path over the same rows.
+    ScoringWorkspace& ws = ScoringWorkspace::tl();
+    encode_cache_->encode_rows_borrowed(*encoder_, x, begin, end, staging,
+                                        ws, exec());
+    const EncodedRows rows(ws.f32_rows.data(), m, encoder_->output_dim());
+    model_.similarities_into(rows, out.row(begin).data(), exec());
+    ws.borrow.release();
+    return;
+  }
   const EncodedBatch encoded = encode_block(x, begin, end, staging);
-  if (encoded.empty()) return;
   model_.similarities_into(encoded, out.row(begin).data(), exec());
 }
 

@@ -73,8 +73,27 @@ void EncodeCache::ensure_storage(Shard& shard) {
   shard.entries.assign(shard.capacity * entry_stride_, 0);
   shard.slot_hash.assign(shard.capacity, 0);
   shard.occupied.assign(shard.capacity, false);
+  shard.pins.assign(shard.capacity, 0);
   shard.resident = 0;
   shard.index.reserve(shard.capacity);
+}
+
+void BorrowGuard::release() {
+  if (cache_ != nullptr) {
+    // Unpin in shard-grouped runs: the probe pass records pins walking one
+    // shard at a time, so one lock acquisition covers each run.
+    std::size_t i = 0;
+    while (i < pins_.size()) {
+      const std::uint32_t s = pins_[i].shard;
+      EncodeCache::Shard& shard = cache_->shards_[s];
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      for (; i < pins_.size() && pins_[i].shard == s; ++i) {
+        --shard.pins[pins_[i].slot];
+      }
+    }
+  }
+  pins_.clear();
+  cache_ = nullptr;
 }
 
 std::size_t EncodeCache::size() const {
@@ -105,6 +124,8 @@ EncodeCacheStats EncodeCache::stats() const {
     total.hits += shards_[s].stats.hits;
     total.misses += shards_[s].stats.misses;
     total.evictions += shards_[s].stats.evictions;
+    total.borrowed_rows += shards_[s].stats.borrowed_rows;
+    total.copied_bytes += shards_[s].stats.copied_bytes;
     total.bytes_resident +=
         static_cast<std::uint64_t>(shards_[s].resident) * entry_bytes_;
     total.bytes_capacity +=
@@ -160,8 +181,18 @@ std::size_t EncodeCache::find_slot(const Shard& shard, std::uint64_t hash,
 void EncodeCache::insert(Shard& shard, std::uint64_t hash,
                          std::span<const float> x,
                          const unsigned char* entry) {
-  const std::size_t slot = shard.next_slot;
-  shard.next_slot = (shard.next_slot + 1) % shard.capacity;
+  // Borrowed slots are immutable until their guards release: the ring
+  // cursor skips pinned slots (bounded scan), and when a flush has pinned
+  // the entire shard the insert is simply dropped — the row stays a miss
+  // next time, which only costs a re-encode, never a dangling pointer.
+  std::size_t slot = shard.next_slot;
+  std::size_t tries = 0;
+  while (tries < shard.capacity && shard.pins[slot] != 0) {
+    slot = (slot + 1) % shard.capacity;
+    ++tries;
+  }
+  if (tries == shard.capacity) return;
+  shard.next_slot = (slot + 1) % shard.capacity;
   if (shard.occupied[slot]) {
     // Ring eviction: drop the index entry that still points at this slot
     // (a later insert of the same hash may have redirected it already).
@@ -180,6 +211,36 @@ void EncodeCache::insert(Shard& shard, std::uint64_t hash,
   shard.index[hash] = static_cast<std::uint32_t>(slot);
 }
 
+namespace {
+
+/// The float pipelines' batched miss encode: gather the miss rows into
+/// one contiguous block (ws scratch, reused across flushes), run the
+/// whole list through the encoder's tile path, then scatter to the miss
+/// slots (a D-float memcpy per row — cheap next to the encode it rides
+/// on).
+void encode_float_misses(const Encoder& encoder, const core::Matrix& x,
+                         std::size_t begin, std::size_t input_dim,
+                         std::size_t encoded_dim, ScoringWorkspace& ws,
+                         const core::ExecutionContext& exec,
+                         std::span<const std::size_t> rows,
+                         unsigned char* out, std::size_t out_stride) {
+  const std::size_t k = rows.size();
+  ws.miss_raw.resize(k, input_dim);
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto src = x.row(begin + rows[j]);
+    std::copy(src.begin(), src.end(), ws.miss_raw.row(j).begin());
+  }
+  ws.miss_enc.resize(k, encoded_dim);
+  encoder.encode_tile(ws.miss_raw, 0, k, ws.miss_enc.data(), encoded_dim,
+                      exec);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::memcpy(out + rows[j] * out_stride, ws.miss_enc.row(j).data(),
+                encoded_dim * sizeof(float));
+  }
+}
+
+}  // namespace
+
 std::size_t EncodeCache::encode_rows(const Encoder& encoder,
                                      const core::Matrix& x,
                                      std::size_t begin, std::size_t end,
@@ -191,97 +252,167 @@ std::size_t EncodeCache::encode_rows(const Encoder& encoder,
          "float driver on a float-armed cache only");
   auto* out = reinterpret_cast<unsigned char*>(h.data());
   const std::size_t stride = h.cols() * sizeof(float);
-  return encode_entries(
+  ScoringWorkspace& ws = ScoringWorkspace::tl();
+  return encode_entries_impl(
       x, begin, end, out, stride,
       [&](std::span<const std::size_t> rows, unsigned char* o,
           std::size_t o_stride) {
-        // Batched miss encode: gather the miss rows into one contiguous
-        // block, run the whole list through the encoder's tile path, then
-        // scatter to the miss slots (a D-float memcpy per row — cheap
-        // next to the encode it rides on).
-        const std::size_t k = rows.size();
-        core::Matrix raw(k, input_dim_);
-        for (std::size_t j = 0; j < k; ++j) {
-          const auto src = x.row(begin + rows[j]);
-          std::copy(src.begin(), src.end(), raw.row(j).begin());
-        }
-        core::Matrix enc(k, encoded_dim_);
-        encoder.encode_tile(raw, 0, k, enc.data(), encoded_dim_, exec);
-        for (std::size_t j = 0; j < k; ++j) {
-          std::memcpy(o + rows[j] * o_stride, enc.row(j).data(),
-                      entry_bytes_);
-        }
+        encode_float_misses(encoder, x, begin, input_dim_, encoded_dim_, ws,
+                            exec, rows, o, o_stride);
       },
-      exec);
+      nullptr, nullptr, ws);
 }
 
-std::size_t EncodeCache::encode_entries(
+std::size_t EncodeCache::encode_rows_borrowed(
+    const Encoder& encoder, const core::Matrix& x, std::size_t begin,
+    std::size_t end, core::Matrix& staging, ScoringWorkspace& ws,
+    const core::ExecutionContext& exec) {
+  assert(x.cols() == input_dim_);
+  assert(entry_bytes_ == encoded_dim_ * sizeof(float) &&
+         "float driver on a float-armed cache only");
+  const std::size_t m = end - begin;
+  if (staging.rows() < m || staging.cols() != encoded_dim_) {
+    staging.resize(m, encoded_dim_);
+  }
+  auto* out = reinterpret_cast<unsigned char*>(staging.data());
+  const std::size_t stride = staging.cols() * sizeof(float);
+  const std::size_t hits = encode_entries_borrowed(
+      x, begin, end, out, stride,
+      [&](std::span<const std::size_t> rows, unsigned char* o,
+          std::size_t o_stride) {
+        encode_float_misses(encoder, x, begin, input_dim_, encoded_dim_, ws,
+                            exec, rows, o, o_stride);
+      },
+      ws, exec);
+  ws.f32_rows.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    // Ring entries are 64-aligned and staging rows float-aligned, so the
+    // typed reinterpret matches PackedBatch's row accessors in spirit.
+    ws.f32_rows[i] = reinterpret_cast<const float*>(ws.entry_ptrs[i]);
+  }
+  return hits;
+}
+
+std::size_t EncodeCache::encode_entries(const core::Matrix& x,
+                                        std::size_t begin, std::size_t end,
+                                        unsigned char* out,
+                                        std::size_t out_stride,
+                                        EncodeMissesFn encode_misses,
+                                        const core::ExecutionContext&) {
+  return encode_entries_impl(x, begin, end, out, out_stride, encode_misses,
+                             nullptr, nullptr, ScoringWorkspace::tl());
+}
+
+std::size_t EncodeCache::encode_entries_borrowed(
     const core::Matrix& x, std::size_t begin, std::size_t end,
-    unsigned char* out, std::size_t out_stride,
-    const std::function<void(std::span<const std::size_t>, unsigned char*,
-                             std::size_t)>& encode_misses,
-    const core::ExecutionContext& /*exec*/) {
+    unsigned char* staging, std::size_t out_stride,
+    EncodeMissesFn encode_misses, ScoringWorkspace& ws,
+    const core::ExecutionContext&) {
+  assert(ws.borrow.empty() &&
+         "previous flush's borrows must be released before the next");
+  ws.entry_ptrs.resize(end - begin);
+  return encode_entries_impl(x, begin, end, staging, out_stride,
+                             encode_misses, ws.entry_ptrs.data(), &ws.borrow,
+                             ws);
+}
+
+std::size_t EncodeCache::encode_entries_impl(
+    const core::Matrix& x, std::size_t begin, std::size_t end,
+    unsigned char* out, std::size_t out_stride, EncodeMissesFn encode_misses,
+    const unsigned char** entry_ptrs, BorrowGuard* guard,
+    ScoringWorkspace& ws) {
   assert(end >= begin && end <= x.rows());
   assert(x.cols() == input_dim_);
   assert(out_stride >= entry_bytes_);
+  assert((entry_ptrs == nullptr) == (guard == nullptr));
   const std::size_t m = end - begin;
   if (m == 0) return 0;
+  if (guard != nullptr) guard->cache_ = this;
 
   // Hashing and shard routing are pure functions of the rows — done
   // before any lock, so concurrent scorers only serialize on their own
-  // shards' index lookups and hit copies, never on the full-batch sweep.
-  std::vector<std::uint64_t> hashes(m);
-  std::vector<std::uint32_t> shard_of_row(m);
-  std::vector<std::vector<std::size_t>> rows_of_shard(num_shards_);
+  // shards' index lookups, never on the full-batch sweep. Rows are
+  // bucketed by shard with a counting sort over flat workspace arrays
+  // (no per-call allocation, no vector-of-vectors): the placement walks i
+  // ascending, so each shard's bucket keeps BATCH ORDER — the stability
+  // the in-batch dedup below relies on.
+  ws.hashes.resize(m);
+  ws.shard_of_row.resize(m);
+  ws.shard_counts.assign(num_shards_, 0);
   for (std::size_t i = 0; i < m; ++i) {
-    hashes[i] = hash_row(x.row(begin + i));
-    const std::size_t s = shard_of(hashes[i]);
-    shard_of_row[i] = static_cast<std::uint32_t>(s);
-    rows_of_shard[s].push_back(i);
+    ws.hashes[i] = hash_row(x.row(begin + i));
+    const std::size_t s = shard_of(ws.hashes[i]);
+    ws.shard_of_row[i] = static_cast<std::uint32_t>(s);
+    ++ws.shard_counts[s];
   }
-
-  // Probe pass (per shard, under that shard's lock only): copy hits
-  // straight into the output rows, collect miss indices. The copies are
-  // memcpy-cheap next to the encodes they replace. A row repeated
-  // *within* this batch — common when a large coalesced drain covers many
-  // arrivals of the same flow — encodes once: later occurrences are
-  // deduplicated against the first one and copied after the encode pass.
-  // Identical rows share a hash and therefore a shard, and a shard's rows
-  // are walked in batch order, so the dedup source is always the earlier
-  // occurrence. Locks are taken one shard at a time (never nested).
-  std::vector<std::size_t> misses;
-  std::vector<std::vector<std::size_t>> misses_of_shard(num_shards_);
-  struct BatchDup {
-    std::size_t row;  // this occurrence
-    std::size_t src;  // the batch row whose fresh encode it copies
-  };
-  std::vector<BatchDup> dups;
-  std::unordered_map<std::uint64_t, std::size_t> batch_first;
+  ws.shard_offsets.resize(num_shards_);
+  std::uint32_t run = 0;
   for (std::size_t s = 0; s < num_shards_; ++s) {
-    if (rows_of_shard[s].empty()) continue;
+    ws.shard_offsets[s] = run;
+    run += ws.shard_counts[s];
+  }
+  ws.rows_by_shard.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    ws.rows_by_shard[ws.shard_offsets[ws.shard_of_row[i]]++] =
+        static_cast<std::uint32_t>(i);
+  }
+  // shard_offsets[s] now marks the END of shard s's bucket.
+
+  // Probe pass (per shard, under that shard's lock only): serve hits —
+  // copied into the output rows (copy mode) or pinned in place (borrow
+  // mode) — and collect miss indices. A row repeated *within* this batch
+  // — common when a large coalesced drain covers many arrivals of the
+  // same flow — encodes once: later occurrences are deduplicated against
+  // the first one and replayed after the encode pass. Identical rows
+  // share a hash and therefore a shard, and a shard's bucket is walked in
+  // batch order, so the dedup source is always the earlier occurrence.
+  // Locks are taken one shard at a time (never nested).
+  ws.misses.clear();
+  ws.miss_shard_end.resize(num_shards_);
+  ws.dups.clear();
+  ws.batch_first.reset(m);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    const std::uint32_t bucket_end = ws.shard_offsets[s];
+    const std::uint32_t bucket_begin = bucket_end - ws.shard_counts[s];
+    if (bucket_begin == bucket_end) {
+      ws.miss_shard_end[s] = static_cast<std::uint32_t>(ws.misses.size());
+      continue;
+    }
     Shard& shard = shards_[s];
     const std::lock_guard<std::mutex> lock(shard.mutex);
-    for (const std::size_t i : rows_of_shard[s]) {
+    for (std::uint32_t b = bucket_begin; b < bucket_end; ++b) {
+      const std::size_t i = ws.rows_by_shard[b];
       const auto row = x.row(begin + i);
-      const std::size_t slot = find_slot(shard, hashes[i], row);
+      const std::size_t slot = find_slot(shard, ws.hashes[i], row);
       if (slot < shard.capacity) {
-        std::memcpy(out + i * out_stride, slot_entry(shard, slot),
-                    entry_bytes_);
+        if (entry_ptrs != nullptr) {
+          ++shard.pins[slot];
+          guard->pins_.push_back({static_cast<std::uint32_t>(s),
+                                  static_cast<std::uint32_t>(slot)});
+          entry_ptrs[i] = slot_entry(shard, slot);
+          ++shard.stats.borrowed_rows;
+        } else {
+          std::memcpy(out + i * out_stride, slot_entry(shard, slot),
+                      entry_bytes_);
+          shard.stats.copied_bytes += entry_bytes_;
+        }
         ++shard.stats.hits;
         continue;
       }
-      const auto [first, is_new] = batch_first.try_emplace(hashes[i], i);
-      if (!is_new &&
-          std::memcmp(x.row(begin + first->second).data(), row.data(),
+      const std::uint32_t first = ws.batch_first.find_or_insert(
+          ws.hashes[i], static_cast<std::uint32_t>(i));
+      if (first != i &&
+          std::memcmp(x.row(begin + first).data(), row.data(),
                       row.size_bytes()) == 0) {
-        dups.push_back({i, first->second});
+        ws.dups.push_back({i, first});
+        if (entry_ptrs == nullptr) shard.stats.copied_bytes += entry_bytes_;
         ++shard.stats.hits;
       } else {
-        misses.push_back(i);
-        misses_of_shard[s].push_back(i);
+        ws.misses.push_back(i);
         ++shard.stats.misses;
       }
     }
+    ws.miss_shard_end[s] = static_cast<std::uint32_t>(ws.misses.size());
   }
 
   // Encode pass (lock-free): the whole miss list in one batched callback.
@@ -290,36 +421,53 @@ std::size_t EncodeCache::encode_entries(
   // row fetched from cache is reused across the batch's misses instead of
   // re-streamed per row. Per-row results are independent of the batching,
   // so output never depends on the miss mix.
-  if (!misses.empty()) {
-    encode_misses(misses, out, out_stride);
+  if (!ws.misses.empty()) {
+    encode_misses(std::span<const std::size_t>(ws.misses), out, out_stride);
+  }
+  if (entry_ptrs != nullptr) {
+    for (const std::size_t i : ws.misses) {
+      entry_ptrs[i] = out + i * out_stride;
+    }
   }
 
   // In-batch duplicates replay the fresh encode of their first occurrence
-  // (bit-identical by encoder determinism, like any cache hit).
-  for (const BatchDup& d : dups) {
-    std::memcpy(out + d.row * out_stride, out + d.src * out_stride,
-                entry_bytes_);
+  // (bit-identical by encoder determinism, like any cache hit). In borrow
+  // mode the replay is a pointer alias — the dup source is always a miss
+  // row of this same batch, so its staging address is already recorded.
+  for (const ScoringWorkspace::BatchDup& d : ws.dups) {
+    if (entry_ptrs != nullptr) {
+      entry_ptrs[d.row] = entry_ptrs[d.src];
+    } else {
+      std::memcpy(out + d.row * out_stride, out + d.src * out_stride,
+                  entry_bytes_);
+    }
   }
 
   // Insert pass (per shard, under that shard's lock only): fresh encodes
-  // enter their shard's ring in batch order. In-batch duplicates never
-  // reach the misses list (the probe pass routed them into `dups`), so
-  // each distinct row inserts at most once; the re-probe guards against a
-  // concurrent caller having inserted the same row between our probe and
-  // now.
+  // enter their shard's ring in batch order — shard s's misses are the
+  // contiguous range [miss_shard_end[s-1], miss_shard_end[s]) of the miss
+  // list. In-batch duplicates never reach the misses list (the probe pass
+  // routed them into dups), so each distinct row inserts at most once;
+  // the re-probe guards against a concurrent caller having inserted the
+  // same row between our probe and now.
+  std::uint32_t miss_begin = 0;
   for (std::size_t s = 0; s < num_shards_; ++s) {
-    if (misses_of_shard[s].empty()) continue;
+    const std::uint32_t miss_end = ws.miss_shard_end[s];
+    if (miss_begin == miss_end) continue;
     Shard& shard = shards_[s];
     const std::lock_guard<std::mutex> lock(shard.mutex);
     ensure_storage(shard);
-    for (const std::size_t i : misses_of_shard[s]) {
-      if (find_slot(shard, hashes[i], x.row(begin + i)) < shard.capacity) {
+    for (std::uint32_t j = miss_begin; j < miss_end; ++j) {
+      const std::size_t i = ws.misses[j];
+      if (find_slot(shard, ws.hashes[i], x.row(begin + i)) <
+          shard.capacity) {
         continue;
       }
-      insert(shard, hashes[i], x.row(begin + i), out + i * out_stride);
+      insert(shard, ws.hashes[i], x.row(begin + i), out + i * out_stride);
     }
+    miss_begin = miss_end;
   }
-  return m - misses.size();
+  return m - ws.misses.size();
 }
 
 EncodedBatch encode_block_cached(const Encoder& encoder, EncodeCache* cache,

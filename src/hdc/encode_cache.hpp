@@ -35,7 +35,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -43,8 +42,10 @@
 #include <vector>
 
 #include "core/exec/execution_context.hpp"
+#include "core/function_ref.hpp"
 #include "core/matrix.hpp"
 #include "hdc/encoded_batch.hpp"
+#include "hdc/scoring_workspace.hpp"
 
 namespace cyberhd::hdc {
 
@@ -63,6 +64,12 @@ struct EncodeCacheStats {
   std::uint64_t bytes_resident = 0;
   /// Bytes the ring can hold (capacity x entry bytes).
   std::uint64_t bytes_capacity = 0;
+  /// Rows served zero-copy: hits handed out as borrowed (pinned) pointers
+  /// into the ring instead of being memcpy'd into the staging batch.
+  std::uint64_t borrowed_rows = 0;
+  /// Bytes memcpy'd to serve hits and in-batch replays through the
+  /// copy-mode drivers — the traffic the borrow mode eliminates.
+  std::uint64_t copied_bytes = 0;
   double hit_rate() const noexcept {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0
@@ -150,6 +157,13 @@ class EncodeCache {
                           core::Matrix& h,
                           const core::ExecutionContext& exec);
 
+  /// The batched miss-encode callback of the entry drivers. A non-owning
+  /// FunctionRef (not std::function): the drivers invoke it before
+  /// returning, and erasing by reference keeps the call allocation-free —
+  /// a capturing lambda passed as a temporary never hits the heap.
+  using EncodeMissesFn = core::FunctionRef<void(
+      std::span<const std::size_t>, unsigned char*, std::size_t)>;
+
   /// The generic stage-1 driver the float and packed pipelines share:
   /// fill entries [0, end - begin) of `out` (entry i at
   /// out + i * out_stride, entry_bytes() bytes each; out_stride >=
@@ -166,14 +180,44 @@ class EncodeCache {
   /// occurrence's fresh entry. Returns the number of hits (including
   /// in-batch replays). Safe to call concurrently from any number of
   /// threads.
-  std::size_t encode_entries(
-      const core::Matrix& x, std::size_t begin, std::size_t end,
-      unsigned char* out, std::size_t out_stride,
-      const std::function<void(std::span<const std::size_t>, unsigned char*,
-                               std::size_t)>& encode_misses,
-      const core::ExecutionContext& exec);
+  std::size_t encode_entries(const core::Matrix& x, std::size_t begin,
+                             std::size_t end, unsigned char* out,
+                             std::size_t out_stride,
+                             EncodeMissesFn encode_misses,
+                             const core::ExecutionContext& exec);
+
+  /// Zero-copy sibling of encode_entries: instead of memcpying hit entries
+  /// into `staging`, each hit's ring slot is PINNED (eviction skips it)
+  /// and ws.entry_ptrs[i] is set to the entry's stable address inside the
+  /// ring; miss rows are encoded into `staging` exactly as in copy mode
+  /// and their staging address recorded, and in-batch duplicates alias
+  /// their first occurrence's pointer. The pins land in ws.borrow, which
+  /// the caller MUST release (or let unwind) after stage 2 has consumed
+  /// the rows — until then the pinned slots cannot be evicted, so the
+  /// pointers stay valid across concurrent inserts. `staging` must still
+  /// cover all m rows (misses land at their batch offset). Returns the
+  /// number of hits. Safe to call concurrently; ws is the caller's
+  /// (typically thread-local) scratch.
+  std::size_t encode_entries_borrowed(const core::Matrix& x,
+                                      std::size_t begin, std::size_t end,
+                                      unsigned char* staging,
+                                      std::size_t out_stride,
+                                      EncodeMissesFn encode_misses,
+                                      ScoringWorkspace& ws,
+                                      const core::ExecutionContext& exec);
+
+  /// Borrow-mode float driver: encode_entries_borrowed plus the float
+  /// miss-encode callback, leaving ws.f32_rows[i] pointing at row i's
+  /// encoding (ring or staging) for the gather scoring kernels. Only valid
+  /// for float-armed caches. Returns the number of hits.
+  std::size_t encode_rows_borrowed(const Encoder& encoder,
+                                   const core::Matrix& x, std::size_t begin,
+                                   std::size_t end, core::Matrix& staging,
+                                   ScoringWorkspace& ws,
+                                   const core::ExecutionContext& exec);
 
  private:
+  friend class BorrowGuard;
   /// One independently locked partition of the cache.
   struct Shard {
     mutable std::mutex mutex;
@@ -186,11 +230,28 @@ class EncodeCache {
         entries;
     std::vector<std::uint64_t> slot_hash;  // per slot; valid when occupied
     std::vector<bool> occupied;
+    // Per-slot borrow pin counts, mutated only under this shard's mutex.
+    // insert() skips pinned slots, so a borrowed entry's bytes are
+    // immutable (and data-race-free to read without the lock) until every
+    // BorrowGuard holding it releases. Survives clear(): a cleared cache
+    // drops its index, not the storage outstanding borrows still read.
+    std::vector<std::uint32_t> pins;
     std::size_t resident = 0;  // occupied slot count (bytes accounting)
     std::unordered_map<std::uint64_t, std::uint32_t> index;  // hash -> slot
     std::size_t next_slot = 0;  // ring cursor
     EncodeCacheStats stats;
   };
+
+  /// The shared body of the copy- and borrow-mode entry drivers:
+  /// entry_ptrs == nullptr selects copy mode (hits memcpy'd to out);
+  /// otherwise hits are pinned into `guard` and entry_ptrs[i] records
+  /// where row i's entry lives. All per-call scratch lives in `ws`.
+  std::size_t encode_entries_impl(const core::Matrix& x, std::size_t begin,
+                                  std::size_t end, unsigned char* out,
+                                  std::size_t out_stride,
+                                  EncodeMissesFn encode_misses,
+                                  const unsigned char** entry_ptrs,
+                                  BorrowGuard* guard, ScoringWorkspace& ws);
 
   /// Slot index of the verified-resident row, or shard.capacity when
   /// absent. Caller holds shard.mutex.

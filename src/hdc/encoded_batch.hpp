@@ -133,6 +133,86 @@ class PackedBatch {
   int bits_ = 8;
 };
 
+/// Non-owning INDIRECT view of `n` encoded hypervectors: row r lives at
+/// rows[r], an arbitrary address (a borrowed cache-ring entry, a staging
+/// row — any mix). The zero-copy serving path builds one of these instead
+/// of memcpying cache hits into a contiguous EncodedBatch; stage 2 scores
+/// it through the gather tile kernels, whose outputs are bit-identical to
+/// the contiguous kernels over the same row bytes. Cheap to copy; neither
+/// the pointer table nor the rows it names may outlive their owners (the
+/// ScoringWorkspace and its BorrowGuard hold both for exactly one flush).
+class EncodedRows {
+ public:
+  EncodedRows() = default;
+  EncodedRows(const float* const* rows, std::size_t n, std::size_t dims)
+      : rows_(rows), n_(n), dims_(dims) {
+    assert(rows != nullptr || n == 0);
+  }
+
+  std::size_t rows() const noexcept { return n_; }
+  std::size_t dims() const noexcept { return dims_; }
+  bool empty() const noexcept { return n_ == 0; }
+  /// The row-pointer table the gather kernels consume.
+  const float* const* row_ptrs() const noexcept { return rows_; }
+
+  std::span<const float> row(std::size_t r) const noexcept {
+    assert(r < n_);
+    return {rows_[r], dims_};
+  }
+
+ private:
+  const float* const* rows_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t dims_ = 0;
+};
+
+/// Indirect sibling of PackedBatch: a typed row-pointer table over packed
+/// quantized rows. Exactly one of the two tables is populated — int8 rows
+/// for bits in {2, 4, 8}, packed 64-bit word rows for bits == 1 — matching
+/// the two gather tile kernels.
+class PackedRows {
+ public:
+  PackedRows() = default;
+  /// int8 rows (bits in {2, 4, 8}).
+  PackedRows(const std::int8_t* const* i8_rows, std::size_t n,
+             std::size_t dims, int bits)
+      : i8_(i8_rows), n_(n), dims_(dims), bits_(bits) {
+    assert(i8_rows != nullptr || n == 0);
+    assert(bits > 1 && bits <= 8);
+  }
+  /// Packed word rows (bits == 1).
+  PackedRows(const std::uint64_t* const* word_rows, std::size_t n,
+             std::size_t dims)
+      : words_(word_rows), n_(n), dims_(dims), bits_(1) {
+    assert(word_rows != nullptr || n == 0);
+  }
+
+  std::size_t rows() const noexcept { return n_; }
+  std::size_t dims() const noexcept { return dims_; }
+  int bits() const noexcept { return bits_; }
+  bool empty() const noexcept { return n_ == 0; }
+  /// Words per row; only meaningful when bits() == 1.
+  std::size_t words() const noexcept { return (dims_ + 63) / 64; }
+
+  /// The int8 row-pointer table. Precondition: bits() > 1.
+  const std::int8_t* const* i8_row_ptrs() const noexcept {
+    assert(bits_ > 1);
+    return i8_;
+  }
+  /// The packed-word row-pointer table. Precondition: bits() == 1.
+  const std::uint64_t* const* word_row_ptrs() const noexcept {
+    assert(bits_ == 1);
+    return words_;
+  }
+
+ private:
+  const std::int8_t* const* i8_ = nullptr;
+  const std::uint64_t* const* words_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t dims_ = 0;
+  int bits_ = 8;
+};
+
 /// Reusable owning buffer behind PackedBatch views — the packed pipeline's
 /// analogue of the float staging Matrix. 64-byte aligned (so 1-bit word
 /// rows stay 8-byte aligned and SIMD loads never straddle lines); grows

@@ -6,6 +6,7 @@
 
 #include "core/kernels/kernels.hpp"
 #include "core/stats.hpp"
+#include "hdc/scoring_workspace.hpp"
 
 namespace cyberhd::hdc {
 
@@ -51,7 +52,12 @@ void HdcModel::similarities_into(const EncodedBatch& h, float* out,
   if (h.rows() == 0) return;
   const std::size_t C = num_classes();
   const std::size_t D = dims();
-  std::vector<float> class_norms(C);
+  // Class norms live in the thread-local workspace: recomputed every call
+  // (they are cheap and the model may have changed), but the vector's
+  // allocation is reused — the steady-state serving flush touches no
+  // allocator here.
+  std::vector<float>& class_norms = ScoringWorkspace::tl().class_norms;
+  class_norms.resize(C);
   for (std::size_t c = 0; c < C; ++c) {
     class_norms[c] = core::norm2(classes_.row(c));
   }
@@ -70,6 +76,42 @@ void HdcModel::similarities_into(const EncodedBatch& h, float* out,
       float* block = out + t * C;
       k.similarities_tile_f32(h.row(t).data(), rows, classes_.data(), C, D,
                               block);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float hn = core::norm2(h.row(t + r));
+        for (std::size_t c = 0; c < C; ++c) {
+          float& s = block[r * C + c];
+          s = cosine_from_dot(s, hn, class_norms[c]);
+        }
+      }
+    }
+  };
+  exec.parallel_for(h.rows(), body, /*grain=*/32);
+}
+
+void HdcModel::similarities_into(const EncodedRows& h, float* out,
+                                 const core::ExecutionContext& exec) const {
+  assert(h.dims() == dims());
+  if (h.rows() == 0) return;
+  const std::size_t C = num_classes();
+  const std::size_t D = dims();
+  std::vector<float>& class_norms = ScoringWorkspace::tl().class_norms;
+  class_norms.resize(C);
+  for (std::size_t c = 0; c < C; ++c) {
+    class_norms[c] = core::norm2(classes_.row(c));
+  }
+  // Mirror of the contiguous overload with the gather tile kernel reading
+  // rows through the pointer table; per-row norms read through the same
+  // table, so every output entry is bit-identical to the contiguous path
+  // over the same row bytes.
+  const std::size_t tile_rows = exec.score_block_rows(D);
+  const core::Kernels& k = exec.kernels();
+  const float* const* rows_tbl = h.row_ptrs();
+  const auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t t = begin; t < end; t += tile_rows) {
+      const std::size_t rows = std::min(tile_rows, end - t);
+      float* block = out + t * C;
+      k.similarities_tile_f32_gather(rows_tbl + t, rows, classes_.data(), C,
+                                     D, block);
       for (std::size_t r = 0; r < rows; ++r) {
         const float hn = core::norm2(h.row(t + r));
         for (std::size_t c = 0; c < C; ++c) {

@@ -85,6 +85,16 @@ class HdcModel {
                          const core::ExecutionContext& exec =
                              core::ExecutionContext::serial()) const;
 
+  /// Zero-copy stage-2 entry: the same scoring over an INDIRECT row view
+  /// (rows borrowed from the encode cache ring, staging rows, any mix),
+  /// streamed through the gather tile kernel. Bit-identical to the
+  /// contiguous overload over the same row bytes — the gather kernels
+  /// share the contiguous kernels' register-blocked inner body per
+  /// backend.
+  void similarities_into(const EncodedRows& h, float* out,
+                         const core::ExecutionContext& exec =
+                             core::ExecutionContext::serial()) const;
+
   /// argmax-of-cosine classification of an encoded query.
   std::size_t predict_encoded(std::span<const float> h) const noexcept;
 

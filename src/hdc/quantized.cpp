@@ -8,6 +8,7 @@
 
 #include "core/exec/execution_context.hpp"
 #include "core/kernels/kernels.hpp"
+#include "hdc/scoring_workspace.hpp"
 
 namespace cyberhd::hdc {
 
@@ -33,7 +34,21 @@ QuantizedHdcModel::QuantizedHdcModel(const HdcModel& model, int bits)
 void QuantizedHdcModel::resync() {
   classes_i8_.clear();
   level_sumsq_.clear();
-  if (bits_ <= 1 || bits_ > 8) return;
+  classes_1b_.clear();
+  if (bits_ == 1) {
+    // Gather the packed class words into one contiguous classes x words
+    // block — the layout the hamming tile kernel streams. Rebuilt here
+    // rather than on every scoring call, which is why in-place
+    // packed_classes() editors must resync() (see the header contract).
+    const std::size_t words = packed_.empty() ? 0 : packed_[0].num_words();
+    classes_1b_.resize(packed_.size() * words);
+    for (std::size_t c = 0; c < packed_.size(); ++c) {
+      std::memcpy(classes_1b_.data() + c * words, packed_[c].words(),
+                  words * sizeof(std::uint64_t));
+    }
+    return;
+  }
+  if (bits_ > 8) return;
   classes_i8_.resize(levels_.size() * dims_);
   level_sumsq_.reserve(levels_.size());
   for (std::size_t c = 0; c < levels_.size(); ++c) {
@@ -124,24 +139,24 @@ void QuantizedHdcModel::similarities_packed(
   const core::Kernels& k = exec.kernels();
   const std::size_t tile_rows = exec.score_block_rows(dims_);
   if (bits_ == 1) {
-    // Gather the class words into one contiguous block PER CALL: the fault
-    // injector edits packed_classes() in place under the no-resync
-    // contract, so the tile pass must read the live words, not a snapshot
-    // cached at construction.
+    // The class words stream from the contiguous classes_1b_ block that
+    // resync() maintains — no per-call gather (in-place packed_classes()
+    // editors must resync(), like level_classes() editors always had to).
     const std::size_t words = h.words();
-    std::vector<std::uint64_t> cls(classes * words);
-    for (std::size_t c = 0; c < classes; ++c) {
-      std::memcpy(cls.data() + c * words, packed_[c].words(),
-                  words * sizeof(std::uint64_t));
-    }
+    assert(classes_1b_.size() == classes * words);
     exec.parallel_for(
         h.rows(),
         [&](std::size_t begin, std::size_t end) {
-          std::vector<std::uint32_t> ham(tile_rows * classes);
+          // Accumulator tile from the worker's own workspace: grown once,
+          // reused across flushes.
+          std::vector<std::uint32_t>& ham = ScoringWorkspace::tl().ham_tile;
+          if (ham.size() < tile_rows * classes) {
+            ham.resize(tile_rows * classes);
+          }
           for (std::size_t t = begin; t < end; t += tile_rows) {
             const std::size_t rows = std::min(tile_rows, end - t);
-            k.hamming_tile_1b(h.word_row(t), rows, cls.data(), classes,
-                              words, ham.data());
+            k.hamming_tile_1b(h.word_row(t), rows, classes_1b_.data(),
+                              classes, words, ham.data());
             for (std::size_t r = 0; r < rows; ++r) {
               float* dst = out + (t + r) * classes;
               for (std::size_t c = 0; c < classes; ++c) {
@@ -162,7 +177,10 @@ void QuantizedHdcModel::similarities_packed(
   exec.parallel_for(
       h.rows(),
       [&](std::size_t begin, std::size_t end) {
-        std::vector<std::int64_t> dots(tile_rows * classes);
+        std::vector<std::int64_t>& dots = ScoringWorkspace::tl().dot_tile;
+        if (dots.size() < tile_rows * classes) {
+          dots.resize(tile_rows * classes);
+        }
         for (std::size_t t = begin; t < end; t += tile_rows) {
           const std::size_t rows = std::min(tile_rows, end - t);
           k.similarities_tile_i8(h.i8_row(t), rows, classes_i8_.data(),
@@ -174,6 +192,83 @@ void QuantizedHdcModel::similarities_packed(
             // accumulates on the float detour, in any summation order.
             const double qn = static_cast<double>(k.quantized_dot_i8(
                 h.i8_row(t + r), h.i8_row(t + r), dims_));
+            float* dst = out + (t + r) * classes;
+            for (std::size_t c = 0; c < classes; ++c) {
+              if (qn == 0.0 || level_sumsq_[c] == 0.0) {
+                dst[c] = 0.0f;
+                continue;
+              }
+              const double dot =
+                  static_cast<double>(dots[r * classes + c]);
+              dst[c] = static_cast<float>(
+                  dot / (std::sqrt(qn) * std::sqrt(level_sumsq_[c])));
+            }
+          }
+        }
+      },
+      /*grain=*/32);
+}
+
+void QuantizedHdcModel::similarities_packed(
+    const PackedRows& h, float* out,
+    const core::ExecutionContext& exec) const {
+  assert(bits_ <= 8);
+  assert(h.bits() == bits_);
+  assert(h.dims() == dims_);
+  const std::size_t classes = num_classes();
+  if (h.rows() == 0 || classes == 0) return;
+  const core::Kernels& k = exec.kernels();
+  const std::size_t tile_rows = exec.score_block_rows(dims_);
+  // Mirror of the contiguous overload with the gather tile kernels reading
+  // rows through the pointer table; the query-norm dots read through the
+  // same table, so every score is bit-identical to the contiguous path
+  // over the same row bytes.
+  if (bits_ == 1) {
+    const std::size_t words = h.words();
+    assert(classes_1b_.size() == classes * words);
+    const std::uint64_t* const* rows_tbl = h.word_row_ptrs();
+    exec.parallel_for(
+        h.rows(),
+        [&](std::size_t begin, std::size_t end) {
+          std::vector<std::uint32_t>& ham = ScoringWorkspace::tl().ham_tile;
+          if (ham.size() < tile_rows * classes) {
+            ham.resize(tile_rows * classes);
+          }
+          for (std::size_t t = begin; t < end; t += tile_rows) {
+            const std::size_t rows = std::min(tile_rows, end - t);
+            k.hamming_tile_1b_gather(rows_tbl + t, rows, classes_1b_.data(),
+                                     classes, words, ham.data());
+            for (std::size_t r = 0; r < rows; ++r) {
+              float* dst = out + (t + r) * classes;
+              for (std::size_t c = 0; c < classes; ++c) {
+                const std::int64_t dot =
+                    static_cast<std::int64_t>(dims_) -
+                    2 * static_cast<std::int64_t>(ham[r * classes + c]);
+                dst[c] =
+                    static_cast<float>(dot) / static_cast<float>(dims_);
+              }
+            }
+          }
+        },
+        /*grain=*/32);
+    return;
+  }
+  const std::int8_t* const* rows_tbl = h.i8_row_ptrs();
+  exec.parallel_for(
+      h.rows(),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<std::int64_t>& dots = ScoringWorkspace::tl().dot_tile;
+        if (dots.size() < tile_rows * classes) {
+          dots.resize(tile_rows * classes);
+        }
+        for (std::size_t t = begin; t < end; t += tile_rows) {
+          const std::size_t rows = std::min(tile_rows, end - t);
+          k.similarities_tile_i8_gather(rows_tbl + t, rows,
+                                        classes_i8_.data(), classes, dims_,
+                                        dots.data());
+          for (std::size_t r = 0; r < rows; ++r) {
+            const double qn = static_cast<double>(k.quantized_dot_i8(
+                rows_tbl[t + r], rows_tbl[t + r], dims_));
             float* dst = out + (t + r) * classes;
             for (std::size_t c = 0; c < classes; ++c) {
               if (qn == 0.0 || level_sumsq_[c] == 0.0) {
@@ -298,6 +393,34 @@ void QuantizedCyberHd::encode_tile_packed(const core::Matrix& x,
       /*grain=*/plan.flow_rows);
 }
 
+void QuantizedCyberHd::encode_packed_misses(const core::Matrix& x,
+                                            std::size_t begin,
+                                            std::span<const std::size_t> rows,
+                                            unsigned char* o,
+                                            std::size_t o_stride,
+                                            ScoringWorkspace& ws) const {
+  // Batched miss path: gather the lookup's misses into one contiguous
+  // block, run them through the fused tile-encode-and-pack, scatter the
+  // packed rows (a packed_row_bytes memcpy each) to their slots. The
+  // gather block and the packed block live in the workspace — grown once,
+  // reused every flush.
+  const std::size_t k = rows.size();
+  const std::size_t row_bytes = model_.packed_row_bytes();
+  ws.miss_raw.resize(k, x.cols());
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto src = x.row(begin + rows[j]);
+    std::copy(src.begin(), src.end(), ws.miss_raw.row(j).begin());
+  }
+  if (ws.miss_packed.size() < k * row_bytes) {
+    ws.miss_packed.resize(k * row_bytes);
+  }
+  encode_tile_packed(ws.miss_raw, 0, k, ws.miss_packed.data(), row_bytes);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::memcpy(o + rows[j] * o_stride, ws.miss_packed.data() + j * row_bytes,
+                row_bytes);
+  }
+}
+
 PackedBatch QuantizedCyberHd::encode_block_packed(
     const core::Matrix& x, std::size_t begin, std::size_t end,
     PackedStaging& staging) const {
@@ -308,32 +431,60 @@ PackedBatch QuantizedCyberHd::encode_block_packed(
   unsigned char* out = staging.prepare(m, dims, bits);
   const std::size_t row_bytes = model_.packed_row_bytes();
   if (encode_cache_ != nullptr) {
-    // Batched miss path: gather the lookup's misses into one contiguous
-    // block, run them through the fused tile-encode-and-pack, scatter the
-    // packed rows (a packed_row_bytes memcpy each) to their slots.
+    ScoringWorkspace& ws = ScoringWorkspace::tl();
     encode_cache_->encode_entries(
         x, begin, end, out, row_bytes,
         [&](std::span<const std::size_t> rows, unsigned char* o,
             std::size_t o_stride) {
-          const std::size_t k = rows.size();
-          core::Matrix raw(k, x.cols());
-          for (std::size_t j = 0; j < k; ++j) {
-            const auto src = x.row(begin + rows[j]);
-            std::copy(src.begin(), src.end(), raw.row(j).begin());
-          }
-          std::vector<unsigned char, core::AlignedAllocator<unsigned char>>
-              packed(k * row_bytes);
-          encode_tile_packed(raw, 0, k, packed.data(), row_bytes);
-          for (std::size_t j = 0; j < k; ++j) {
-            std::memcpy(o + rows[j] * o_stride,
-                        packed.data() + j * row_bytes, row_bytes);
-          }
+          encode_packed_misses(x, begin, rows, o, o_stride, ws);
         },
         exec_);
   } else {
     encode_tile_packed(x, begin, end, out, row_bytes);
   }
   return staging.view(m, dims, bits);
+}
+
+PackedRows QuantizedCyberHd::encode_block_packed_borrowed(
+    const core::Matrix& x, std::size_t begin, std::size_t end,
+    PackedStaging& staging, ScoringWorkspace& ws) const {
+  assert(model_.bits() <= 8);
+  const std::size_t m = end - begin;
+  const std::size_t dims = model_.dims();
+  const int bits = model_.bits();
+  unsigned char* out = staging.prepare(m, dims, bits);
+  const std::size_t row_bytes = model_.packed_row_bytes();
+  if (encode_cache_ != nullptr) {
+    encode_cache_->encode_entries_borrowed(
+        x, begin, end, out, row_bytes,
+        [&](std::span<const std::size_t> rows, unsigned char* o,
+            std::size_t o_stride) {
+          encode_packed_misses(x, begin, rows, o, o_stride, ws);
+        },
+        ws, exec_);
+  } else {
+    encode_tile_packed(x, begin, end, out, row_bytes);
+    ws.entry_ptrs.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      ws.entry_ptrs[i] = out + i * row_bytes;
+    }
+  }
+  // Retype the entry pointers into the table the gather kernels consume.
+  // Ring entries are 64-byte aligned and staging rows a multiple of 8
+  // bytes apart in a 64-aligned buffer, so the word casts are safe.
+  if (bits == 1) {
+    ws.word_rows.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      ws.word_rows[i] =
+          reinterpret_cast<const std::uint64_t*>(ws.entry_ptrs[i]);
+    }
+    return PackedRows(ws.word_rows.data(), m, dims);
+  }
+  ws.i8_rows.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    ws.i8_rows[i] = reinterpret_cast<const std::int8_t*>(ws.entry_ptrs[i]);
+  }
+  return PackedRows(ws.i8_rows.data(), m, dims, bits);
 }
 
 void QuantizedCyberHd::scores_encoded(const PackedBatch& h,
@@ -351,14 +502,19 @@ void QuantizedCyberHd::scores_block(const core::Matrix& x,
   const std::size_t m = end - begin;
   if (m == 0) return;
   if (model_.bits() <= 8) {
-    // Quantized end to end: stage 1 packs each row at encode time (the
-    // cache ring holds packed entries too), stage 2 streams packed tiles
-    // through the integer kernels. No float row crosses the stage
-    // boundary, and every score is bit-identical to the re-quantize
-    // path below.
+    // Quantized end to end, zero-copy: stage 1 packs each row at encode
+    // time, PINS cache hits in the ring instead of memcpying them out,
+    // and encodes only the misses into the thread-local staging; stage 2
+    // streams the resulting row-pointer view through the gather tile
+    // kernels. No float row crosses the stage boundary, no hit byte is
+    // copied, and every score is bit-identical to the re-quantize path
+    // below.
     thread_local PackedStaging staging;
-    const PackedBatch packed = encode_block_packed(x, begin, end, staging);
+    ScoringWorkspace& ws = ScoringWorkspace::tl();
+    const PackedRows packed =
+        encode_block_packed_borrowed(x, begin, end, staging, ws);
     model_.similarities_packed(packed, out.row(begin).data(), exec_);
+    ws.borrow.release();
     return;
   }
   // bits 16/32 keep the float pipeline: cached float encode, then per-row

@@ -76,6 +76,13 @@ class QuantizedHdcModel {
   /// Preconditions: bits() <= 8, h.bits() == bits(), h.dims() == dims().
   void similarities_packed(const PackedBatch& h, float* out,
                            const core::ExecutionContext& exec) const;
+  /// Zero-copy sibling: the same scoring over an INDIRECT packed row view
+  /// (rows borrowed from the encode cache ring, staging rows, any mix),
+  /// streamed through the gather tile kernels. Bit-identical to the
+  /// contiguous overload over the same row bytes — the gather kernels
+  /// share the contiguous kernels' register-blocked inner body.
+  void similarities_packed(const PackedRows& h, float* out,
+                           const core::ExecutionContext& exec) const;
 
   /// argmax-of-similarity prediction for a float-encoded query.
   std::size_t predict_encoded(std::span<const float> h) const;
@@ -84,17 +91,20 @@ class QuantizedHdcModel {
   /// bitwidth) — what the hardware model prices.
   std::size_t storage_bits() const noexcept;
 
-  /// Rebuild the scoring caches (int8 level mirrors + class norms) from the
-  /// raw class storage. Call after mutating level_classes() in place — the
-  /// fault injector does; in-place edits of packed_classes() need no resync
-  /// (the 1-bit path scores straight off the packed words).
+  /// Rebuild the scoring caches from the raw class storage: the int8 level
+  /// mirrors + class norms at bits 2..8, the contiguous class-word block
+  /// the hamming tile streams at bits == 1. Call after mutating
+  /// level_classes() OR packed_classes() in place — the fault injector
+  /// does both. (Scoring used to re-gather the packed words on every call
+  /// so packed edits needed no resync; hoisting that gather here is what
+  /// made the per-call path allocation-free, at the cost of this contract.)
   void resync();
 
   // -- raw storage for fault injection --------------------------------------
   // Exactly one of the two stores is populated, selected by bits():
   // packed_classes() when bits() == 1, level_classes() when bits() > 1.
   // The other is empty — callers must branch on bits() before touching them.
-  // Writers of level_classes() must call resync() afterwards.
+  // Writers of either store must call resync() afterwards.
   /// Packed bipolar class vectors; only valid when bits() == 1.
   std::vector<core::PackedBits>& packed_classes() { return packed_; }
   const std::vector<core::PackedBits>& packed_classes() const {
@@ -118,6 +128,11 @@ class QuantizedHdcModel {
   // accumulator).
   std::vector<std::int8_t, core::AlignedAllocator<std::int8_t>> classes_i8_;
   std::vector<double> level_sumsq_;
+  // Scoring cache for bits == 1: the packed class words gathered into ONE
+  // contiguous num_classes x words block (the layout hamming_tile_1b
+  // streams), rebuilt by resync().
+  std::vector<std::uint64_t, core::AlignedAllocator<std::uint64_t>>
+      classes_1b_;
 };
 
 /// End-to-end quantized classifier: a trained CyberHD's encoder plus its
@@ -165,6 +180,17 @@ class QuantizedCyberHd final : public core::Classifier {
   PackedBatch encode_block_packed(const core::Matrix& x, std::size_t begin,
                                   std::size_t end,
                                   PackedStaging& staging) const;
+  /// Zero-copy stage 1 (bits <= 8): like encode_block_packed, but cache
+  /// hits are BORROWED (pinned in the ring, no memcpy out) and only misses
+  /// land in `staging`. The returned indirect view routes each row to its
+  /// ring slot or staging offset through `ws`'s pointer tables; the caller
+  /// must release ws.borrow after stage 2 consumes the rows. With the
+  /// cache disabled every row encodes into `staging` and no pins are
+  /// taken — the view is still valid and ws.borrow is empty.
+  PackedRows encode_block_packed_borrowed(const core::Matrix& x,
+                                          std::size_t begin, std::size_t end,
+                                          PackedStaging& staging,
+                                          ScoringWorkspace& ws) const;
   /// Fused tile-encode-and-quantize (bits <= 8), bypassing the cache:
   /// rows [begin, end) of `x` run through the encoder's GEMM-shaped tile
   /// in flow blocks, and each finished float row is quantized straight
@@ -205,6 +231,15 @@ class QuantizedCyberHd final : public core::Classifier {
   const QuantizedHdcModel& model() const noexcept { return model_; }
 
  private:
+  /// Shared miss half of both encode_block_packed drivers: gather the
+  /// cache lookup's miss rows into the workspace's raw block, run them
+  /// through the fused tile-encode-and-pack, scatter the packed rows to
+  /// their batch offsets in `o`.
+  void encode_packed_misses(const core::Matrix& x, std::size_t begin,
+                            std::span<const std::size_t> rows,
+                            unsigned char* o, std::size_t o_stride,
+                            ScoringWorkspace& ws) const;
+
   std::unique_ptr<Encoder> encoder_;
   QuantizedHdcModel model_;
   core::ExecutionContext exec_;

@@ -61,6 +61,9 @@ TEST(KernelDispatch, ActiveBackendIsAlwaysValid) {
   ASSERT_NE(k.quantized_dot_i8, nullptr);
   ASSERT_NE(k.similarities_tile_i8, nullptr);
   ASSERT_NE(k.hamming_tile_1b, nullptr);
+  ASSERT_NE(k.similarities_tile_f32_gather, nullptr);
+  ASSERT_NE(k.similarities_tile_i8_gather, nullptr);
+  ASSERT_NE(k.hamming_tile_1b_gather, nullptr);
 }
 
 TEST(KernelParity, DotF32) {
@@ -268,6 +271,128 @@ TEST(KernelTile, HammingTile1bMatchesPerPairPopcountExactly) {
                   << k->name << " rows=" << rows << " classes=" << classes
                   << " words=" << words << " r=" << r << " c=" << c;
             }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- gather (row-pointer) tile variants ------------------------------------
+// Each backend's gather kernel shares its contiguous sibling's
+// register-blocked inner body, so over the same row bytes the outputs must
+// be BIT-identical — floats included. The tables below shuffle the row
+// order ((r * 7 + 3) % rows is a permutation for every tested row count)
+// and compare against the contiguous kernel run on an equally shuffled
+// contiguous copy, so the test also proves the kernels follow arbitrary
+// pointer tables rather than assuming h + r * dims.
+
+std::vector<const core::Kernels*> gather_backends() {
+  std::vector<const core::Kernels*> backends = {&core::scalar_kernels()};
+  if (const core::Kernels* avx2 = runnable_avx2()) backends.push_back(avx2);
+  if (const core::Kernels* avx512 = runnable_avx512()) {
+    backends.push_back(avx512);
+  }
+  return backends;
+}
+
+TEST(KernelGather, SimilaritiesTileF32GatherBitIdenticalToContiguous) {
+  for (const core::Kernels* k : gather_backends()) {
+    for (std::size_t rows : {1u, 3u, 4u, 5u, 8u, 17u}) {
+      for (std::size_t classes : {1u, 2u, 3u, 10u}) {
+        for (std::size_t dims : {1u, 7u, 16u, 65u, 130u}) {
+          const auto h = gaussian_vec(rows * dims, 9000 + rows + dims);
+          const auto cls =
+              gaussian_vec(classes * dims, 9500 + classes + dims);
+          std::vector<const float*> tbl(rows);
+          std::vector<float> shuffled(rows * dims);
+          for (std::size_t r = 0; r < rows; ++r) {
+            const std::size_t src = (r * 7 + 3) % rows;
+            tbl[r] = h.data() + src * dims;
+            std::copy(tbl[r], tbl[r] + dims,
+                      shuffled.data() + r * dims);
+          }
+          std::vector<float> want(rows * classes), got(rows * classes);
+          k->similarities_tile_f32(shuffled.data(), rows, cls.data(),
+                                   classes, dims, want.data());
+          k->similarities_tile_f32_gather(tbl.data(), rows, cls.data(),
+                                          classes, dims, got.data());
+          for (std::size_t i = 0; i < want.size(); ++i) {
+            EXPECT_EQ(want[i], got[i])
+                << k->name << " rows=" << rows << " classes=" << classes
+                << " dims=" << dims << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelGather, SimilaritiesTileI8GatherBitIdenticalToContiguous) {
+  core::Rng rng(31);
+  for (const core::Kernels* k : gather_backends()) {
+    for (std::size_t rows : {1u, 3u, 4u, 5u, 8u, 17u}) {
+      for (std::size_t classes : {1u, 2u, 3u, 10u}) {
+        for (std::size_t dims : {1u, 7u, 16u, 65u, 130u, 1000u}) {
+          std::vector<std::int8_t> h(rows * dims), cls(classes * dims);
+          for (auto& v : h) {
+            v = static_cast<std::int8_t>(rng.next_u64() % 255) - 127;
+          }
+          for (auto& v : cls) {
+            v = static_cast<std::int8_t>(rng.next_u64() % 255) - 127;
+          }
+          std::vector<const std::int8_t*> tbl(rows);
+          std::vector<std::int8_t> shuffled(rows * dims);
+          for (std::size_t r = 0; r < rows; ++r) {
+            const std::size_t src = (r * 7 + 3) % rows;
+            tbl[r] = h.data() + src * dims;
+            std::copy(tbl[r], tbl[r] + dims,
+                      shuffled.data() + r * dims);
+          }
+          std::vector<std::int64_t> want(rows * classes),
+              got(rows * classes);
+          k->similarities_tile_i8(shuffled.data(), rows, cls.data(),
+                                  classes, dims, want.data());
+          k->similarities_tile_i8_gather(tbl.data(), rows, cls.data(),
+                                         classes, dims, got.data());
+          for (std::size_t i = 0; i < want.size(); ++i) {
+            EXPECT_EQ(want[i], got[i])
+                << k->name << " rows=" << rows << " classes=" << classes
+                << " dims=" << dims << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelGather, HammingTile1bGatherBitIdenticalToContiguous) {
+  core::Rng rng(37);
+  for (const core::Kernels* k : gather_backends()) {
+    for (std::size_t rows : {1u, 3u, 4u, 5u, 8u, 17u}) {
+      for (std::size_t classes : {1u, 2u, 3u, 10u}) {
+        for (std::size_t words : {1u, 2u, 7u, 9u, 31u, 64u}) {
+          std::vector<std::uint64_t> h(rows * words), cls(classes * words);
+          for (auto& w : h) w = rng.next_u64();
+          for (auto& w : cls) w = rng.next_u64();
+          std::vector<const std::uint64_t*> tbl(rows);
+          std::vector<std::uint64_t> shuffled(rows * words);
+          for (std::size_t r = 0; r < rows; ++r) {
+            const std::size_t src = (r * 7 + 3) % rows;
+            tbl[r] = h.data() + src * words;
+            std::copy(tbl[r], tbl[r] + words,
+                      shuffled.data() + r * words);
+          }
+          std::vector<std::uint32_t> want(rows * classes),
+              got(rows * classes);
+          k->hamming_tile_1b(shuffled.data(), rows, cls.data(), classes,
+                             words, want.data());
+          k->hamming_tile_1b_gather(tbl.data(), rows, cls.data(), classes,
+                                    words, got.data());
+          for (std::size_t i = 0; i < want.size(); ++i) {
+            EXPECT_EQ(want[i], got[i])
+                << k->name << " rows=" << rows << " classes=" << classes
+                << " words=" << words << " i=" << i;
           }
         }
       }

@@ -6,9 +6,11 @@
 // knob.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "hdc/encode_cache.hpp"
 #include "hdc/encoded_batch.hpp"
 #include "hdc/quantized.hpp"
+#include "hdc/scoring_workspace.hpp"
 
 namespace cyberhd::hdc {
 namespace {
@@ -422,6 +425,117 @@ TEST(PackedBatchView, RowBytesAndSlicesAddressPackedRows) {
   EXPECT_EQ(words.row_bytes(), 24u);
   EXPECT_EQ(reinterpret_cast<const unsigned char*>(words.word_row(1)),
             wbase + 24);
+}
+
+// ---- zero-copy borrow protocol ---------------------------------------------
+
+TEST(BorrowPin, PinnedRowsSurviveFullRingWrap) {
+  // Pin two ring slots, then wrap the ring many times over with fresh
+  // inserts: eviction must route around the pinned slots, so the borrowed
+  // pointers keep serving the ORIGINAL encodings bit for bit the whole
+  // time, and the pinned rows are still resident afterwards.
+  ServingFixture t;
+  t.model.set_encode_cache(8, /*shards=*/1);  // one ring: wrap is total
+  EncodeCache* cache = t.model.encode_cache();
+  ASSERT_NE(cache, nullptr);
+  const core::ExecutionContext& exec = core::ExecutionContext::serial();
+  const std::size_t dims = t.model.physical_dims();
+
+  // Fill all 8 slots, then re-probe rows 0..2 in borrow mode: both rows
+  // hit and pin their slots.
+  core::Matrix fill(8, dims);
+  cache->encode_rows(t.model.encoder(), t.queries, 0, 8, fill, exec);
+  ScoringWorkspace ws;
+  core::Matrix staging;
+  const std::size_t hits = cache->encode_rows_borrowed(
+      t.model.encoder(), t.queries, 0, 2, staging, ws, exec);
+  EXPECT_EQ(hits, 2u);
+  EXPECT_EQ(ws.borrow.size(), 2u);
+  std::vector<float> snapshot(2 * dims);
+  for (std::size_t r = 0; r < 2; ++r) {
+    std::memcpy(snapshot.data() + r * dims, ws.f32_rows[r],
+                dims * sizeof(float));
+  }
+
+  // 48 distinct rows through a full 8-slot ring: several complete wraps'
+  // worth of eviction pressure while the pins are held.
+  core::Matrix churn(16, dims);
+  for (std::size_t begin = 8; begin < 56; begin += 16) {
+    cache->encode_rows(t.model.encoder(), t.queries, begin, begin + 16,
+                       churn, exec);
+  }
+  EXPECT_GT(cache->stats().evictions, 0u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(std::memcmp(ws.f32_rows[r], snapshot.data() + r * dims,
+                          dims * sizeof(float)),
+              0)
+        << "pinned row " << r << " was overwritten during ring wrap";
+  }
+
+  // The pinned rows were never evicted: a fresh probe of them still hits.
+  const EncodeCacheStats before = cache->stats();
+  cache->encode_rows(t.model.encoder(), t.queries, 0, 2, fill, exec);
+  EXPECT_EQ(cache->stats().hits, before.hits + 2);
+
+  ws.borrow.release();
+  EXPECT_TRUE(ws.borrow.empty());
+  ws.borrow.release();  // idempotent
+}
+
+TEST(BorrowPin, WarmFlushBorrowsEveryHitWithoutCopying) {
+  // The zero-copy contract, observable in the stats: a warm flush serves
+  // every row as a borrowed pointer and the serving path never memcpys a
+  // hit (in-batch replays alias the fresh encode, so even the cold pass
+  // moves no hit bytes).
+  ServingFixture t;
+  t.model.set_encode_cache(1024);
+  core::Matrix scores;
+  t.model.scores_batch(t.queries, scores);  // cold: 64 misses + 64 replays
+  const EncodeCacheStats cold = t.model.encode_cache()->stats();
+  EXPECT_EQ(cold.copied_bytes, 0u);
+  t.model.scores_batch(t.queries, scores);  // warm: every row a ring hit
+  const EncodeCacheStats warm = t.model.encode_cache()->stats();
+  EXPECT_EQ(warm.borrowed_rows, cold.borrowed_rows + t.queries.rows());
+  EXPECT_EQ(warm.copied_bytes, 0u);
+}
+
+TEST(BorrowPin, ConcurrentBorrowAndEvictionKeepScoresBitIdentical) {
+  // Eviction-under-load stress (the TSan/ASan CI legs re-run this file):
+  // four threads flush the same query batch through a 16-slot cache, so
+  // every flush borrows hits while the other threads' misses hammer the
+  // same shards with inserts and evictions. Every score of every flush
+  // must still be bit-identical to the per-sample reference.
+  ServingFixture t;
+  t.model.set_encode_cache(16);
+  const core::Matrix reference = per_sample_scores(t.model, t.queries);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&] {
+      core::Matrix out;
+      for (int pass = 0; pass < 8; ++pass) {
+        t.model.scores_batch(t.queries, out);
+        if (!(out == reference)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(t.model.encode_cache()->stats().borrowed_rows, 0u);
+}
+
+TEST_P(QuantizedServing, WarmFlushBorrowsPackedHits) {
+  // The packed pipeline rides the same borrow protocol: after a cold fill,
+  // a warm flush pins every row in the ring and copies nothing.
+  ServingFixture t;
+  QuantizedCyberHd q(t.model, GetParam());
+  q.set_encode_cache(1024);
+  core::Matrix scores;
+  q.scores_batch(t.queries, scores);
+  q.scores_batch(t.queries, scores);
+  const EncodeCacheStats stats = q.encode_cache()->stats();
+  EXPECT_EQ(stats.borrowed_rows, t.queries.rows());
+  EXPECT_EQ(stats.copied_bytes, 0u);
 }
 
 TEST(EncodeCacheUnit, ContentVerificationDefeatsHashAliasing) {
